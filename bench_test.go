@@ -1,0 +1,186 @@
+package sptrsv_test
+
+// One testing.B benchmark per table/figure of the paper, each driving the
+// same harness as cmd/figures in quick mode (simulated time, real
+// numerics), plus wall-clock benchmarks of the goroutine backend and the
+// preprocessing pipeline. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-resolution sweeps use cmd/figures.
+
+import (
+	"testing"
+
+	"sptrsv"
+	"sptrsv/internal/bench"
+	"sptrsv/internal/gen"
+)
+
+func quick() bench.Config {
+	return bench.Config{Scale: gen.Small, Quick: true}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := bench.Table1(quick()); len(rows) != 6 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.Fig4(quick()); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.Breakdown(quick(), "s2d9pt"); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.Breakdown(quick(), "nlpkkt"); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.LoadBalance(quick(), "s2d9pt"); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.LoadBalance(quick(), "nlpkkt"); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.GPUScaling(quick(), "crusher"); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.GPUScaling(quick(), "perlmutter"); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if pts := bench.Fig11(quick()); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+// benchSystem builds one reusable factored system for the wall-clock
+// benchmarks below.
+func benchSystem(b *testing.B) *sptrsv.System {
+	b.Helper()
+	sys, err := sptrsv.Factorize(sptrsv.S2D9pt(64, 64, 1), sptrsv.FactorOptions{TreeDepth: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkFactorize measures the preprocessing pipeline (ordering,
+// symbolic analysis, numeric LU, supernodal packaging).
+func BenchmarkFactorize(b *testing.B) {
+	a := sptrsv.S2D9pt(64, 64, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sptrsv.Factorize(a, sptrsv.FactorOptions{TreeDepth: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialSolve measures the single-threaded supernodal reference.
+func BenchmarkSerialSolve(b *testing.B) {
+	sys := benchSystem(b)
+	rhs := sptrsv.NewPanel(sys.A.N, 1)
+	for i := range rhs.Data {
+		rhs.Data[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.SN.Solve(rhs.PermuteRows(sys.Perm))
+	}
+}
+
+// benchPoolSolve measures real parallel wall-clock solves on the goroutine
+// backend with the given layout.
+func benchPoolSolve(b *testing.B, px, py, pz, nrhs int) {
+	sys := benchSystem(b)
+	solver, err := sptrsv.NewSolver(sys, sptrsv.Config{
+		Layout:    sptrsv.Layout{Px: px, Py: py, Pz: pz},
+		Algorithm: sptrsv.Proposed3D,
+		Trees:     sptrsv.BinaryTrees,
+		Machine:   sptrsv.CoriHaswell(),
+		Backend:   sptrsv.GoroutinePool(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := sptrsv.NewPanel(sys.A.N, nrhs)
+	for i := range rhs.Data {
+		rhs.Data[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolSolve1x1x1(b *testing.B) { benchPoolSolve(b, 1, 1, 1, 1) }
+func BenchmarkPoolSolve2x2x1(b *testing.B) { benchPoolSolve(b, 2, 2, 1, 1) }
+func BenchmarkPoolSolve2x2x4(b *testing.B) { benchPoolSolve(b, 2, 2, 4, 1) }
+func BenchmarkPoolSolveMulti(b *testing.B) { benchPoolSolve(b, 2, 2, 4, 8) }
+
+// BenchmarkSimSolve measures the simulator's own throughput (events/sec
+// matter for the figure sweeps).
+func BenchmarkSimSolve(b *testing.B) {
+	sys := benchSystem(b)
+	solver, err := sptrsv.NewSolver(sys, sptrsv.Config{
+		Layout:    sptrsv.Layout{Px: 4, Py: 4, Pz: 4},
+		Algorithm: sptrsv.Proposed3D,
+		Trees:     sptrsv.BinaryTrees,
+		Machine:   sptrsv.CoriHaswell(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := sptrsv.NewPanel(sys.A.N, 1)
+	for i := range rhs.Data {
+		rhs.Data[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command figures regenerates the paper's evaluation: Table 1 and the
+// analogs of Figs. 4–11, printing aligned text tables (and optionally
+// writing per-experiment files under -outdir).
+//
+// Usage:
+//
+//	figures [-scale small|medium|large] [-only table1,fig4,...] [-quick] [-outdir results]
+//
+// The full medium-scale sweep takes tens of minutes (every point is a full
+// discrete-event simulation doing the real numeric solve); -quick shrinks
+// each sweep to a smoke-test size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sptrsv/internal/bench"
+	"sptrsv/internal/gen"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation")
+	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
+	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
+	verbose := flag.Bool("v", false, "log progress")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	all := want["all"]
+	if all {
+		want["ablation"] = true
+	}
+
+	run := func(name string, f func(cfg bench.Config)) {
+		if !all && !want[name] {
+			return
+		}
+		var w io.Writer = os.Stdout
+		var file *os.File
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var err error
+			file, err = os.Create(filepath.Join(*outdir, name+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w = io.MultiWriter(os.Stdout, file)
+		}
+		cfg := bench.Config{
+			Scale:   gen.ParseScale(*scale),
+			Quick:   *quick,
+			Verbose: *verbose,
+			Out:     w,
+		}
+		t0 := time.Now()
+		fmt.Printf("== %s (scale=%s quick=%v) ==\n", name, *scale, *quick)
+		f(cfg)
+		fmt.Printf("== %s done in %v ==\n\n", name, time.Since(t0).Round(time.Millisecond))
+		if file != nil {
+			file.Close()
+		}
+	}
+
+	run("table1", func(cfg bench.Config) { bench.Table1(cfg) })
+	run("fig4", func(cfg bench.Config) { bench.Fig4(cfg) })
+	run("fig5", func(cfg bench.Config) { bench.Breakdown(cfg, "s2d9pt") })
+	run("fig6", func(cfg bench.Config) { bench.Breakdown(cfg, "nlpkkt") })
+	run("fig7", func(cfg bench.Config) { bench.LoadBalance(cfg, "s2d9pt") })
+	run("fig8", func(cfg bench.Config) { bench.LoadBalance(cfg, "nlpkkt") })
+	run("fig9", func(cfg bench.Config) { bench.GPUScaling(cfg, "crusher") })
+	run("fig10", func(cfg bench.Config) { bench.GPUScaling(cfg, "perlmutter") })
+	run("fig11", func(cfg bench.Config) { bench.Fig11(cfg) })
+	run("ablation", func(cfg bench.Config) { bench.Ablation(cfg) })
+}

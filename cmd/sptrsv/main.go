@@ -1,0 +1,123 @@
+// Command sptrsv runs a single distributed triangular solve on a generated
+// matrix and prints the timing report — the quickest way to explore one
+// configuration.
+//
+// Usage:
+//
+//	sptrsv -matrix s2d9pt -scale small -px 2 -py 2 -pz 4 \
+//	       -algo proposed -trees auto -machine cori-haswell -nrhs 1
+//
+// Algorithms: proposed, baseline, gpu-single (requires px=py=1 and a GPU
+// machine model), gpu-multi (requires py=1). Backends: sim (default,
+// modeled time) or pool (real goroutines, wall-clock time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mtx"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+func main() {
+	matrix := flag.String("matrix", "s2d9pt", "matrix analog: s2d9pt, nlpkkt, ldoor, dielfilter, gaas, s1mat")
+	mtxPath := flag.String("mtx", "", "solve a Matrix Market file instead of a generated analog (must be symmetric-pattern, no-pivoting-safe)")
+	scale := flag.String("scale", "small", "matrix scale: small, medium, large")
+	px := flag.Int("px", 2, "process rows per 2D grid")
+	py := flag.Int("py", 2, "process columns per 2D grid")
+	pz := flag.Int("pz", 2, "number of replicated 2D grids (power of two)")
+	algoName := flag.String("algo", "proposed", "algorithm: proposed, baseline, gpu-single, gpu-multi")
+	treeName := flag.String("trees", "auto", "communication trees: flat, binary, auto")
+	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
+	backendName := flag.String("backend", "sim", "backend: sim (modeled time) or pool (wall clock)")
+	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sptrsv:", err)
+		os.Exit(1)
+	}
+
+	var a *sparse.CSR
+	if *mtxPath != "" {
+		var err error
+		if a, err = mtx.ReadFile(*mtxPath); err != nil {
+			fail(err)
+		}
+		a = a.SymmetrizePattern()
+		fmt.Printf("matrix %s: n=%d, nnz=%d\n", *mtxPath, a.N, a.NNZ())
+	} else {
+		m := gen.Named(*matrix, gen.ParseScale(*scale))
+		a = m.A
+		fmt.Printf("matrix %s (analog of %s): n=%d, nnz=%d\n", m.Name, m.PaperName, a.N, a.NNZ())
+	}
+
+	sys, err := core.Factorize(a, core.FactorOptions{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("factors: nnz(LU)=%d, %d supernodes\n", sys.NNZFactors(), sys.SN.SnCount)
+
+	var algo trsv.Algorithm
+	switch *algoName {
+	case "proposed":
+		algo = trsv.Proposed3D
+	case "baseline":
+		algo = trsv.Baseline3D
+	case "gpu-single":
+		algo = trsv.GPUSingle
+	case "gpu-multi":
+		algo = trsv.GPUMulti
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	var trees ctree.Kind
+	switch *treeName {
+	case "flat":
+		trees = ctree.Flat
+	case "binary":
+		trees = ctree.Binary
+	case "auto":
+		trees = ctree.Auto
+	default:
+		fail(fmt.Errorf("unknown tree kind %q", *treeName))
+	}
+	var backend trsv.Backend = trsv.SimBackend{}
+	if *backendName == "pool" {
+		backend = trsv.PoolBackend{}
+	}
+
+	solver, err := core.NewSolver(sys, core.Config{
+		Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
+		Algorithm: algo,
+		Trees:     trees,
+		Machine:   machine.ByName(*machineName),
+		Backend:   backend,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	b := sparse.NewPanel(a.N, *nrhs)
+	for i := range b.Data {
+		b.Data[i] = 1
+	}
+	x, rep, err := solver.Solve(b)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("layout %dx%dx%d, %s, %s trees, %s model, nrhs=%d\n",
+		*px, *py, *pz, *algoName, *treeName, *machineName, *nrhs)
+	fmt.Printf("solve time: %.6g s (%s)\n", rep.Time, *backendName)
+	fmt.Printf("breakdown (mean/rank): FP %.3g s, XY-comm %.3g s, Z-comm %.3g s\n",
+		rep.MeanFP, rep.MeanXY, rep.MeanZ)
+	fmt.Printf("residual ‖Ax−b‖∞ = %.3g\n", solver.Residual(x, b))
+}

@@ -1,0 +1,51 @@
+// Quickstart: factor a 2D Poisson matrix, solve it with the paper's
+// proposed 3D SpTRSV on a simulated 4×4×4 Cori layout, and verify the
+// residual. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sptrsv"
+)
+
+func main() {
+	// A 96×96 2D 9-point Poisson analog (n = 9216).
+	a := sptrsv.S2D9pt(96, 96, 1)
+	fmt.Printf("matrix: n=%d nnz=%d\n", a.N, a.NNZ())
+
+	// Preprocess: nested dissection, symbolic analysis, supernodal LU.
+	sys, err := sptrsv.Factorize(a, sptrsv.FactorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("factors: nnz(LU)=%d\n", sys.NNZFactors())
+
+	// The proposed 3D algorithm on a 4×4×4 layout (64 simulated ranks of
+	// the Cori Haswell model), binary/flat trees picked automatically.
+	solver, err := sptrsv.NewSolver(sys, sptrsv.Config{
+		Layout:    sptrsv.Layout{Px: 4, Py: 4, Pz: 4},
+		Algorithm: sptrsv.Proposed3D,
+		Trees:     sptrsv.BinaryTrees,
+		Machine:   sptrsv.CoriHaswell(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One right-hand side of all ones.
+	b := sptrsv.NewPanel(a.N, 1)
+	for i := range b.Data {
+		b.Data[i] = 1
+	}
+
+	x, report, err := solver.Solve(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated solve time: %.4g s\n", report.Time)
+	fmt.Printf("breakdown (mean/rank): FP %.3g s, XY-comm %.3g s, Z-comm %.3g s\n",
+		report.MeanFP, report.MeanXY, report.MeanZ)
+	fmt.Printf("residual ‖Ax−b‖∞ = %.3g\n", solver.Residual(x, b))
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/trsv"
+)
+
+// AblationPoint is one configuration of the design-choice ablations: the
+// proposed algorithm with one optimization replaced by its strawman.
+type AblationPoint struct {
+	Matrix  string
+	P, Pz   int
+	Variant string
+	Seconds float64
+	ZMsgs   int // inter-grid messages sent
+	XYMsgs  int // intra-grid messages sent
+}
+
+// Ablation isolates the paper's three communication optimizations on the
+// Cori model:
+//
+//	full        — proposed 3D, sparse allreduce, auto trees (§3.1+3.2+3.3)
+//	naive-ar    — sparse allreduce replaced by the per-node strawman (§3.2)
+//	flat-trees  — auto trees replaced by flat trees (§3.3)
+//	binary-trees— forced binary trees (the paper's choice at scale)
+//	baseline    — the full baseline 3D algorithm for reference
+func Ablation(cfg Config) []AblationPoint {
+	l := newLab(cfg)
+	model := machine.CoriHaswell()
+	matrices := []string{"s2d9pt", "nlpkkt"}
+	ranks := []int{256}
+	pzs := []int{8, 32}
+	if cfg.Quick {
+		matrices = matrices[:1]
+		ranks = []int{64}
+		pzs = []int{4}
+	}
+	variants := []struct {
+		name  string
+		algo  trsv.Algorithm
+		trees ctree.Kind
+	}{
+		{"full", trsv.Proposed3D, ctree.Auto},
+		{"naive-ar", trsv.Proposed3DNaiveAR, ctree.Auto},
+		{"flat-trees", trsv.Proposed3D, ctree.Flat},
+		{"binary-trees", trsv.Proposed3D, ctree.Binary},
+		{"baseline", trsv.Baseline3D, ctree.Flat},
+	}
+	var pts []AblationPoint
+	for _, m := range matrices {
+		for _, p := range ranks {
+			for _, pz := range pzs {
+				if p%pz != 0 {
+					continue
+				}
+				px, py := grid.Square2D(p / pz)
+				layout := grid.Layout{Px: px, Py: py, Pz: pz}
+				for _, v := range variants {
+					cfg.logf("ablation %s P=%d Pz=%d %s", m, p, pz, v.name)
+					rep := l.run(m, runCfg{layout: layout, algo: v.algo, trees: v.trees, model: model, nrhs: 1})
+					pts = append(pts, AblationPoint{
+						Matrix: m, P: p, Pz: pz, Variant: v.name,
+						Seconds: rep.Time,
+						ZMsgs:   rep.Raw.CatMsgs(runtime.CatZ),
+						XYMsgs:  rep.Raw.CatMsgs(runtime.CatXY),
+					})
+				}
+			}
+		}
+	}
+	if cfg.Out != nil {
+		fmt.Fprintln(cfg.Out, "Ablation: proposed 3D with one optimization removed at a time (Cori model)")
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				pt.Matrix, fmt.Sprint(pt.P), fmt.Sprint(pt.Pz), pt.Variant,
+				fmt.Sprintf("%.4g", pt.Seconds*1e3),
+				fmt.Sprint(pt.ZMsgs), fmt.Sprint(pt.XYMsgs),
+			})
+		}
+		table(cfg.Out, []string{"matrix", "P", "Pz", "variant", "time [ms]", "Z msgs", "XY msgs"}, cells)
+	}
+	return pts
+}

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sptrsv/internal/gen"
+)
+
+// quickCfg runs every experiment at smoke-test size; the assertions below
+// check the paper's qualitative claims, not absolute numbers.
+func quickCfg() Config {
+	return Config{Scale: gen.Small, Quick: true}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	cfg.Out = &buf
+	rows := Table1(cfg)
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 matrices, got %d", len(rows))
+	}
+	var gaas, s2d Table1Row
+	for _, r := range rows {
+		if r.NNZLU <= 0 || r.Density <= 0 || r.Density > 1 {
+			t.Fatalf("bad row %+v", r)
+		}
+		switch r.Name {
+		case "gaas":
+			gaas = r
+		case "s2d9pt":
+			s2d = r
+		}
+	}
+	// The chemistry analog must be by far the densest and the 2D Poisson
+	// analog among the sparsest, mirroring the paper's Table 1 ordering.
+	if gaas.Density < 5*s2d.Density {
+		t.Fatalf("density ordering broken: gaas %g vs s2d9pt %g", gaas.Density, s2d.Density)
+	}
+	if !strings.Contains(buf.String(), "Ga19As19H42") {
+		t.Fatal("table output missing paper names")
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	pts := Fig4(quickCfg())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// Every (matrix, P, Pz) pair must appear for both algorithms with
+	// positive times.
+	seen := map[string]int{}
+	for _, pt := range pts {
+		if pt.Seconds <= 0 {
+			t.Fatalf("nonpositive time: %+v", pt)
+		}
+		seen[pt.Matrix]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 matrices, got %v", seen)
+	}
+	sp := Speedups(pts)
+	if len(sp) != 4 {
+		t.Fatalf("speedups for %d matrices", len(sp))
+	}
+	for _, s := range sp {
+		// The proposed algorithm must never lose badly to the baseline at
+		// the best-Pz comparison (the paper: it wins 1.13–3.45x).
+		if s.VsBaseline3D < 0.9 {
+			t.Fatalf("%s: proposed much slower than baseline (%.2fx)", s.Matrix, s.VsBaseline3D)
+		}
+	}
+}
+
+func TestFig4ReplicationHelps(t *testing.T) {
+	// On the 2D-PDE matrix, some Pz > 1 must beat Pz = 1 at fixed P — the
+	// core communication-avoiding claim.
+	pts := Fig4(quickCfg())
+	best := map[int]float64{}  // P → best time over Pz>1 (new)
+	base1 := map[int]float64{} // P → Pz=1 time (new)
+	for _, pt := range pts {
+		if pt.Matrix != "s2d9pt" || pt.Algo != "new" {
+			continue
+		}
+		if pt.Pz == 1 {
+			base1[pt.P] = pt.Seconds
+		} else if b, ok := best[pt.P]; !ok || pt.Seconds < b {
+			best[pt.P] = pt.Seconds
+		}
+	}
+	helped := false
+	for p, t1 := range base1 {
+		if b, ok := best[p]; ok && b < t1 {
+			helped = true
+		}
+	}
+	if !helped {
+		t.Fatal("replication (Pz>1) never beat Pz=1 on s2d9pt")
+	}
+}
+
+func TestBreakdownQuick(t *testing.T) {
+	pts := Breakdown(quickCfg(), "s2d9pt")
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.Pz == 1 && pt.ZComm != 0 {
+			t.Fatalf("Pz=1 has Z time: %+v", pt)
+		}
+		if pt.Pz > 1 && pt.ZComm <= 0 {
+			t.Fatalf("Pz>1 missing Z time: %+v", pt)
+		}
+		if pt.XYComm <= 0 || pt.FPOps <= 0 {
+			t.Fatalf("empty breakdown: %+v", pt)
+		}
+	}
+	// Baseline mean XY-comm must exceed the proposed algorithm's at the
+	// largest Pz (Fig. 5's visual claim).
+	var baseXY, newXY float64
+	maxPz := 0
+	for _, pt := range pts {
+		if pt.Pz > maxPz {
+			maxPz = pt.Pz
+		}
+	}
+	for _, pt := range pts {
+		if pt.Pz != maxPz {
+			continue
+		}
+		if pt.Algo == "baseline" {
+			baseXY += pt.XYComm
+		} else {
+			newXY += pt.XYComm
+		}
+	}
+	if baseXY < newXY {
+		t.Fatalf("baseline XY (%g) not above proposed (%g) at Pz=%d", baseXY, newXY, maxPz)
+	}
+}
+
+func TestLoadBalanceQuick(t *testing.T) {
+	pts := LoadBalance(quickCfg(), "nlpkkt")
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for _, pt := range pts {
+		if pt.LMax < pt.LMean || pt.LMean < pt.LMin || pt.LMin < 0 {
+			t.Fatalf("inconsistent L stats: %+v", pt)
+		}
+		if pt.UMax < pt.UMean || pt.UMean < pt.UMin {
+			t.Fatalf("inconsistent U stats: %+v", pt)
+		}
+		if pt.Imbalance() < 0 {
+			t.Fatal("negative imbalance")
+		}
+	}
+}
+
+func TestGPUScalingQuick(t *testing.T) {
+	for _, mach := range []string{"crusher", "perlmutter"} {
+		pts := GPUScaling(quickCfg(), mach)
+		if len(pts) == 0 {
+			t.Fatalf("%s: no points", mach)
+		}
+		sp := CPUGPUSpeedups(pts)
+		anyWin := false
+		for k, v := range sp {
+			// At smoke-test matrix sizes the GPU's per-task overhead can
+			// eat the win on the smallest matrices (especially under the
+			// high-overhead Crusher model), so the quick check only
+			// requires sane ratios and at least one GPU win; the
+			// medium-scale sweep in EXPERIMENTS.md carries the paper's
+			// 1.6–6.5x comparison.
+			if v < 0.3 {
+				t.Fatalf("%s %s: GPU implausibly slow (%.2fx)", mach, k, v)
+			}
+			if v > 1 {
+				anyWin = true
+			}
+		}
+		if mach == "perlmutter" && !anyWin {
+			t.Fatal("perlmutter: GPU never beat CPU")
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	pts := Fig11(quickCfg())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	lim := TwoDGPUScalingLimit(pts)
+	if len(lim) == 0 {
+		t.Fatal("no 2D scaling limits")
+	}
+	for _, pt := range pts {
+		if pt.Seconds <= 0 {
+			t.Fatalf("nonpositive time %+v", pt)
+		}
+	}
+}
+
+func TestPzSweep(t *testing.T) {
+	got := pzSweep(128, 32)
+	want := []int{1, 2, 4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("pzSweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pzSweep = %v", got)
+		}
+	}
+	if s := pzSweep(4, 32); len(s) != 3 {
+		t.Fatalf("pzSweep(4) = %v", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	mean, lo, hi := stats([]float64{1, 2, 3})
+	if mean != 2 || lo != 1 || hi != 3 {
+		t.Fatalf("stats wrong: %g %g %g", mean, lo, hi)
+	}
+	if m, _, _ := stats(nil); m != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	pts := Ablation(quickCfg())
+	byVariant := map[string]AblationPoint{}
+	for _, pt := range pts {
+		if pt.Seconds <= 0 {
+			t.Fatalf("nonpositive time %+v", pt)
+		}
+		byVariant[pt.Variant] = pt
+	}
+	full, naive := byVariant["full"], byVariant["naive-ar"]
+	if naive.ZMsgs <= full.ZMsgs {
+		t.Fatalf("naive allreduce Z msgs %d not above sparse %d", naive.ZMsgs, full.ZMsgs)
+	}
+	base := byVariant["baseline"]
+	if base.XYMsgs <= full.XYMsgs {
+		t.Fatalf("baseline XY msgs %d not above proposed %d", base.XYMsgs, full.XYMsgs)
+	}
+}

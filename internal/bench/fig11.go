@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/trsv"
+)
+
+// Fig11Point is one configuration of the paper's Fig. 11: the proposed 3D
+// algorithm with Px×1×Pz layouts on the Perlmutter model, CPU vs GPU (the
+// GPU uses the NVSHMEM multi-GPU model when Px > 1), 1 RHS.
+type Fig11Point struct {
+	Matrix  string
+	Device  string // "cpu" or "gpu"
+	Px, Pz  int
+	Seconds float64
+}
+
+func fig11Matrices() []string { return []string{"s1mat", "nlpkkt", "gaas", "dielfilter"} }
+
+// fig11Configs returns the (Px, Pz) sweep of Fig. 11: the 2D GPU curve
+// (Pz=1, Px up to 8 — which crosses the node boundary at Px=8 and stops
+// scaling) and the 3D curves (Px ≤ 4 to stay inside one node, Pz up to 64,
+// giving up to 256 GPUs).
+func fig11Configs(quick bool) [][2]int {
+	if quick {
+		return [][2]int{{1, 1}, {2, 1}, {2, 4}, {1, 4}}
+	}
+	var out [][2]int
+	for _, px := range []int{1, 2, 4, 8} {
+		out = append(out, [2]int{px, 1})
+	}
+	for _, pz := range []int{2, 4, 8, 16, 32, 64} {
+		for _, px := range []int{1, 2, 4} {
+			out = append(out, [2]int{px, pz})
+		}
+	}
+	return out
+}
+
+// Fig11 runs the Perlmutter multi-GPU scaling sweep.
+func Fig11(cfg Config) []Fig11Point {
+	l := newLab(cfg)
+	cpuModel, gpuModel := machine.PerlmutterCPU(), machine.PerlmutterGPU()
+	var pts []Fig11Point
+	for _, m := range fig11Matrices() {
+		for _, c := range fig11Configs(cfg.Quick) {
+			px, pz := c[0], c[1]
+			layout := grid.Layout{Px: px, Py: 1, Pz: pz}
+			cfg.logf("fig11 %s Px=%d Pz=%d", m, px, pz)
+			cpu := l.run(m, runCfg{layout: layout, algo: trsv.Proposed3D, trees: ctree.Auto, model: cpuModel, nrhs: 1})
+			pts = append(pts, Fig11Point{Matrix: m, Device: "cpu", Px: px, Pz: pz, Seconds: cpu.Time})
+			algo := trsv.GPUMulti
+			if px == 1 {
+				algo = trsv.GPUSingle
+			}
+			gpu := l.run(m, runCfg{layout: layout, algo: algo, trees: ctree.Binary, model: gpuModel, nrhs: 1})
+			pts = append(pts, Fig11Point{Matrix: m, Device: "gpu", Px: px, Pz: pz, Seconds: gpu.Time})
+		}
+	}
+	if cfg.Out != nil {
+		fmt.Fprintln(cfg.Out, "Fig. 11 analog: proposed 3D SpTRSV with Px×1×Pz on the Perlmutter model [ms]")
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				pt.Matrix, pt.Device, fmt.Sprint(pt.Px), fmt.Sprint(pt.Pz),
+				fmt.Sprint(pt.Px * pt.Pz), fmt.Sprintf("%.4g", pt.Seconds*1e3),
+			})
+		}
+		table(cfg.Out, []string{"matrix", "device", "Px", "Pz", "GPUs", "time"}, cells)
+	}
+	return pts
+}
+
+// TwoDGPUScalingLimit returns, for each matrix, the GPU count at which the
+// 2D GPU curve (Pz=1) achieved its best time — the paper's observation
+// that 2D GPU SpTRSV stops scaling at 4–8 GPUs (the node boundary).
+func TwoDGPUScalingLimit(pts []Fig11Point) map[string]int {
+	best := map[string]Fig11Point{}
+	for _, pt := range pts {
+		if pt.Device != "gpu" || pt.Pz != 1 {
+			continue
+		}
+		if b, ok := best[pt.Matrix]; !ok || pt.Seconds < b.Seconds {
+			best[pt.Matrix] = pt
+		}
+	}
+	out := map[string]int{}
+	for m, pt := range best {
+		out[m] = pt.Px
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/trsv"
+)
+
+// Fig4Point is one point of the paper's Fig. 4: SpTRSV time on Cori
+// Haswell for one matrix, total rank count P, replication factor Pz, and
+// algorithm ("baseline" = baseline 3D with flat trees, "new" = proposed 3D
+// with binary trees). Pz=1 gives the two 2D reference algorithms.
+type Fig4Point struct {
+	Matrix  string
+	P, Pz   int
+	Algo    string
+	Seconds float64
+}
+
+// fig4Matrices are the four matrices of Fig. 4.
+func fig4Matrices() []string { return []string{"s2d9pt", "nlpkkt", "ldoor", "dielfilter"} }
+
+// fig4Ranks returns the P sweep (the paper: 128…2048).
+func fig4Ranks(quick bool) []int {
+	if quick {
+		return []int{32, 64}
+	}
+	return []int{128, 256, 512, 1024, 2048}
+}
+
+func fig4PzLimit(quick bool) int {
+	if quick {
+		return 4
+	}
+	return 32
+}
+
+// Fig4 runs the Cori CPU strong-scaling sweep of both 3D algorithms.
+func Fig4(cfg Config) []Fig4Point {
+	l := newLab(cfg)
+	model := machine.CoriHaswell()
+	var pts []Fig4Point
+	for _, m := range fig4Matrices() {
+		for _, p := range fig4Ranks(cfg.Quick) {
+			for _, pz := range pzSweep(p, fig4PzLimit(cfg.Quick)) {
+				px, py := grid.Square2D(p / pz)
+				layout := grid.Layout{Px: px, Py: py, Pz: pz}
+				cfg.logf("fig4 %s P=%d Pz=%d", m, p, pz)
+				base := l.run(m, runCfg{layout: layout, algo: trsv.Baseline3D, trees: ctree.Flat, model: model, nrhs: 1})
+				pts = append(pts, Fig4Point{Matrix: m, P: p, Pz: pz, Algo: "baseline", Seconds: base.Time})
+				neu := l.run(m, runCfg{layout: layout, algo: trsv.Proposed3D, trees: ctree.Binary, model: model, nrhs: 1})
+				pts = append(pts, Fig4Point{Matrix: m, P: p, Pz: pz, Algo: "new", Seconds: neu.Time})
+			}
+		}
+	}
+	if cfg.Out != nil {
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				pt.Matrix, fmt.Sprint(pt.P), fmt.Sprint(pt.Pz), pt.Algo,
+				fmt.Sprintf("%.4g", pt.Seconds),
+			})
+		}
+		fmt.Fprintln(cfg.Out, "Fig. 4 analog: SpTRSV time [s] on the Cori Haswell model")
+		table(cfg.Out, []string{"matrix", "P", "Pz", "algorithm", "time"}, cells)
+		fig4Summary(cfg, pts)
+	}
+	return pts
+}
+
+// Fig4Speedups extracts the paper's headline comparisons: best new-3D time
+// vs best baseline-3D time per matrix, and vs the 2D (Pz=1) variants.
+type Fig4Speedups struct {
+	Matrix         string
+	VsBaseline3D   float64 // max over (P): baseline(P, best Pz) / new(P, best Pz)
+	Vs2DOptimized  float64 // max over P: new(P, Pz=1) / new(P, best Pz)
+	Baseline3DLost bool    // baseline 3D slower than the 2D tree solver somewhere
+}
+
+// Speedups computes the Fig. 4 headline ratios from the points.
+func Speedups(pts []Fig4Point) []Fig4Speedups {
+	type key struct {
+		m    string
+		p    int
+		algo string
+	}
+	best := map[key]float64{}
+	pz1 := map[key]float64{}
+	for _, pt := range pts {
+		k := key{pt.Matrix, pt.P, pt.Algo}
+		if b, ok := best[k]; !ok || pt.Seconds < b {
+			best[k] = pt.Seconds
+		}
+		if pt.Pz == 1 {
+			pz1[k] = pt.Seconds
+		}
+	}
+	byMatrix := map[string]*Fig4Speedups{}
+	var order []string
+	for _, pt := range pts {
+		if byMatrix[pt.Matrix] == nil {
+			byMatrix[pt.Matrix] = &Fig4Speedups{Matrix: pt.Matrix}
+			order = append(order, pt.Matrix)
+		}
+	}
+	for _, pt := range pts {
+		if pt.Algo != "new" {
+			continue
+		}
+		s := byMatrix[pt.Matrix]
+		kNew := key{pt.Matrix, pt.P, "new"}
+		kBase := key{pt.Matrix, pt.P, "baseline"}
+		if bb, ok := best[kBase]; ok {
+			if r := bb / best[kNew]; r > s.VsBaseline3D {
+				s.VsBaseline3D = r
+			}
+		}
+		if t1, ok := pz1[kNew]; ok {
+			if r := t1 / best[kNew]; r > s.Vs2DOptimized {
+				s.Vs2DOptimized = r
+			}
+		}
+		if bb, ok := best[kBase]; ok {
+			if t1, ok2 := pz1[kNew]; ok2 && bb > t1 {
+				s.Baseline3DLost = true
+			}
+		}
+	}
+	out := make([]Fig4Speedups, 0, len(order))
+	for _, m := range order {
+		out = append(out, *byMatrix[m])
+	}
+	return out
+}
+
+func fig4Summary(cfg Config, pts []Fig4Point) {
+	fmt.Fprintln(cfg.Out, "\nFig. 4 headline ratios (paper: ≤3.45x vs baseline 3D, ≤2.2x vs 2D-optimized):")
+	var cells [][]string
+	for _, s := range Speedups(pts) {
+		cells = append(cells, []string{
+			s.Matrix,
+			fmt.Sprintf("%.2fx", s.VsBaseline3D),
+			fmt.Sprintf("%.2fx", s.Vs2DOptimized),
+			fmt.Sprint(s.Baseline3DLost),
+		})
+	}
+	table(cfg.Out, []string{"matrix", "new vs baseline-3D", "new vs 2D-tree", "baseline-3D worse than 2D-tree"}, cells)
+}

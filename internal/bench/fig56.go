@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/trsv"
+)
+
+// BreakdownPoint is one bar of the paper's Figs. 5–6: per-rank mean time in
+// inter-grid communication (Z-Comm), intra-grid communication (XY-Comm),
+// and floating-point block operations (FP-Operation) for one
+// (matrix, P, Pz, algorithm) configuration on the Cori model.
+type BreakdownPoint struct {
+	Matrix  string
+	P, Pz   int
+	Algo    string
+	ZComm   float64
+	XYComm  float64
+	FPOps   float64
+	Seconds float64 // makespan for reference
+}
+
+// Breakdown runs the Fig. 5 (s2D9pt2048 analog) or Fig. 6 (nlpkkt80
+// analog) sweep, depending on the matrix argument.
+func Breakdown(cfg Config, matrix string) []BreakdownPoint {
+	l := newLab(cfg)
+	model := machine.CoriHaswell()
+	var pts []BreakdownPoint
+	for _, p := range fig4Ranks(cfg.Quick) {
+		for _, pz := range pzSweep(p, fig4PzLimit(cfg.Quick)) {
+			px, py := grid.Square2D(p / pz)
+			layout := grid.Layout{Px: px, Py: py, Pz: pz}
+			cfg.logf("breakdown %s P=%d Pz=%d", matrix, p, pz)
+			for _, algo := range []struct {
+				name  string
+				a     trsv.Algorithm
+				trees ctree.Kind
+			}{
+				{"baseline", trsv.Baseline3D, ctree.Flat},
+				{"new", trsv.Proposed3D, ctree.Auto},
+			} {
+				rep := l.run(matrix, runCfg{layout: layout, algo: algo.a, trees: algo.trees, model: model, nrhs: 1})
+				pts = append(pts, BreakdownPoint{
+					Matrix: matrix, P: p, Pz: pz, Algo: algo.name,
+					ZComm: rep.MeanZ, XYComm: rep.MeanXY, FPOps: rep.MeanFP,
+					Seconds: rep.Time,
+				})
+			}
+		}
+	}
+	if cfg.Out != nil {
+		fmt.Fprintf(cfg.Out, "Figs. 5/6 analog: time breakdown [ms, mean over ranks] for %s on the Cori model\n", matrix)
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				fmt.Sprint(pt.P), fmt.Sprint(pt.Pz), pt.Algo,
+				fmt.Sprintf("%.4g", pt.ZComm*1e3),
+				fmt.Sprintf("%.4g", pt.XYComm*1e3),
+				fmt.Sprintf("%.4g", pt.FPOps*1e3),
+				fmt.Sprintf("%.4g", pt.Seconds*1e3),
+			})
+		}
+		table(cfg.Out, []string{"P", "Pz", "algorithm", "Z-Comm", "XY-Comm", "FP-Operation", "total"}, cells)
+	}
+	return pts
+}

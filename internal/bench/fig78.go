@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/trsv"
+)
+
+// LoadBalancePoint is one bar group of the paper's Figs. 7–8: per-rank L-
+// and U-solve time statistics (mean, min, max over ranks, Z-comm excluded)
+// for one (matrix, P, Pz, algorithm).
+type LoadBalancePoint struct {
+	Matrix            string
+	P, Pz             int
+	Algo              string
+	LMean, LMin, LMax float64
+	UMean, UMin, UMax float64
+}
+
+// loadBalanceRanks returns the P values of Figs. 7–8.
+func loadBalanceRanks(quick bool) []int {
+	if quick {
+		return []int{64}
+	}
+	return []int{128, 1024}
+}
+
+// LoadBalance runs the Fig. 7 (s2d9pt) / Fig. 8 (nlpkkt) protocol.
+func LoadBalance(cfg Config, matrix string) []LoadBalancePoint {
+	l := newLab(cfg)
+	model := machine.CoriHaswell()
+	var pts []LoadBalancePoint
+	for _, p := range loadBalanceRanks(cfg.Quick) {
+		for _, pz := range pzSweep(p, fig4PzLimit(cfg.Quick)) {
+			px, py := grid.Square2D(p / pz)
+			layout := grid.Layout{Px: px, Py: py, Pz: pz}
+			cfg.logf("loadbalance %s P=%d Pz=%d", matrix, p, pz)
+			for _, algo := range []struct {
+				name  string
+				a     trsv.Algorithm
+				trees ctree.Kind
+			}{
+				{"baseline", trsv.Baseline3D, ctree.Flat},
+				{"new", trsv.Proposed3D, ctree.Auto},
+			} {
+				rep := l.run(matrix, runCfg{layout: layout, algo: algo.a, trees: algo.trees, model: model, nrhs: 1})
+				lm, ll, lh := stats(rep.LSpan)
+				um, ul, uh := stats(rep.USpan)
+				pts = append(pts, LoadBalancePoint{
+					Matrix: matrix, P: p, Pz: pz, Algo: algo.name,
+					LMean: lm, LMin: ll, LMax: lh,
+					UMean: um, UMin: ul, UMax: uh,
+				})
+			}
+		}
+	}
+	if cfg.Out != nil {
+		fmt.Fprintf(cfg.Out, "Figs. 7/8 analog: per-rank L/U solve time [ms] mean (min–max) for %s on the Cori model\n", matrix)
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				fmt.Sprint(pt.P), fmt.Sprint(pt.Pz), pt.Algo,
+				fmt.Sprintf("%.3g (%.3g–%.3g)", pt.LMean*1e3, pt.LMin*1e3, pt.LMax*1e3),
+				fmt.Sprintf("%.3g (%.3g–%.3g)", pt.UMean*1e3, pt.UMin*1e3, pt.UMax*1e3),
+			})
+		}
+		table(cfg.Out, []string{"P", "Pz", "algorithm", "L-solve", "U-solve"}, cells)
+	}
+	return pts
+}
+
+// Imbalance returns (max-min)/mean for the L phase of a point — the metric
+// behind the paper's observation that the baseline becomes imbalanced at
+// large Pz on nlpkkt while the proposed algorithm stays balanced.
+func (p LoadBalancePoint) Imbalance() float64 {
+	if p.LMean == 0 {
+		return 0
+	}
+	return (p.LMax - p.LMin) / p.LMean
+}

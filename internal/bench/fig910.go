@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/trsv"
+)
+
+// GPUPoint is one configuration of the paper's Figs. 9–10: the proposed 3D
+// algorithm at 1×1×Pz on a GPU system, CPU vs GPU solves, 1 and 50 RHS,
+// reporting total, L-solve, U-solve, and inter-grid (Z) time.
+type GPUPoint struct {
+	Matrix  string
+	Machine string // "crusher" or "perlmutter"
+	Device  string // "cpu" or "gpu"
+	Pz      int
+	NRHS    int
+	Total   float64
+	LSolve  float64 // mean over ranks
+	USolve  float64
+	ZComm   float64
+}
+
+func fig9Matrices() []string  { return []string{"s1mat", "s2d9pt", "ldoor"} }
+func fig10Matrices() []string { return []string{"s1mat", "s2d9pt", "nlpkkt", "dielfilter"} }
+
+func gpuPzSweep(quick bool) []int {
+	if quick {
+		return []int{1, 4}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64}
+}
+
+func gpuNRHS(quick bool) []int {
+	if quick {
+		return []int{1}
+	}
+	return []int{1, 50}
+}
+
+// GPUScaling runs the Figs. 9/10 protocol on the named machine
+// ("crusher" or "perlmutter").
+func GPUScaling(cfg Config, machineName string) []GPUPoint {
+	l := newLab(cfg)
+	var cpuModel, gpuModel *machine.Model
+	var matrices []string
+	switch machineName {
+	case "crusher":
+		cpuModel, gpuModel = machine.CrusherCPU(), machine.CrusherGPU()
+		matrices = fig9Matrices()
+	case "perlmutter":
+		cpuModel, gpuModel = machine.PerlmutterCPU(), machine.PerlmutterGPU()
+		matrices = fig10Matrices()
+	default:
+		panic("bench: unknown GPU machine " + machineName)
+	}
+	var pts []GPUPoint
+	for _, m := range matrices {
+		for _, nrhs := range gpuNRHS(cfg.Quick) {
+			for _, pz := range gpuPzSweep(cfg.Quick) {
+				layout := grid.Layout{Px: 1, Py: 1, Pz: pz}
+				cfg.logf("gpu %s %s Pz=%d nrhs=%d", machineName, m, pz, nrhs)
+				cpu := l.run(m, runCfg{layout: layout, algo: trsv.Proposed3D, trees: ctree.Auto, model: cpuModel, nrhs: nrhs})
+				pts = append(pts, gpuPoint(m, machineName, "cpu", pz, nrhs, cpu))
+				gpu := l.run(m, runCfg{layout: layout, algo: trsv.GPUSingle, trees: ctree.Auto, model: gpuModel, nrhs: nrhs})
+				pts = append(pts, gpuPoint(m, machineName, "gpu", pz, nrhs, gpu))
+			}
+		}
+	}
+	if cfg.Out != nil {
+		fmt.Fprintf(cfg.Out, "Figs. 9/10 analog: proposed 3D SpTRSV at 1×1×Pz on the %s model [ms]\n", machineName)
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				pt.Matrix, pt.Device, fmt.Sprint(pt.Pz), fmt.Sprint(pt.NRHS),
+				fmt.Sprintf("%.4g", pt.Total*1e3),
+				fmt.Sprintf("%.4g", pt.LSolve*1e3),
+				fmt.Sprintf("%.4g", pt.USolve*1e3),
+				fmt.Sprintf("%.4g", pt.ZComm*1e3),
+			})
+		}
+		table(cfg.Out, []string{"matrix", "device", "Pz", "nrhs", "total", "L-solve", "U-solve", "Z-comm"}, cells)
+		gpuSummary(cfg, pts)
+	}
+	return pts
+}
+
+func gpuPoint(m, mach, dev string, pz, nrhs int, rep *core.Report) GPUPoint {
+	lm, _, _ := stats(rep.LSpan)
+	um, _, _ := stats(rep.USpan)
+	zm, _, _ := stats(rep.ZSpan)
+	return GPUPoint{
+		Matrix: m, Machine: mach, Device: dev, Pz: pz, NRHS: nrhs,
+		Total: rep.Time, LSolve: lm, USolve: um, ZComm: zm,
+	}
+}
+
+// CPUGPUSpeedups extracts, per matrix and nrhs, the best CPU/GPU ratio over
+// the Pz sweep — the headline numbers of §4.2.1.
+func CPUGPUSpeedups(pts []GPUPoint) map[string]float64 {
+	best := map[string]map[string]float64{} // key → device → best time
+	for _, pt := range pts {
+		key := fmt.Sprintf("%s/nrhs=%d", pt.Matrix, pt.NRHS)
+		if best[key] == nil {
+			best[key] = map[string]float64{}
+		}
+		if t, ok := best[key][pt.Device]; !ok || pt.Total < t {
+			best[key][pt.Device] = pt.Total
+		}
+	}
+	out := map[string]float64{}
+	for key, m := range best {
+		if m["gpu"] > 0 {
+			out[key] = m["cpu"] / m["gpu"]
+		}
+	}
+	return out
+}
+
+func gpuSummary(cfg Config, pts []GPUPoint) {
+	sp := CPUGPUSpeedups(pts)
+	fmt.Fprintln(cfg.Out, "\nCPU→GPU speedups (best over Pz; paper: ≤2.9x Crusher, ≤6.5x Perlmutter):")
+	var cells [][]string
+	for _, k := range sortedKeysStr(sp) {
+		cells = append(cells, []string{k, fmt.Sprintf("%.2fx", sp[k])})
+	}
+	table(cfg.Out, []string{"matrix/nrhs", "cpu/gpu"}, cells)
+}

@@ -1,0 +1,87 @@
+package bench
+
+import "fmt"
+
+// Table1Row is one matrix of the paper's Table 1, for the generated
+// analogs: size, nonzeros in the LU factors, and density = nnz(LU)/n².
+type Table1Row struct {
+	Name        string
+	PaperName   string
+	Description string
+	N           int
+	NNZLU       int
+	Density     float64
+}
+
+// Table1 generates and factors the analog suite, reporting the paper's
+// Table 1 columns.
+func Table1(cfg Config) []Table1Row {
+	l := newLab(cfg)
+	var rows []Table1Row
+	for _, m := range suiteNames() {
+		sys := l.system(m)
+		mat := l.systems[m]
+		_ = mat
+		nnz := sys.NNZFactors()
+		rows = append(rows, Table1Row{
+			Name:        m,
+			PaperName:   paperName(m),
+			Description: description(m),
+			N:           sys.A.N,
+			NNZLU:       nnz,
+			Density:     float64(nnz) / (float64(sys.A.N) * float64(sys.A.N)),
+		})
+	}
+	if cfg.Out != nil {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Name, r.PaperName, fmt.Sprint(r.N), fmt.Sprint(r.NNZLU),
+				fmt.Sprintf("%.3g%%", 100*r.Density), r.Description,
+			})
+		}
+		fmt.Fprintln(cfg.Out, "Table 1 analog: test matrices (generated; see DESIGN.md for substitutions)")
+		table(cfg.Out, []string{"analog", "stands for", "n", "nnz(LU)", "density", "domain"}, cells)
+	}
+	return rows
+}
+
+func suiteNames() []string {
+	return []string{"nlpkkt", "gaas", "s1mat", "s2d9pt", "ldoor", "dielfilter"}
+}
+
+func paperName(name string) string {
+	switch name {
+	case "nlpkkt":
+		return "nlpkkt80"
+	case "gaas":
+		return "Ga19As19H42"
+	case "s1mat":
+		return "s1_mat_0_253872"
+	case "s2d9pt":
+		return "s2D9pt2048"
+	case "ldoor":
+		return "ldoor"
+	case "dielfilter":
+		return "dielFilterV3real"
+	}
+	return name
+}
+
+func description(name string) string {
+	switch name {
+	case "nlpkkt":
+		return "Optimization"
+	case "gaas":
+		return "Chemistry"
+	case "s1mat":
+		return "Fusion"
+	case "s2d9pt":
+		return "Poisson"
+	case "ldoor":
+		return "Structural"
+	case "dielfilter":
+		return "Wave"
+	}
+	return ""
+}

@@ -1,0 +1,164 @@
+// Package core is the high-level API of the reproduction: it runs the full
+// preprocessing pipeline (ordering → symbolic analysis → numeric LU →
+// supernodal packaging) and exposes a Solver that executes any of the
+// paper's distributed SpTRSV algorithms on a chosen machine model and
+// backend. The root package sptrsv re-exports this API.
+package core
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/dist"
+	"sptrsv/internal/factor"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/order"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/snode"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+	"sptrsv/internal/trsv"
+)
+
+// FactorOptions controls preprocessing.
+type FactorOptions struct {
+	// TreeDepth is the number of recorded nested-dissection levels; the
+	// resulting System supports Pz up to 2^TreeDepth. 0 means 6 (Pz ≤ 64).
+	TreeDepth int
+	// MaxSupernode caps supernode width; 0 means the symbolic default.
+	MaxSupernode int
+}
+
+// System holds a factored matrix ready to be distributed and solved.
+type System struct {
+	A     *sparse.CSR // original matrix
+	APerm *sparse.CSR // nested-dissection permuted matrix
+	Perm  []int       // old index → new index
+	Tree  *order.Tree
+	S     *symbolic.Structure
+	F     *factor.Factors
+	SN    *snode.Matrix
+}
+
+// Factorize orders, analyzes, and LU-factors a (which must have symmetric
+// nonzero pattern and admit LU without pivoting, e.g. be diagonally
+// dominant), returning a reusable System.
+func Factorize(a *sparse.CSR, opt FactorOptions) (*System, error) {
+	depth := opt.TreeDepth
+	if depth == 0 {
+		depth = 6
+	}
+	tree := order.NestedDissection(a, depth)
+	ap := a.Permute(tree.Perm)
+	s, err := symbolic.Analyze(ap, symbolic.Options{
+		MaxSupernode: opt.MaxSupernode,
+		Boundaries:   grid.Boundaries(tree),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolic analysis: %w", err)
+	}
+	f, err := factor.Factorize(ap, s)
+	if err != nil {
+		return nil, fmt.Errorf("core: numeric factorization: %w", err)
+	}
+	sn, err := snode.Build(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: supernodal packaging: %w", err)
+	}
+	return &System{A: a, APerm: ap, Perm: tree.Perm, Tree: tree, S: s, F: f, SN: sn}, nil
+}
+
+// NNZFactors returns nnz(L)+nnz(U) counting the diagonal once, the
+// quantity the paper's Table 1 reports.
+func (s *System) NNZFactors() int { return 2*s.S.FillNNZ() - s.S.N }
+
+// Config selects how a Solver runs.
+type Config struct {
+	Layout    grid.Layout    // Px × Py × Pz process layout
+	Algorithm trsv.Algorithm // Proposed3D, Baseline3D, GPUSingle, GPUMulti
+	Trees     ctree.Kind     // intra-grid communication trees (CPU algorithms)
+	Machine   *machine.Model // performance model for the simulation backend
+	Backend   trsv.Backend   // nil means the discrete-event simulator
+}
+
+// Solver executes distributed triangular solves for one System and Config.
+type Solver struct {
+	sys  *System
+	cfg  Config
+	plan *dist.Plan
+	inv  []int
+}
+
+// NewSolver validates the configuration and builds the distribution plan.
+func NewSolver(sys *System, cfg Config) (*Solver, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("core: Config.Machine is required")
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = trsv.SimBackend{}
+	}
+	plan, err := dist.New(sys.SN, sys.Tree, cfg.Layout, cfg.Trees)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Algorithm == trsv.Baseline3D {
+		if err := plan.BuildBaseline(); err != nil {
+			return nil, err
+		}
+	}
+	return &Solver{sys: sys, cfg: cfg, plan: plan, inv: sparse.InversePerm(sys.Perm)}, nil
+}
+
+// Plan exposes the distribution plan (read-only) for experiment harnesses.
+func (s *Solver) Plan() *dist.Plan { return s.plan }
+
+// Report summarizes one solve.
+type Report struct {
+	// Time is the solve makespan: virtual seconds under the simulator,
+	// wall-clock seconds under the goroutine pool.
+	Time float64
+	// MeanFP, MeanXY, MeanZ are per-rank means of the breakdown
+	// categories (the paper's Figs. 5–6).
+	MeanFP, MeanXY, MeanZ float64
+	// LSpan, USpan, ZSpan are per-rank phase durations (Figs. 7–10).
+	LSpan, USpan, ZSpan []float64
+	// Raw gives access to all per-rank clocks and timers.
+	Raw *runtime.Result
+}
+
+// Solve computes x with A·x = b, where b and x are in the original (
+// unpermuted) row ordering. b may have multiple columns (nrhs > 1).
+func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
+	bp := b.PermuteRows(s.sys.Perm)
+	xp, res, err := trsv.Solve(s.plan, s.cfg.Machine, s.cfg.Algorithm, s.cfg.Backend, bp)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := xp.PermuteRows(s.inv)
+	rep := &Report{
+		Time:   res.MaxClock(),
+		MeanFP: res.MeanCat(runtime.CatFP),
+		MeanXY: res.MeanCat(runtime.CatXY),
+		MeanZ:  res.MeanCat(runtime.CatZ),
+		Raw:    res,
+	}
+	rep.LSpan = make([]float64, len(res.Timers))
+	rep.USpan = make([]float64, len(res.Timers))
+	rep.ZSpan = make([]float64, len(res.Timers))
+	for i := range res.Timers {
+		marks := res.Timers[i].Marks
+		if marks == nil {
+			continue
+		}
+		rep.LSpan[i] = marks[trsv.MarkLDone]
+		rep.ZSpan[i] = marks[trsv.MarkZDone] - marks[trsv.MarkLDone]
+		rep.USpan[i] = marks[trsv.MarkUDone] - marks[trsv.MarkZDone]
+	}
+	return x, rep, nil
+}
+
+// Residual returns ‖A·x − b‖∞ in the original ordering.
+func (s *Solver) Residual(x, b *sparse.Panel) float64 {
+	return sparse.ResidualInf(s.sys.A, x, b)
+}

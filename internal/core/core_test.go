@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := Factorize(gen.S2D9pt(24, 24, 31), FactorOptions{TreeDepth: 3, MaxSupernode: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFactorizeBasics(t *testing.T) {
+	sys := testSystem(t)
+	if sys.SN.N != 576 || sys.Tree.Depth != 3 {
+		t.Fatalf("system malformed: n=%d depth=%d", sys.SN.N, sys.Tree.Depth)
+	}
+	if sys.NNZFactors() <= sys.A.NNZ() {
+		t.Fatalf("factor nnz %d should exceed nnz(A) %d", sys.NNZFactors(), sys.A.NNZ())
+	}
+}
+
+func TestSolveOriginalOrdering(t *testing.T) {
+	sys := testSystem(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, algo := range []trsv.Algorithm{trsv.Proposed3D, trsv.Baseline3D} {
+		s, err := NewSolver(sys, Config{
+			Layout:    grid.Layout{Px: 2, Py: 2, Pz: 4},
+			Algorithm: algo,
+			Trees:     ctree.Binary,
+			Machine:   machine.CoriHaswell(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := sparse.NewPanel(sys.A.N, 2)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		x, rep, err := s.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The residual is checked against the ORIGINAL matrix: the solver
+		// must round-trip the permutation correctly.
+		if r := s.Residual(x, b); r > 1e-7 {
+			t.Fatalf("%v: residual %g", algo, r)
+		}
+		if rep.Time <= 0 {
+			t.Fatalf("%v: nonpositive time", algo)
+		}
+		if len(rep.LSpan) != 16 {
+			t.Fatalf("%v: LSpan length %d", algo, len(rep.LSpan))
+		}
+	}
+}
+
+func TestReportBreakdownConsistency(t *testing.T) {
+	sys := testSystem(t)
+	s, err := NewSolver(sys, Config{
+		Layout:    grid.Layout{Px: 2, Py: 2, Pz: 2},
+		Algorithm: trsv.Proposed3D,
+		Trees:     ctree.Binary,
+		Machine:   machine.CoriHaswell(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sparse.NewPanel(sys.A.N, 1)
+	for i := range b.Data {
+		b.Data[i] = 1
+	}
+	_, rep, err := s.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanFP <= 0 || rep.MeanXY <= 0 || rep.MeanZ <= 0 {
+		t.Fatalf("breakdown has empty categories: %+v", rep)
+	}
+	// Per rank: phase spans must sum to (approximately) the finish clock.
+	for i, c := range rep.Raw.Clocks {
+		sum := rep.LSpan[i] + rep.ZSpan[i] + rep.USpan[i]
+		if sum > c+1e-12 {
+			t.Fatalf("rank %d spans %g exceed clock %g", i, sum, c)
+		}
+	}
+}
+
+func TestNewSolverValidation(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := NewSolver(sys, Config{Layout: grid.Layout{Px: 1, Py: 1, Pz: 1}}); err == nil {
+		t.Fatal("missing machine accepted")
+	}
+	if _, err := NewSolver(sys, Config{
+		Layout:  grid.Layout{Px: 1, Py: 1, Pz: 3},
+		Machine: machine.CoriHaswell(),
+	}); err == nil {
+		t.Fatal("non-power-of-two Pz accepted")
+	}
+	if _, err := NewSolver(sys, Config{
+		Layout:  grid.Layout{Px: 1, Py: 1, Pz: 16},
+		Machine: machine.CoriHaswell(),
+	}); err == nil {
+		t.Fatal("Pz beyond tree depth accepted")
+	}
+}
+
+func TestGPUSolveThroughCore(t *testing.T) {
+	sys := testSystem(t)
+	s, err := NewSolver(sys, Config{
+		Layout:    grid.Layout{Px: 1, Py: 1, Pz: 8},
+		Algorithm: trsv.GPUSingle,
+		Machine:   machine.PerlmutterGPU(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	b := sparse.NewPanel(sys.A.N, 1)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	x, _, err := s.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Residual(x, b); r > 1e-7 {
+		t.Fatalf("gpu residual %g", r)
+	}
+}

@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"sort"
+
+	"sptrsv/internal/ctree"
+)
+
+// GroupTree is a communication tree restricted to one elimination-tree
+// node: the baseline 3D algorithm builds a separate (flat) tree per
+// (supernode, target node) pair — the "three broadcast and reduction trees
+// per row and column" of the paper's Fig. 1(b) remark — where the proposed
+// algorithm uses a single tree.
+type GroupTree struct {
+	Node int // path node index the tree's block rows/columns live in
+	Tree *ctree.Tree
+}
+
+// BaselineRankData holds one rank's precomputed baseline counters: stage
+// receive totals and per-row dependency counts. Handlers clone the maps
+// and slices.
+type BaselineRankData struct {
+	LRemaining []int // expected L-phase receives per node stage 0..s
+	URemaining []int // expected U-phase receives per node stage 0..s
+	PendingL   map[int]int
+	PendingU   map[int]int
+}
+
+// Baseline holds the per-grid structures only the baseline algorithm uses.
+// All its trees are flat: the baseline predates the binary-tree latency
+// optimization.
+type Baseline struct {
+	// S is this grid's highest processed node stage (the trailing zero
+	// count of its index, capped at log2(Pz)).
+	S int
+	// Ranks holds the per-rank counters, indexed by 2D-local rank.
+	Ranks []*BaselineRankData
+
+	// LBcastGroups[K] holds one flat tree per path node containing rows of
+	// blocks L(I,K); ordered by ascending node index.
+	LBcastGroups [][]GroupTree
+	// LReduceNode[K] is the flat reduction tree over ranks owning blocks
+	// L(K,J) with J in K's own node (within-node contributions only; the
+	// cross-node ones arrive through the pre-gather).
+	LReduceNode []*ctree.Tree
+	// UBcastGroups[K] holds one flat tree per path node containing rows of
+	// blocks U(I,K), I < K.
+	UBcastGroups [][]GroupTree
+	// UReduceFlat[K] is the flat reduction tree over all ranks owning
+	// blocks U(K,J), J on path.
+	UReduceFlat []*ctree.Tree
+	// GatherCols[K] lists the process columns holding cross-node lsum
+	// contributions for row K: the distinct J mod Py over all global
+	// supernodes J with a block L(K,J) lying strictly below K's node.
+	GatherCols [][]int
+}
+
+// BuildBaseline populates the baseline structures for every grid. It is
+// idempotent and must be called before running the baseline algorithm
+// (Solve does it); building eagerly keeps the handlers read-only over the
+// plan, which the goroutine backend requires.
+func (p *Plan) BuildBaseline() error {
+	for _, gp := range p.Grids {
+		if gp.Base != nil {
+			continue
+		}
+		b, err := p.buildBaselineGrid(gp)
+		if err != nil {
+			return err
+		}
+		gp.Base = b
+	}
+	return nil
+}
+
+// withinNode reports whether global supernode j lies inside the path node
+// with index ni on this grid (node ranges are contiguous column ranges; the
+// leaf node's range covers its whole subtree).
+func (p *Plan) withinNode(gp *GridPlan, j, ni int) bool {
+	nd := gp.Path[ni]
+	c := p.M.SnBegin[j]
+	return c >= nd.Begin && c < nd.End
+}
+
+func trailingZerosCapped(z, cap int) int {
+	if z == 0 {
+		return cap
+	}
+	s := 0
+	for z&1 == 0 {
+		s++
+		z >>= 1
+	}
+	return s
+}
+
+func (p *Plan) buildBaselineGrid(gp *GridPlan) (*Baseline, error) {
+	m := p.M
+	l := p.Layout
+	b := &Baseline{
+		LBcastGroups: make([][]GroupTree, m.SnCount),
+		LReduceNode:  make([]*ctree.Tree, m.SnCount),
+		UBcastGroups: make([][]GroupTree, m.SnCount),
+		UReduceFlat:  make([]*ctree.Tree, m.SnCount),
+		GatherCols:   make([][]int, m.SnCount),
+	}
+	for _, k := range gp.Sns {
+		diag := p.DiagRank2D(k)
+		ni := gp.NodeOf[k]
+
+		// L broadcast group trees: rows grouped by their path node.
+		byNode := map[int][]int{}
+		seen := map[[2]int]bool{}
+		for _, blk := range m.LBlocks[k] {
+			g := gp.NodeOf[blk.I]
+			r := p.Rank2D(blk.I%l.Px, k%l.Py)
+			if key := [2]int{g, r}; !seen[key] {
+				seen[key] = true
+				byNode[g] = append(byNode[g], r)
+			}
+		}
+		var groups []int
+		for g := range byNode {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		for _, g := range groups {
+			members := byNode[g]
+			if !containsInt(members, diag) {
+				members = append([]int{diag}, members...)
+			}
+			tr, err := ctree.New(ctree.Flat, diag, members)
+			if err != nil {
+				return nil, err
+			}
+			b.LBcastGroups[k] = append(b.LBcastGroups[k], GroupTree{Node: g, Tree: tr})
+		}
+
+		// U broadcast group trees: rows I < K with U(I,K) ≠ 0, grouped.
+		byNode = map[int][]int{}
+		seen = map[[2]int]bool{}
+		for _, i := range gp.RowSns[k] {
+			g := gp.NodeOf[i]
+			r := p.Rank2D(i%l.Px, k%l.Py)
+			if key := [2]int{g, r}; !seen[key] {
+				seen[key] = true
+				byNode[g] = append(byNode[g], r)
+			}
+		}
+		groups = groups[:0]
+		for g := range byNode {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		for _, g := range groups {
+			members := byNode[g]
+			if !containsInt(members, diag) {
+				members = append([]int{diag}, members...)
+			}
+			tr, err := ctree.New(ctree.Flat, diag, members)
+			if err != nil {
+				return nil, err
+			}
+			b.UBcastGroups[k] = append(b.UBcastGroups[k], GroupTree{Node: g, Tree: tr})
+		}
+
+		// Within-node L reduction tree.
+		members := []int{diag}
+		seenR := map[int]bool{diag: true}
+		for _, j := range gp.RowSns[k] {
+			if gp.NodeOf[j] != ni {
+				continue
+			}
+			r := p.Rank2D(k%l.Px, j%l.Py)
+			if !seenR[r] {
+				seenR[r] = true
+				members = append(members, r)
+			}
+		}
+		tr, err := ctree.New(ctree.Flat, diag, members)
+		if err != nil {
+			return nil, err
+		}
+		b.LReduceNode[k] = tr
+
+		// Flat U reduction tree over all path contributors.
+		members = []int{diag}
+		seenR = map[int]bool{diag: true}
+		for _, j := range gp.URowSns[k] {
+			r := p.Rank2D(k%l.Px, j%l.Py)
+			if !seenR[r] {
+				seenR[r] = true
+				members = append(members, r)
+			}
+		}
+		if tr, err = ctree.New(ctree.Flat, diag, members); err != nil {
+			return nil, err
+		}
+		b.UReduceFlat[k] = tr
+
+		// Gather columns: global row list entries strictly below K's node.
+		colSet := map[int]bool{}
+		for _, j := range p.RowLists[k] {
+			if !p.withinNode(gp, j, ni) {
+				colSet[j%l.Py] = true
+			}
+		}
+		var cols []int
+		for c := range colSet {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		b.GatherCols[k] = cols
+	}
+	p.buildBaselineRankData(gp, b)
+	return b, nil
+}
+
+// buildBaselineRankData precomputes the per-rank stage counters in one
+// pass over the grid's supernodes and tree members.
+func (p *Plan) buildBaselineRankData(gp *GridPlan, b *Baseline) {
+	l := p.Layout
+	b.S = trailingZerosCapped(gp.Z, p.Map.L)
+	s := b.S
+	b.Ranks = make([]*BaselineRankData, l.GridSize())
+	for r := range b.Ranks {
+		b.Ranks[r] = &BaselineRankData{
+			LRemaining: make([]int, s+1),
+			URemaining: make([]int, s+1),
+			PendingL:   map[int]int{},
+			PendingU:   map[int]int{},
+		}
+	}
+	for _, k := range gp.Sns {
+		ni := gp.NodeOf[k]
+		diag := p.DiagRank2D(k)
+		if ni <= s {
+			for _, gt := range b.LBcastGroups[k] {
+				for _, m := range gt.Tree.Members() {
+					if m != diag {
+						b.Ranks[m].LRemaining[ni]++
+					}
+				}
+			}
+		}
+		if ni > s {
+			// Unprocessed ancestors: only the bundle re-broadcast receives
+			// below apply.
+			continue
+		}
+		withinByCol := map[int]int{}
+		for _, j := range gp.RowSns[k] {
+			if gp.NodeOf[j] == ni {
+				withinByCol[j%l.Py]++
+			}
+		}
+		t := b.LReduceNode[k]
+		for _, m := range t.Members() {
+			rd := b.Ranks[m]
+			rd.PendingL[k] = withinByCol[m%l.Py] + t.NumChildren(m)
+			rd.LRemaining[ni] += t.NumChildren(m)
+		}
+		gather := 0
+		for _, c := range b.GatherCols[k] {
+			if c != k%l.Py {
+				gather++
+			}
+		}
+		if gather > 0 {
+			b.Ranks[diag].PendingL[k] += gather
+			b.Ranks[diag].LRemaining[ni] += gather
+		}
+		for _, gt := range b.UBcastGroups[k] {
+			for _, m := range gt.Tree.Members() {
+				if m != diag {
+					b.Ranks[m].URemaining[ni]++
+				}
+			}
+		}
+		tu := b.UReduceFlat[k]
+		for _, m := range tu.Members() {
+			rd := b.Ranks[m]
+			rd.PendingU[k] = gp.Ranks[m].LocalU[k] + tu.NumChildren(m)
+			rd.URemaining[ni] += tu.NumChildren(m)
+		}
+	}
+	if gp.Z != 0 {
+		for _, k := range gp.Sns {
+			if gp.NodeOf[k] <= s {
+				continue
+			}
+			diag := p.DiagRank2D(k)
+			for _, gt := range b.UBcastGroups[k] {
+				if gt.Node > s {
+					continue
+				}
+				for _, m := range gt.Tree.Members() {
+					if m != diag {
+						b.Ranks[m].URemaining[s]++
+					}
+				}
+			}
+		}
+	}
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/gen"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+func factorize(t *testing.T, a *sparse.CSR) *Factors {
+	t.Helper()
+	s, err := symbolic.Analyze(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Factorize(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func randomPanel(rng *rand.Rand, rows, cols int) *sparse.Panel {
+	p := sparse.NewPanel(rows, cols)
+	for i := range p.Data {
+		p.Data[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+func TestLUProductMatchesA(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := gen.RandomDD(rng, n, 0.2)
+		s, err := symbolic.Analyze(a, symbolic.Options{})
+		if err != nil {
+			return false
+		}
+		f, err := Factorize(a, s)
+		if err != nil {
+			return false
+		}
+		l, u := f.LowerCSR(), f.UpperCSR()
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				lu := 0.0
+				for k := 0; k <= min(r, c); k++ {
+					lu += l.At(r, k) * u.At(k, c)
+				}
+				if d := lu - a.At(r, c); d > 1e-8 || d < -1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSerialResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, m := range gen.Suite(gen.Small) {
+		if m.A.N > 2000 {
+			continue // keep the unit test quick; integration tests cover large
+		}
+		f := factorize(t, m.A)
+		b := randomPanel(rng, m.A.N, 3)
+		x := f.SolveSerial(b)
+		if r := sparse.ResidualInf(m.A, x, b); r > 1e-8 {
+			t.Fatalf("%s: residual %g", m.Name, r)
+		}
+	}
+}
+
+func TestSolveSerialWithOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := gen.S2D9pt(20, 20, 9)
+	tr := order.NestedDissection(a, 3)
+	ap := a.Permute(tr.Perm)
+	f := factorize(t, ap)
+	b := randomPanel(rng, a.N, 2)
+	bp := b.PermuteRows(tr.Perm)
+	xp := f.SolveSerial(bp)
+	x := xp.PermuteRows(sparse.InversePerm(tr.Perm))
+	if r := sparse.ResidualInf(a, x, b); r > 1e-8 {
+		t.Fatalf("residual %g after ordering round-trip", r)
+	}
+}
+
+func TestUnitLowerDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := gen.RandomDD(rng, 40, 0.15)
+	f := factorize(t, a)
+	for j := 0; j < a.N; j++ {
+		if f.LVal[f.S.ColPtr[j]] != 1 {
+			t.Fatalf("L diagonal at column %d is %v", j, f.LVal[f.S.ColPtr[j]])
+		}
+	}
+}
+
+func TestUDiagonalLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := gen.RandomDD(rng, 40, 0.15)
+	f := factorize(t, a)
+	for j := 0; j < a.N; j++ {
+		hi := f.UColPtr[j+1]
+		if f.URowInd[hi-1] != j {
+			t.Fatalf("U column %d does not end with diagonal", j)
+		}
+		for q := f.UColPtr[j] + 1; q < hi; q++ {
+			if f.URowInd[q] <= f.URowInd[q-1] {
+				t.Fatalf("U column %d rows not ascending", j)
+			}
+		}
+	}
+}
+
+func TestZeroPivotRejected(t *testing.T) {
+	// A singular matrix (duplicate rows) must produce an error, not NaNs.
+	b := sparse.NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 1, 1)
+	b.Add(1, 0, 1)
+	b.Add(1, 1, 1)
+	a := b.ToCSR()
+	s, err := symbolic.Analyze(a, symbolic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Factorize(a, s); err == nil {
+		t.Fatal("expected error on singular matrix")
+	}
+}
+
+func TestMultiRHSConsistency(t *testing.T) {
+	// Solving a 3-column panel must equal three single-column solves.
+	rng := rand.New(rand.NewSource(25))
+	a := gen.RandomDD(rng, 60, 0.1)
+	f := factorize(t, a)
+	b := randomPanel(rng, a.N, 3)
+	x := f.SolveSerial(b)
+	for c := 0; c < 3; c++ {
+		single := sparse.NewPanel(a.N, 1)
+		copy(single.Col(0), b.Col(c))
+		xs := f.SolveSerial(single)
+		for i := 0; i < a.N; i++ {
+			if x.At(i, c) != xs.At(i, 0) {
+				t.Fatalf("column %d row %d: %v vs %v", c, i, x.At(i, c), xs.At(i, 0))
+			}
+		}
+	}
+}

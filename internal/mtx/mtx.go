@@ -1,0 +1,153 @@
+// Package mtx reads and writes Matrix Market coordinate files — the format
+// the paper's SuiteSparse test matrices ship in — so users with access to
+// the original matrices (nlpkkt80, ldoor, …) can run the solver on them
+// directly instead of the generated analogs.
+//
+// Supported: `matrix coordinate real|integer general|symmetric`. Symmetric
+// files are expanded to full storage on read, matching the solver's
+// structurally-symmetric expectation.
+package mtx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"sptrsv/internal/sparse"
+)
+
+// Read parses a Matrix Market stream into a CSR matrix. The matrix must be
+// square.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mtx: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) != 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("mtx: bad header %q", sc.Text())
+	}
+	if header[2] != "coordinate" {
+		return nil, fmt.Errorf("mtx: only coordinate format supported, got %q", header[2])
+	}
+	switch header[3] {
+	case "real", "integer":
+	default:
+		return nil, fmt.Errorf("mtx: unsupported field %q", header[3])
+	}
+	symmetric := false
+	switch header[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("mtx: unsupported symmetry %q", header[4])
+	}
+
+	// Skip comments; read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("mtx: bad size line %q: %v", line, err)
+		}
+		break
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("mtx: matrix is %dx%d, need square", rows, cols)
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("mtx: missing or invalid size line")
+	}
+
+	b := sparse.NewBuilder(rows)
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mtx: bad entry line %q", line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mtx: bad row index %q", f[0])
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("mtx: bad column index %q", f[1])
+		}
+		v := 1.0
+		if len(f) >= 3 {
+			if v, err = strconv.ParseFloat(f[2], 64); err != nil {
+				return nil, fmt.Errorf("mtx: bad value %q", f[2])
+			}
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mtx: entry (%d,%d) out of range", i, j)
+		}
+		b.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			b.Add(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("mtx: expected %d entries, got %d", nnz, read)
+	}
+	return b.ToCSR(), nil
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*sparse.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Write emits a in `coordinate real general` form.
+func Write(w io.Writer, a *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", a.N, a.N, a.NNZ())
+	for r := 0; r < a.N; r++ {
+		cols, vals := a.Row(r)
+		for i, c := range cols {
+			fmt.Fprintf(bw, "%d %d %.17g\n", r+1, c+1, vals[i])
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a to path in Matrix Market form.
+func WriteFile(path string, a *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

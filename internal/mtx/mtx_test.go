@@ -1,0 +1,113 @@
+package mtx
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/gen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := gen.RandomDD(rng, 10+rng.Intn(40), 0.15)
+		var sb strings.Builder
+		if err := Write(&sb, a); err != nil {
+			return false
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if back.N != a.N || back.NNZ() != a.NNZ() {
+			return false
+		}
+		for r := 0; r < a.N; r++ {
+			for c := 0; c < a.N; c++ {
+				if a.At(r, c) != back.At(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetricExpansion(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 2 3.0
+3 3 4.0
+3 1 -1.5
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5 after expansion", a.NNZ())
+	}
+	if a.At(0, 2) != -1.5 || a.At(2, 0) != -1.5 {
+		t.Fatal("mirror entry missing")
+	}
+}
+
+func TestPatternOnlyEntries(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1\n2 2\n"
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Fatal("default values wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "hello\n1 1 1\n",
+		"array format": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"rectangular":  "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1\n",
+		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"truncated":    "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 x\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	a := gen.S2D9pt(6, 6, 1)
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() {
+		t.Fatal("file round trip changed nnz")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

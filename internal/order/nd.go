@@ -1,0 +1,237 @@
+// Package order computes fill-reducing nested-dissection orderings and the
+// binary separator tree that the 3D SpTRSV process layout is built on.
+//
+// The paper uses METIS nested dissection and assumes the top log2(Pz)
+// levels of the elimination tree form a binary subtree. This package plays
+// the METIS role: it recursively bisects the adjacency graph with BFS
+// vertex separators, records a *complete* binary tree of the top maxDepth
+// levels (empty nodes allowed, so the Pz→subtree mapping is always total),
+// and keeps dissecting below the recorded levels purely to reduce fill.
+package order
+
+import (
+	"fmt"
+
+	"sptrsv/internal/sparse"
+)
+
+// Node is one node of the separator tree in heap order (root = 0, children
+// of i are 2i+1 and 2i+2). Column indices refer to the permuted matrix.
+//
+// A node's separator columns occupy [Begin, End). Its entire subtree —
+// both children plus the separator — occupies the contiguous range
+// [SubBegin, End), a consequence of the post-order numbering (left subtree,
+// right subtree, separator).
+type Node struct {
+	Begin, End int // separator columns (leaf nodes: the whole bucket)
+	SubBegin   int // start of the subtree's contiguous column range
+}
+
+// Cols returns the number of separator columns owned by the node.
+func (nd Node) Cols() int { return nd.End - nd.Begin }
+
+// Tree is a nested-dissection separator tree over a permuted matrix.
+type Tree struct {
+	Depth int    // recorded levels; leaves live at level Depth
+	N     int    // matrix dimension
+	Perm  []int  // old index -> new index (scatter)
+	Nodes []Node // complete binary tree, len 2^(Depth+1)-1, heap order
+}
+
+// NumLeaves returns 2^Depth, the maximum Pz this tree supports.
+func (t *Tree) NumLeaves() int { return 1 << t.Depth }
+
+// LeafIndex returns the heap index of leaf z at the deepest level.
+func (t *Tree) LeafIndex(z int) int { return (1 << t.Depth) - 1 + z }
+
+// Ancestors returns the heap indices on the path from node i (exclusive)
+// up to the root (inclusive), bottom-up.
+func (t *Tree) Ancestors(i int) []int {
+	var out []int
+	for i > 0 {
+		i = (i - 1) / 2
+		out = append(out, i)
+	}
+	return out
+}
+
+// Level returns the level of heap node i (root = 0).
+func Level(i int) int {
+	l := 0
+	for i > 0 {
+		i = (i - 1) / 2
+		l++
+	}
+	return l
+}
+
+// minLeaf is the subset size below which recursion stops: dissecting tiny
+// pieces no longer reduces fill and only fragments supernodes.
+const minLeaf = 24
+
+// NestedDissection orders the symmetric pattern of a and records the top
+// maxDepth separator levels. maxDepth must satisfy 0 ≤ maxDepth ≤ 20.
+func NestedDissection(a *sparse.CSR, maxDepth int) *Tree {
+	if maxDepth < 0 || maxDepth > 20 {
+		panic(fmt.Sprintf("order: bad maxDepth %d", maxDepth))
+	}
+	n := a.N
+	t := &Tree{
+		Depth: maxDepth,
+		N:     n,
+		Perm:  make([]int, n),
+		Nodes: make([]Node, (1<<(maxDepth+1))-1),
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	d := &dissector{a: a, t: t}
+	d.recurse(all, 0, 0, 0)
+	if d.next != n {
+		panic("order: ordering did not cover all columns")
+	}
+	return t
+}
+
+type dissector struct {
+	a    *sparse.CSR
+	t    *Tree
+	next int // next new index to assign
+}
+
+// recurse orders the vertex subset. heapIdx is the tree node receiving the
+// separator when depth ≤ t.Depth; below the recorded depth heapIdx is -1
+// and the recursion only refines the ordering.
+func (d *dissector) recurse(verts []int, depth, heapIdx, _ int) {
+	recorded := heapIdx >= 0 && depth <= d.t.Depth
+	atRecordedLeaf := recorded && depth == d.t.Depth
+	subBegin := d.next
+
+	switch {
+	case atRecordedLeaf:
+		// The node owns its whole remaining subtree; keep dissecting
+		// below purely for fill, without recording nodes.
+		d.orderForFill(verts)
+		d.t.Nodes[heapIdx] = Node{Begin: subBegin, End: d.next, SubBegin: subBegin}
+	case recorded:
+		left, right, sep := d.split(verts)
+		d.recurse(left, depth+1, 2*heapIdx+1, 0)
+		d.recurse(right, depth+1, 2*heapIdx+2, 0)
+		sepBegin := d.next
+		d.assign(sep)
+		d.t.Nodes[heapIdx] = Node{Begin: sepBegin, End: d.next, SubBegin: subBegin}
+	default:
+		d.orderForFill(verts)
+	}
+}
+
+// orderForFill recursively bisects without recording tree nodes.
+func (d *dissector) orderForFill(verts []int) {
+	if len(verts) <= minLeaf {
+		d.assign(verts)
+		return
+	}
+	left, right, sep := d.split(verts)
+	d.orderForFill(left)
+	d.orderForFill(right)
+	d.assign(sep)
+}
+
+// assign gives the vertices the next consecutive new indices.
+func (d *dissector) assign(verts []int) {
+	for _, v := range verts {
+		d.t.Perm[v] = d.next
+		d.next++
+	}
+}
+
+// split partitions verts into (left, right, separator) such that no edge of
+// the subgraph runs between left and right. It BFS-orders the subset
+// (restarting across components), cuts at the midpoint, and moves every
+// first-half vertex with a second-half neighbor into the separator.
+func (d *dissector) split(verts []int) (left, right, sep []int) {
+	if len(verts) <= 2 {
+		return nil, nil, verts
+	}
+	in := make(map[int]int, len(verts)) // vertex -> position in bfs order, -1 if pending
+	for _, v := range verts {
+		in[v] = -1
+	}
+	bfs := make([]int, 0, len(verts))
+	for _, start := range verts {
+		if in[start] >= 0 {
+			continue
+		}
+		in[start] = len(bfs)
+		bfs = append(bfs, start)
+		for q := len(bfs) - 1; q < len(bfs); q++ {
+			cols, _ := d.a.Row(bfs[q])
+			for _, c := range cols {
+				if pos, ok := in[c]; ok && pos < 0 {
+					in[c] = len(bfs)
+					bfs = append(bfs, c)
+				}
+			}
+		}
+	}
+	half := len(bfs) / 2
+	inFirst := func(v int) bool { return in[v] < half }
+	for _, v := range bfs[:half] {
+		cols, _ := d.a.Row(v)
+		boundary := false
+		for _, c := range cols {
+			if _, ok := in[c]; ok && !inFirst(c) {
+				boundary = true
+				break
+			}
+		}
+		if boundary {
+			sep = append(sep, v)
+		} else {
+			left = append(left, v)
+		}
+	}
+	right = append(right, bfs[half:]...)
+	return left, right, sep
+}
+
+// CheckTree validates structural invariants of the tree against the
+// permuted pattern; tests and the distribution layer call it.
+func (t *Tree) CheckTree(aPerm *sparse.CSR) error {
+	if len(t.Nodes) != (1<<(t.Depth+1))-1 {
+		return fmt.Errorf("order: node count %d for depth %d", len(t.Nodes), t.Depth)
+	}
+	root := t.Nodes[0]
+	if root.SubBegin != 0 || root.End != t.N {
+		return fmt.Errorf("order: root range [%d,%d) does not cover n=%d", root.SubBegin, root.End, t.N)
+	}
+	for i, nd := range t.Nodes {
+		if nd.Begin > nd.End || nd.SubBegin > nd.Begin {
+			return fmt.Errorf("order: node %d malformed range %+v", i, nd)
+		}
+		if Level(i) < t.Depth {
+			l, r := t.Nodes[2*i+1], t.Nodes[2*i+2]
+			if l.SubBegin != nd.SubBegin || r.SubBegin != l.End || nd.Begin != r.End {
+				return fmt.Errorf("order: node %d children ranges do not tile %+v %+v %+v", i, nd, l, r)
+			}
+		}
+	}
+	// Separator property: no entry of the permuted matrix may connect the
+	// left and right subtree ranges of any recorded node.
+	for i := range t.Nodes {
+		if Level(i) >= t.Depth {
+			continue
+		}
+		l, r := t.Nodes[2*i+1], t.Nodes[2*i+2]
+		for row := l.SubBegin; row < l.End; row++ {
+			cols, _ := aPerm.Row(row)
+			for _, c := range cols {
+				if c >= r.SubBegin && c < r.End {
+					return fmt.Errorf("order: edge (%d,%d) crosses separator of node %d", row, c, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Network models the cost of one point-to-point message.
+//
+// Cost returns the sender-side injection overhead (CPU time the sender
+// spends in the send call), the end-to-end latency until the payload is
+// available at the receiver (the α + β·bytes term, link chosen by the
+// src/dst placement), and the receiver-side processing overhead charged
+// when the message is consumed — the term that makes high fan-in flat
+// reductions expensive in real MPI. Self-messages scheduled with Ctx.After
+// bypass it.
+type Network interface {
+	Cost(src, dst, bytes int) (sendOverhead, latency, recvOverhead float64)
+}
+
+// ZeroNetwork is a Network with no cost; unit tests use it to check pure
+// algorithm correctness.
+type ZeroNetwork struct{}
+
+// Cost implements Network.
+func (ZeroNetwork) Cost(_, _, _ int) (float64, float64, float64) { return 0, 0, 0 }
+
+type event struct {
+	time     float64
+	seq      int
+	recvOver float64
+	msg      Msg
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is the discrete-event backend. Events are delivered in global
+// virtual-time order with a deterministic sequence tie-break, so two runs of
+// the same deterministic handlers produce identical clocks.
+type Engine struct {
+	net       Network
+	handlers  []Handler
+	clocks    []float64
+	timers    []Timers
+	queue     eventHeap
+	seq       int
+	delivered int
+	// MaxEvents guards against runaway handlers; 0 means the default.
+	MaxEvents int
+}
+
+// NewEngine creates a DES over n ranks with the given network model.
+func NewEngine(n int, net Network) *Engine {
+	return &Engine{
+		net:      net,
+		handlers: make([]Handler, n),
+		clocks:   make([]float64, n),
+		timers:   make([]Timers, n),
+	}
+}
+
+// Run installs one handler per rank, drives the simulation to quiescence,
+// and returns per-rank clocks and timers. It fails if any handler is not
+// Done at quiescence (a deadlock: the algorithm expected more messages) or
+// if the event budget is exhausted.
+func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
+	n := len(e.handlers)
+	ctxs := make([]*Ctx, n)
+	for r := 0; r < n; r++ {
+		e.handlers[r] = newHandler(r)
+		ctxs[r] = &Ctx{rank: r, b: e}
+	}
+	for r := 0; r < n; r++ {
+		e.handlers[r].Init(ctxs[r])
+	}
+	maxEvents := e.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 500_000_000
+	}
+	for len(e.queue) > 0 {
+		if e.delivered++; e.delivered > maxEvents {
+			return nil, fmt.Errorf("runtime: event budget %d exhausted", maxEvents)
+		}
+		ev := heap.Pop(&e.queue).(event)
+		r := ev.msg.Dst
+		if wait := ev.time - e.clocks[r]; wait > 0 {
+			e.timers[r].ByCat[ev.msg.Cat] += wait
+			e.clocks[r] = ev.time
+		}
+		if ev.recvOver > 0 {
+			e.timers[r].ByCat[ev.msg.Cat] += ev.recvOver
+			e.clocks[r] += ev.recvOver
+		}
+		e.handlers[r].OnMessage(ctxs[r], ev.msg)
+	}
+	for r := 0; r < n; r++ {
+		if !e.handlers[r].Done() {
+			return nil, fmt.Errorf("runtime: deadlock — rank %d expects more messages at quiescence", r)
+		}
+	}
+	res := &Result{
+		Clocks: append([]float64(nil), e.clocks...),
+		Timers: make([]Timers, n),
+	}
+	copy(res.Timers, e.timers)
+	return res, nil
+}
+
+func (e *Engine) send(src int, m Msg) {
+	if m.Dst < 0 || m.Dst >= len(e.handlers) {
+		panic(fmt.Sprintf("runtime: send to rank %d of %d", m.Dst, len(e.handlers)))
+	}
+	over, lat, recvOver := e.net.Cost(src, m.Dst, m.Bytes)
+	e.timers[src].MsgsSent[m.Cat]++
+	e.timers[src].BytesSent[m.Cat] += m.Bytes
+	e.timers[src].ByCat[m.Cat] += over
+	e.clocks[src] += over
+	e.pushRecv(e.clocks[src]+lat, recvOver, m)
+}
+
+func (e *Engine) sendAfter(src int, delay float64, m Msg) {
+	if m.Dst < 0 || m.Dst >= len(e.handlers) {
+		panic(fmt.Sprintf("runtime: sendAfter to rank %d of %d", m.Dst, len(e.handlers)))
+	}
+	if delay < 0 {
+		panic("runtime: negative sendAfter delay")
+	}
+	if m.Dst != src {
+		e.timers[src].MsgsSent[m.Cat]++
+		e.timers[src].BytesSent[m.Cat] += m.Bytes
+	}
+	e.push(e.clocks[src]+delay, m)
+}
+
+func (e *Engine) after(src int, delay float64, tag int, data any) {
+	if delay < 0 {
+		panic("runtime: negative After delay")
+	}
+	e.push(e.clocks[src]+delay, Msg{Src: src, Dst: src, Tag: tag, Cat: CatFP, Data: data})
+}
+
+func (e *Engine) push(t float64, m Msg) { e.pushRecv(t, 0, m) }
+
+func (e *Engine) pushRecv(t, recvOver float64, m Msg) {
+	e.seq++
+	heap.Push(&e.queue, event{time: t, seq: e.seq, recvOver: recvOver, msg: m})
+}
+
+func (e *Engine) compute(rank int, seconds float64, f func()) {
+	if seconds < 0 {
+		panic("runtime: negative compute time")
+	}
+	e.timers[rank].ByCat[CatFP] += seconds
+	e.clocks[rank] += seconds
+	if f != nil {
+		f()
+	}
+}
+
+func (e *Engine) elapse(rank int, cat Category, seconds float64) {
+	if seconds < 0 {
+		panic("runtime: negative elapse time")
+	}
+	e.timers[rank].ByCat[cat] += seconds
+	e.clocks[rank] += seconds
+}
+
+func (e *Engine) now(rank int) float64 { return e.clocks[rank] }
+
+func (e *Engine) mark(rank int, key string) {
+	if e.timers[rank].Marks == nil {
+		e.timers[rank].Marks = make(map[string]float64)
+	}
+	e.timers[rank].Marks[key] = e.clocks[rank]
+}
+
+func (e *Engine) isVirtual() bool { return true }

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is the real-parallelism backend: one goroutine per rank, unbounded
+// in-memory inboxes, wall-clock timing. It runs the same handlers as the
+// Engine, providing true shared-memory parallel execution for the examples
+// and the testing.B wall-clock benchmarks.
+type Pool struct {
+	// Timeout aborts a run that stops making progress (a handler waiting
+	// for a message that never comes). Zero means 60s.
+	Timeout time.Duration
+}
+
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Msg
+	closed bool
+}
+
+func newInbox() *inbox {
+	b := &inbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) put(m Msg) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// get blocks until a message arrives or the inbox is closed.
+func (b *inbox) get() (Msg, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.queue) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.queue) == 0 {
+		return Msg{}, false
+	}
+	m := b.queue[0]
+	b.queue = b.queue[1:]
+	return m, true
+}
+
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *inbox) pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+type poolShared struct {
+	start    time.Time
+	inboxes  []*inbox
+	timers   []Timers
+	clocks   []float64
+	panicked atomic.Value // first panic message
+}
+
+// poolCtx adapts one rank's view of the pool to the backend interface.
+type poolCtx struct {
+	s    *poolShared
+	rank int
+}
+
+func (p *poolCtx) send(src int, m Msg) {
+	if m.Dst < 0 || m.Dst >= len(p.s.inboxes) {
+		panic(fmt.Sprintf("runtime: send to rank %d of %d", m.Dst, len(p.s.inboxes)))
+	}
+	p.s.timers[src].MsgsSent[m.Cat]++
+	p.s.timers[src].BytesSent[m.Cat] += m.Bytes
+	p.s.inboxes[m.Dst].put(m)
+}
+
+func (p *poolCtx) after(int, float64, int, any) {
+	panic("runtime: Ctx.After requires the simulation backend (Engine)")
+}
+
+func (p *poolCtx) sendAfter(int, float64, Msg) {
+	panic("runtime: Ctx.SendAfter requires the simulation backend (Engine)")
+}
+
+func (p *poolCtx) compute(rank int, _ float64, f func()) {
+	t0 := time.Now()
+	if f != nil {
+		f()
+	}
+	p.s.timers[rank].ByCat[CatFP] += time.Since(t0).Seconds()
+}
+
+func (p *poolCtx) elapse(int, Category, float64) {} // real time flows on its own
+
+func (p *poolCtx) now(int) float64 { return time.Since(p.s.start).Seconds() }
+
+func (p *poolCtx) mark(rank int, key string) {
+	if p.s.timers[rank].Marks == nil {
+		p.s.timers[rank].Marks = make(map[string]float64)
+	}
+	p.s.timers[rank].Marks[key] = p.now(rank)
+}
+
+func (p *poolCtx) isVirtual() bool { return false }
+
+// Run executes one handler per rank until every handler reports Done. It
+// returns an error on timeout (suspected deadlock), on a handler panic, or
+// if messages remain queued for ranks that finished early (a protocol bug:
+// the algorithms know their exact message counts).
+func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 60 * time.Second
+	}
+	s := &poolShared{
+		start:   time.Now(),
+		inboxes: make([]*inbox, n),
+		timers:  make([]Timers, n),
+		clocks:  make([]float64, n),
+	}
+	for i := range s.inboxes {
+		s.inboxes[i] = newInbox()
+	}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.panicked.CompareAndSwap(nil, fmt.Sprintf("rank %d: %v", rank, rec))
+					// Unblock everyone so the run can fail fast.
+					for _, b := range s.inboxes {
+						b.close()
+					}
+				}
+			}()
+			h := newHandler(rank)
+			ctx := &Ctx{rank: rank, b: &poolCtx{s: s, rank: rank}}
+			h.Init(ctx)
+			for !h.Done() {
+				t0 := time.Now()
+				m, ok := s.inboxes[rank].get()
+				if !ok {
+					if s.panicked.Load() == nil && !h.Done() {
+						s.panicked.CompareAndSwap(nil, fmt.Sprintf("rank %d: inbox closed while expecting messages", rank))
+					}
+					return
+				}
+				s.timers[rank].ByCat[m.Cat] += time.Since(t0).Seconds()
+				h.OnMessage(ctx, m)
+			}
+			s.clocks[rank] = time.Since(s.start).Seconds()
+		}(r)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		for _, b := range s.inboxes {
+			b.close()
+		}
+		<-done
+		return nil, fmt.Errorf("runtime: pool run timed out after %v (deadlock?)", timeout)
+	}
+	if msg := s.panicked.Load(); msg != nil {
+		return nil, fmt.Errorf("runtime: %v", msg)
+	}
+	for r, b := range s.inboxes {
+		if pend := b.pending(); pend != 0 {
+			return nil, fmt.Errorf("runtime: %d stray messages for finished rank %d", pend, r)
+		}
+	}
+	res := &Result{Clocks: s.clocks, Timers: s.timers}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+// Package runtime executes message-driven per-rank algorithms under two
+// interchangeable backends:
+//
+//   - Engine: a deterministic discrete-event simulator in which every rank
+//     carries a virtual clock, message delivery costs follow a pluggable
+//     network model, and per-rank time is attributed to floating-point
+//     work, intra-grid (XY) communication, or inter-grid (Z)
+//     communication. This backend regenerates the paper's figures.
+//   - Pool: a real goroutine-per-rank backend exchanging messages over
+//     in-memory queues, used for wall-clock benchmarks on the host machine.
+//
+// Both backends run the same Handler implementations, which perform the
+// actual numeric work — every simulated experiment is also a bit-exact
+// correctness run.
+package runtime
+
+import "fmt"
+
+// Category classifies where a rank's time goes, matching the breakdown in
+// the paper's Figs. 5–6 (FP-Operation, XY-Comm, Z-Comm).
+type Category int
+
+const (
+	CatFP Category = iota // floating-point block operations
+	CatXY                 // intra-grid communication
+	CatZ                  // inter-grid communication
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatFP:
+		return "FP-Operation"
+	case CatXY:
+		return "XY-Comm"
+	case CatZ:
+		return "Z-Comm"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Msg is a point-to-point message. Data carries real payload (the handlers
+// do real numerics); Bytes is the modeled wire size used by the network
+// model. The sender must not retain or mutate Data after sending.
+type Msg struct {
+	Src, Dst int
+	Tag      int
+	Cat      Category
+	Data     any
+	Bytes    int
+}
+
+// Handler is one rank's algorithm state machine. Implementations must be
+// driven entirely by Init and OnMessage (the paper's Algorithms 3 and 5 are
+// already in this form: fmod counters plus a blocking any-source receive
+// loop).
+type Handler interface {
+	// Init runs once at time zero, before any delivery.
+	Init(ctx *Ctx)
+	// OnMessage processes one delivered message.
+	OnMessage(ctx *Ctx, m Msg)
+	// Done reports that the rank expects no further messages. The run
+	// finishes when every rank is done and no messages are in flight.
+	Done() bool
+}
+
+// Ctx is the per-rank facade handlers use to interact with the backend.
+type Ctx struct {
+	rank int
+	b    backend
+}
+
+// backend is implemented by Engine and Pool.
+type backend interface {
+	send(src int, m Msg)
+	sendAfter(src int, delay float64, m Msg)
+	after(src int, delay float64, tag int, data any)
+	compute(rank int, seconds float64, f func())
+	elapse(rank int, cat Category, seconds float64)
+	now(rank int) float64
+	mark(rank int, key string)
+	isVirtual() bool
+}
+
+// Rank returns the rank this context belongs to.
+func (c *Ctx) Rank() int { return c.rank }
+
+// Now returns the rank's current clock: virtual seconds under the Engine,
+// wall-clock seconds since start under the Pool.
+func (c *Ctx) Now() float64 { return c.b.now(c.rank) }
+
+// Send delivers m to m.Dst. Src is stamped automatically.
+func (c *Ctx) Send(m Msg) {
+	m.Src = c.rank
+	c.b.send(c.rank, m)
+}
+
+// SendAfter delivers m to m.Dst exactly delay seconds from now, bypassing
+// the network model — the mechanism for one-sided (NVSHMEM-style) puts
+// whose cost the GPU model computes itself. Engine backend only.
+func (c *Ctx) SendAfter(delay float64, m Msg) {
+	m.Src = c.rank
+	c.b.sendAfter(c.rank, delay, m)
+}
+
+// After schedules a self-message delivered delay seconds from now — the
+// mechanism the GPU execution model uses for task completions. Only the
+// Engine backend supports it; the Pool rejects it, since the GPU model is
+// simulation-only.
+func (c *Ctx) After(delay float64, tag int, data any) {
+	c.b.after(c.rank, delay, tag, data)
+}
+
+// Compute performs f (which may be nil) and charges the rank seconds of
+// floating-point time. Under the Engine the charge is the modeled seconds;
+// under the Pool the real execution time is recorded instead.
+func (c *Ctx) Compute(seconds float64, f func()) {
+	c.b.compute(c.rank, seconds, f)
+}
+
+// Elapse advances the rank's clock by the modeled overhead, attributed to
+// cat. The Pool backend ignores it (real overheads are already in the wall
+// clock).
+func (c *Ctx) Elapse(cat Category, seconds float64) {
+	c.b.elapse(c.rank, cat, seconds)
+}
+
+// Mark records the rank's current clock under key; stats use marks to
+// compute per-phase durations (L-solve vs U-solve, Figs. 7–10).
+func (c *Ctx) Mark(key string) { c.b.mark(c.rank, key) }
+
+// Virtual reports whether time is simulated; handlers that only make sense
+// under the Engine (the GPU models) check it.
+func (c *Ctx) Virtual() bool { return c.b.isVirtual() }
+
+// Timers accumulates a rank's attributed time and traffic.
+type Timers struct {
+	ByCat [numCategories]float64
+	Marks map[string]float64
+	// MsgsSent and BytesSent count this rank's outgoing messages per
+	// category (self-events excluded) — the message-count statistics
+	// behind the paper's tree-communication argument.
+	MsgsSent  [numCategories]int
+	BytesSent [numCategories]int
+}
+
+// Total returns the sum across categories.
+func (t *Timers) Total() float64 {
+	s := 0.0
+	for _, v := range t.ByCat {
+		s += v
+	}
+	return s
+}
+
+// Result is the outcome of a run: per-rank finishing clocks and timers.
+type Result struct {
+	Clocks []float64
+	Timers []Timers
+}
+
+// MaxClock returns the latest rank clock: the run's makespan, the quantity
+// the paper reports as SpTRSV time.
+func (r *Result) MaxClock() float64 {
+	m := 0.0
+	for _, c := range r.Clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MeanCat returns the mean over ranks of the given category, matching the
+// "averaged over all MPI ranks" breakdown plots.
+func (r *Result) MeanCat(cat Category) float64 {
+	if len(r.Timers) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range r.Timers {
+		s += r.Timers[i].ByCat[cat]
+	}
+	return s / float64(len(r.Timers))
+}
+
+// TotalMsgs sums sent messages over ranks and categories.
+func (r *Result) TotalMsgs() int {
+	n := 0
+	for i := range r.Timers {
+		for _, c := range r.Timers[i].MsgsSent {
+			n += c
+		}
+	}
+	return n
+}
+
+// TotalBytes sums sent bytes over ranks and categories.
+func (r *Result) TotalBytes() int {
+	n := 0
+	for i := range r.Timers {
+		for _, c := range r.Timers[i].BytesSent {
+			n += c
+		}
+	}
+	return n
+}
+
+// CatMsgs sums sent messages of one category over ranks.
+func (r *Result) CatMsgs(cat Category) int {
+	n := 0
+	for i := range r.Timers {
+		n += r.Timers[i].MsgsSent[cat]
+	}
+	return n
+}
+
+// MarkSpan returns per-rank durations between two marks; missing marks
+// yield 0 for that rank.
+func (r *Result) MarkSpan(from, to string) []float64 {
+	out := make([]float64, len(r.Timers))
+	for i := range r.Timers {
+		m := r.Timers[i].Marks
+		if m == nil {
+			continue
+		}
+		a, okA := m[from]
+		b, okB := m[to]
+		if okA && okB && b > a {
+			out[i] = b - a
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package snode packages LU factors into the supernodal block
+// representation of the paper's §2.1: for each supernode K, a dense unit
+// lower-triangular diagonal block L(K,K) and dense row-index blocks L(I,K)
+// below it; for U, a dense upper-triangular U(K,K) and column-index blocks
+// U(K,J) to its right, each nonzero column of full supernode height (the
+// paper's equal-column-length assumption, which fundamental supernodes on a
+// symmetric pattern satisfy exactly).
+//
+// Diagonal block inverses are precomputed, matching the paper's assumption
+// that the significant solve-time FP operations are the GEMV/GEMM calls.
+package snode
+
+import (
+	"fmt"
+
+	"sptrsv/internal/factor"
+	"sptrsv/internal/sparse"
+)
+
+// LBlock is one off-diagonal block L(I, K): Rows lists the global row
+// indices (ascending, all within supernode I), and Val is the dense
+// len(Rows) × width(K) panel.
+type LBlock struct {
+	I    int
+	Rows []int
+	Val  *sparse.Panel
+}
+
+// UBlock is one off-diagonal block U(K, J): Cols lists the global column
+// indices (ascending, within supernode J), and Val is the dense
+// width(K) × len(Cols) panel.
+type UBlock struct {
+	J    int
+	Cols []int
+	Val  *sparse.Panel
+}
+
+// Matrix is the supernodal form of the LU factors.
+type Matrix struct {
+	N       int
+	SnCount int
+	SnBegin []int // from symbolic.Structure
+	ColToSn []int
+
+	LDiagInv []*sparse.Panel // inverse of L(K,K), width×width
+	UDiagInv []*sparse.Panel // inverse of U(K,K), width×width
+	LBlocks  [][]LBlock      // per supernode K, ascending I
+	UBlocks  [][]UBlock      // per supernode K, ascending J
+}
+
+// SnWidth returns the number of columns of supernode K.
+func (m *Matrix) SnWidth(k int) int { return m.SnBegin[k+1] - m.SnBegin[k] }
+
+// Build converts scalar LU factors into supernodal block form.
+func Build(f *factor.Factors) (*Matrix, error) {
+	s := f.S
+	m := &Matrix{
+		N:       f.N,
+		SnCount: s.SnCount,
+		SnBegin: s.SnBegin,
+		ColToSn: s.ColToSn,
+	}
+	m.LDiagInv = make([]*sparse.Panel, m.SnCount)
+	m.UDiagInv = make([]*sparse.Panel, m.SnCount)
+	m.LBlocks = make([][]LBlock, m.SnCount)
+	m.UBlocks = make([][]UBlock, m.SnCount)
+
+	for k := 0; k < m.SnCount; k++ {
+		if err := m.buildSupernode(f, k); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// buildSupernode fills the diagonal inverses and off-diagonal blocks of
+// supernode K from the scalar factors.
+func (m *Matrix) buildSupernode(f *factor.Factors, k int) error {
+	s := f.S
+	b, e := m.SnBegin[k], m.SnBegin[k+1]
+	w := e - b
+
+	// Shared off-diagonal row pattern = pattern of the first column minus
+	// the in-supernode rows.
+	first := s.RowInd[s.ColPtr[b]:s.ColPtr[b+1]]
+	if len(first) < w {
+		return fmt.Errorf("snode: supernode %d pattern shorter than width", k)
+	}
+	for c := 0; c < w; c++ {
+		if first[c] != b+c {
+			return fmt.Errorf("snode: supernode %d pattern does not begin with its own columns", k)
+		}
+	}
+	shared := first[w:]
+
+	// L diagonal block (unit lower triangular) and its inverse.
+	ld := sparse.NewPanel(w, w)
+	for c := 0; c < w; c++ {
+		j := b + c
+		lo := s.ColPtr[j]
+		ld.Set(c, c, 1)
+		for r := c + 1; r < w; r++ {
+			ld.Set(r, c, f.LVal[lo+(r-c)])
+		}
+	}
+	m.LDiagInv[k] = sparse.InverseLowerUnit(ld)
+
+	// U diagonal block (upper triangular) and its inverse. U column j holds
+	// its rows ascending and ends with the diagonal; in-supernode rows
+	// b..j are the trailing j-b+1 entries.
+	ud := sparse.NewPanel(w, w)
+	for c := 0; c < w; c++ {
+		j := b + c
+		hi := f.UColPtr[j+1]
+		for r := 0; r <= c; r++ {
+			ud.Set(r, c, f.UVal[hi-1-(c-r)])
+		}
+	}
+	m.UDiagInv[k] = sparse.InverseUpper(ud)
+
+	// Off-diagonal L blocks: group shared rows by their supernode.
+	for t := 0; t < len(shared); {
+		i := m.ColToSn[shared[t]]
+		u := t
+		for u < len(shared) && m.ColToSn[shared[u]] == i {
+			u++
+		}
+		rows := shared[t:u]
+		val := sparse.NewPanel(len(rows), w)
+		for c := 0; c < w; c++ {
+			j := b + c
+			lo := s.ColPtr[j]
+			// Column j's rows are [j..e-1, shared...]; shared row t sits at
+			// offset (e-j) + t.
+			base := lo + (e - (b + c))
+			for rr := t; rr < u; rr++ {
+				val.Set(rr-t, c, f.LVal[base+rr])
+			}
+		}
+		m.LBlocks[k] = append(m.LBlocks[k], LBlock{I: i, Rows: append([]int(nil), rows...), Val: val})
+		t = u
+	}
+
+	// Off-diagonal U blocks mirror the L blocks: U(K, J) has the column
+	// list that L(J, K) has as rows. Values come from the scalar U columns:
+	// U(row, col) for row ∈ [b,e), col ∈ shared.
+	for t := 0; t < len(shared); {
+		j := m.ColToSn[shared[t]]
+		u := t
+		for u < len(shared) && m.ColToSn[shared[u]] == j {
+			u++
+		}
+		cols := shared[t:u]
+		val := sparse.NewPanel(w, len(cols))
+		for cc, col := range cols {
+			// U column `col` lists rows ascending; the rows in [b, e) form
+			// a contiguous run found by binary search.
+			lo, hi := f.UColPtr[col], f.UColPtr[col+1]
+			p := lowerBound(f.URowInd[lo:hi], b) + lo
+			for ; p < hi && f.URowInd[p] < e; p++ {
+				val.Set(f.URowInd[p]-b, cc, f.UVal[p])
+			}
+		}
+		m.UBlocks[k] = append(m.UBlocks[k], UBlock{J: j, Cols: append([]int(nil), cols...), Val: val})
+		t = u
+	}
+	return nil
+}
+
+// lowerBound returns the first index in the ascending slice a with
+// a[i] >= x, or len(a).
+func lowerBound(a []int, x int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SolveL performs the serial supernodal forward solve L·y = b, the
+// reference implementation of Eq. (1).
+func (m *Matrix) SolveL(b *sparse.Panel) *sparse.Panel {
+	nrhs := b.Cols
+	y := b.Clone()
+	for k := 0; k < m.SnCount; k++ {
+		bk, ek := m.SnBegin[k], m.SnBegin[k+1]
+		w := ek - bk
+		// y(K) = inv(L(K,K)) · rhs(K)
+		rhs := sparse.NewPanel(w, nrhs)
+		for j := 0; j < nrhs; j++ {
+			copy(rhs.Col(j), y.Col(j)[bk:ek])
+		}
+		yk := sparse.NewPanel(w, nrhs)
+		sparse.GemmAdd(m.LDiagInv[k], rhs, yk)
+		for j := 0; j < nrhs; j++ {
+			copy(y.Col(j)[bk:ek], yk.Col(j))
+		}
+		// lsum updates: y(rows) -= L(I,K)·y(K)
+		for _, blk := range m.LBlocks[k] {
+			prod := sparse.NewPanel(len(blk.Rows), nrhs)
+			sparse.GemmAdd(blk.Val, yk, prod)
+			for j := 0; j < nrhs; j++ {
+				col := y.Col(j)
+				pc := prod.Col(j)
+				for t, r := range blk.Rows {
+					col[r] -= pc[t]
+				}
+			}
+		}
+	}
+	return y
+}
+
+// SolveU performs the serial supernodal backward solve U·x = y, the
+// reference implementation of Eq. (2).
+func (m *Matrix) SolveU(y *sparse.Panel) *sparse.Panel {
+	nrhs := y.Cols
+	x := y.Clone()
+	for k := m.SnCount - 1; k >= 0; k-- {
+		bk, ek := m.SnBegin[k], m.SnBegin[k+1]
+		w := ek - bk
+		rhs := sparse.NewPanel(w, nrhs)
+		for j := 0; j < nrhs; j++ {
+			copy(rhs.Col(j), x.Col(j)[bk:ek])
+		}
+		// rhs(K) -= U(K,J)·x(J) over all blocks to the right.
+		for _, blk := range m.UBlocks[k] {
+			xj := sparse.NewPanel(len(blk.Cols), nrhs)
+			for j := 0; j < nrhs; j++ {
+				col := x.Col(j)
+				xc := xj.Col(j)
+				for t, c := range blk.Cols {
+					xc[t] = col[c]
+				}
+			}
+			sparse.GemmSub(blk.Val, xj, rhs)
+		}
+		xk := sparse.NewPanel(w, nrhs)
+		sparse.GemmAdd(m.UDiagInv[k], rhs, xk)
+		for j := 0; j < nrhs; j++ {
+			copy(x.Col(j)[bk:ek], xk.Col(j))
+		}
+	}
+	return x
+}
+
+// Solve runs the forward then backward solve: x = U⁻¹ L⁻¹ b.
+func (m *Matrix) Solve(b *sparse.Panel) *sparse.Panel {
+	return m.SolveU(m.SolveL(b))
+}

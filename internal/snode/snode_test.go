@@ -1,0 +1,250 @@
+package snode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/factor"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/symbolic"
+)
+
+func build(t *testing.T, a *sparse.CSR, opt symbolic.Options) (*factor.Factors, *Matrix) {
+	t.Helper()
+	s, err := symbolic.Analyze(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := factor.Factorize(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, m
+}
+
+func randomPanel(rng *rand.Rand, rows, cols int) *sparse.Panel {
+	p := sparse.NewPanel(rows, cols)
+	for i := range p.Data {
+		p.Data[i] = rng.NormFloat64()
+	}
+	return p
+}
+
+func TestBlockStructureInvariants(t *testing.T) {
+	a := gen.S2D9pt(16, 16, 1)
+	_, m := build(t, a, symbolic.Options{MaxSupernode: 6})
+	for k := 0; k < m.SnCount; k++ {
+		prevI := k
+		for _, blk := range m.LBlocks[k] {
+			if blk.I <= prevI {
+				t.Fatalf("supernode %d: L block order broken at I=%d", k, blk.I)
+			}
+			prevI = blk.I
+			for i, r := range blk.Rows {
+				if m.ColToSn[r] != blk.I {
+					t.Fatalf("L block (%d,%d) row %d outside supernode", blk.I, k, r)
+				}
+				if i > 0 && blk.Rows[i] <= blk.Rows[i-1] {
+					t.Fatalf("L block rows not ascending")
+				}
+			}
+			if blk.Val.Rows != len(blk.Rows) || blk.Val.Cols != m.SnWidth(k) {
+				t.Fatalf("L block panel shape mismatch")
+			}
+		}
+		prevJ := k
+		for _, blk := range m.UBlocks[k] {
+			if blk.J <= prevJ {
+				t.Fatalf("supernode %d: U block order broken", k)
+			}
+			prevJ = blk.J
+			if blk.Val.Rows != m.SnWidth(k) || blk.Val.Cols != len(blk.Cols) {
+				t.Fatalf("U block panel shape mismatch")
+			}
+		}
+	}
+}
+
+func TestUBlocksMirrorLBlocks(t *testing.T) {
+	// Pattern symmetry: U(K,J) columns == L(J,K) rows.
+	a := gen.S2D9pt(14, 14, 2)
+	_, m := build(t, a, symbolic.Options{MaxSupernode: 8})
+	for k := 0; k < m.SnCount; k++ {
+		for _, ub := range m.UBlocks[k] {
+			var lb *LBlock
+			for i := range m.LBlocks[k] {
+				if m.LBlocks[k][i].I == ub.J {
+					lb = &m.LBlocks[k][i]
+				}
+			}
+			if lb == nil {
+				t.Fatalf("U block (%d,%d) has no mirrored L block", k, ub.J)
+			}
+			if len(lb.Rows) != len(ub.Cols) {
+				t.Fatalf("mirror length mismatch")
+			}
+			for i := range lb.Rows {
+				if lb.Rows[i] != ub.Cols[i] {
+					t.Fatalf("mirror index mismatch")
+				}
+			}
+		}
+	}
+}
+
+func TestSolveMatchesScalarReference(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(80)
+		a := gen.RandomDD(rng, n, 0.12)
+		s, err := symbolic.Analyze(a, symbolic.Options{MaxSupernode: 1 + rng.Intn(10)})
+		if err != nil {
+			return false
+		}
+		f, err := factor.Factorize(a, s)
+		if err != nil {
+			return false
+		}
+		m, err := Build(f)
+		if err != nil {
+			return false
+		}
+		b := randomPanel(rng, n, 1+rng.Intn(3))
+		want := f.SolveSerial(b)
+		got := m.Solve(b)
+		return got.MaxAbsDiff(want) < 1e-8
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSuiteResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, mat := range gen.Suite(gen.Small) {
+		if mat.A.N > 1500 {
+			continue
+		}
+		tr := order.NestedDissection(mat.A, 2)
+		ap := mat.A.Permute(tr.Perm)
+		var bounds []int
+		for _, nd := range tr.Nodes {
+			bounds = append(bounds, nd.Begin, nd.End, nd.SubBegin)
+		}
+		_, m := build(t, ap, symbolic.Options{Boundaries: bounds})
+		b := randomPanel(rng, mat.A.N, 2)
+		x := m.Solve(b)
+		if r := sparse.ResidualInf(ap, x, b); r > 1e-7 {
+			t.Fatalf("%s: residual %g", mat.Name, r)
+		}
+	}
+}
+
+func TestSolveLThenUSeparately(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := gen.RandomDD(rng, 70, 0.1)
+	f, m := build(t, a, symbolic.Options{MaxSupernode: 5})
+	b := randomPanel(rng, a.N, 2)
+	y := m.SolveL(b)
+	// L·y must equal b.
+	if r := sparse.ResidualInf(f.LowerCSR(), y, b); r > 1e-9 {
+		t.Fatalf("L-solve residual %g", r)
+	}
+	x := m.SolveU(y)
+	if r := sparse.ResidualInf(f.UpperCSR(), x, y); r > 1e-9 {
+		t.Fatalf("U-solve residual %g", r)
+	}
+}
+
+func TestDiagInversesShape(t *testing.T) {
+	a := gen.S2D9pt(10, 10, 3)
+	_, m := build(t, a, symbolic.Options{MaxSupernode: 7})
+	for k := 0; k < m.SnCount; k++ {
+		w := m.SnWidth(k)
+		if m.LDiagInv[k].Rows != w || m.LDiagInv[k].Cols != w {
+			t.Fatalf("LDiagInv %d shape", k)
+		}
+		if m.UDiagInv[k].Rows != w || m.UDiagInv[k].Cols != w {
+			t.Fatalf("UDiagInv %d shape", k)
+		}
+	}
+}
+
+func TestDenseKernels(t *testing.T) {
+	// GemmAdd/Sub and triangular inverses on a hand-checked example.
+	aT := sparse.NewPanel(2, 2)
+	aT.Set(0, 0, 1)
+	aT.Set(1, 0, 2)
+	aT.Set(1, 1, 1) // unit lower [[1,0],[2,1]]
+	inv := sparse.InverseLowerUnit(aT)
+	if inv.At(1, 0) != -2 || inv.At(0, 0) != 1 || inv.At(1, 1) != 1 {
+		t.Fatalf("InverseLowerUnit wrong: %+v", inv.Data)
+	}
+	u := sparse.NewPanel(2, 2)
+	u.Set(0, 0, 2)
+	u.Set(0, 1, 4)
+	u.Set(1, 1, 8)
+	uinv := sparse.InverseUpper(u)
+	// [[2,4],[0,8]]⁻¹ = [[0.5, -0.25], [0, 0.125]]
+	if uinv.At(0, 0) != 0.5 || uinv.At(0, 1) != -0.25 || uinv.At(1, 1) != 0.125 {
+		t.Fatalf("InverseUpper wrong: %+v", uinv.Data)
+	}
+	c := sparse.NewPanel(2, 2)
+	sparse.GemmAdd(u, uinv, c)
+	if c.At(0, 0) != 1 || c.At(1, 1) != 1 || c.At(0, 1) != 0 || c.At(1, 0) != 0 {
+		t.Fatalf("U·U⁻¹ != I: %+v", c.Data)
+	}
+	sparse.GemmSub(u, uinv, c)
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatalf("GemmSub failed to cancel: %+v", c.Data)
+		}
+	}
+}
+
+func TestTriangularInversesRandomProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		l := sparse.NewPanel(n, n)
+		u := sparse.NewPanel(n, n)
+		for i := 0; i < n; i++ {
+			l.Set(i, i, 1)
+			u.Set(i, i, 1+rng.Float64())
+			for j := 0; j < i; j++ {
+				l.Set(i, j, rng.NormFloat64())
+				u.Set(j, i, rng.NormFloat64())
+			}
+		}
+		for name, pair := range map[string][2]*sparse.Panel{
+			"l": {l, sparse.InverseLowerUnit(l)},
+			"u": {u, sparse.InverseUpper(u)},
+		} {
+			prod := sparse.NewPanel(n, n)
+			sparse.GemmAdd(pair[0], pair[1], prod)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want := 0.0
+					if i == j {
+						want = 1
+					}
+					if d := prod.At(i, j) - want; d > 1e-8 || d < -1e-8 {
+						_ = name
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

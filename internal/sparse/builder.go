@@ -1,0 +1,78 @@
+// Package sparse provides the sparse-matrix kernels used throughout the
+// SpTRSV reproduction: compressed sparse row/column storage, a coordinate
+// builder, dense right-hand-side panels, and the small set of numeric
+// operations (matvec, transpose, residual norms) the solvers and tests need.
+//
+// All matrices are square with float64 values. Indices are 0-based.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one coordinate-format nonzero.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Builder accumulates coordinate entries and assembles them into CSR form.
+// Duplicate (row, col) entries are summed, which makes finite-element style
+// assembly convenient for the matrix generators.
+type Builder struct {
+	n       int
+	entries []Entry
+}
+
+// NewBuilder returns a Builder for an n×n matrix.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// N returns the matrix dimension.
+func (b *Builder) N() int { return b.n }
+
+// Add appends the value v at (row, col). It panics on out-of-range indices:
+// generator bugs should fail loudly, not produce a malformed matrix.
+func (b *Builder) Add(row, col int, v float64) {
+	if row < 0 || row >= b.n || col < 0 || col >= b.n {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for n=%d", row, col, b.n))
+	}
+	b.entries = append(b.entries, Entry{row, col, v})
+}
+
+// Len reports the number of accumulated entries (before deduplication).
+func (b *Builder) Len() int { return len(b.entries) }
+
+// ToCSR assembles the accumulated entries into a CSR matrix, summing
+// duplicates. Explicit zeros are kept: the symbolic machinery treats every
+// stored entry as structurally nonzero.
+func (b *Builder) ToCSR() *CSR {
+	es := b.entries
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Row != es[j].Row {
+			return es[i].Row < es[j].Row
+		}
+		return es[i].Col < es[j].Col
+	})
+	rowPtr := make([]int, b.n+1)
+	colInd := make([]int, 0, len(es))
+	val := make([]float64, 0, len(es))
+	for i := 0; i < len(es); {
+		j := i + 1
+		sum := es[i].Val
+		for j < len(es) && es[j].Row == es[i].Row && es[j].Col == es[i].Col {
+			sum += es[j].Val
+			j++
+		}
+		colInd = append(colInd, es[i].Col)
+		val = append(val, sum)
+		rowPtr[es[i].Row+1]++
+		i = j
+	}
+	for r := 0; r < b.n; r++ {
+		rowPtr[r+1] += rowPtr[r]
+	}
+	return &CSR{N: b.n, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}

@@ -1,0 +1,26 @@
+package sparse
+
+// CSC is a square sparse matrix in compressed sparse column format. Row
+// indices within each column are strictly increasing.
+type CSC struct {
+	N      int
+	ColPtr []int
+	RowInd []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.RowInd) }
+
+// Col returns the row indices and values of column c as sub-slices.
+func (m *CSC) Col(c int) ([]int, []float64) {
+	lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+	return m.RowInd[lo:hi], m.Val[lo:hi]
+}
+
+// ToCSR converts to compressed sparse row format.
+func (m *CSC) ToCSR() *CSR {
+	asCSR := &CSR{N: m.N, RowPtr: m.ColPtr, ColInd: m.RowInd, Val: m.Val}
+	t := asCSR.Transpose()
+	return t
+}

@@ -1,0 +1,152 @@
+package sparse
+
+import "fmt"
+
+// CSR is a square sparse matrix in compressed sparse row format. Column
+// indices within each row are strictly increasing.
+type CSR struct {
+	N      int
+	RowPtr []int // length N+1
+	ColInd []int // length nnz
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.ColInd) }
+
+// Row returns the column indices and values of row r as sub-slices; the
+// caller must not modify the index slice.
+func (m *CSR) Row(r int) ([]int, []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColInd[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (r, c), or 0 if the entry is not stored.
+// It is O(nnz(row)) and intended for tests and small matrices.
+func (m *CSR) At(r, c int) float64 {
+	cols, vals := m.Row(r)
+	for i, cc := range cols {
+		if cc == c {
+			return vals[i]
+		}
+	}
+	return 0
+}
+
+// MatVec computes y = A·x.
+func (m *CSR) MatVec(x, y []float64) {
+	if len(x) != m.N || len(y) != m.N {
+		panic("sparse: MatVec dimension mismatch")
+	}
+	for r := 0; r < m.N; r++ {
+		s := 0.0
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			s += m.Val[i] * x[m.ColInd[i]]
+		}
+		y[r] = s
+	}
+}
+
+// MatPanel computes Y = A·X for column-major panels with nrhs columns.
+func (m *CSR) MatPanel(x, y *Panel) {
+	if x.Rows != m.N || y.Rows != m.N || x.Cols != y.Cols {
+		panic("sparse: MatPanel dimension mismatch")
+	}
+	for j := 0; j < x.Cols; j++ {
+		m.MatVec(x.Col(j), y.Col(j))
+	}
+}
+
+// Transpose returns Aᵀ in CSR form.
+func (m *CSR) Transpose() *CSR {
+	n := m.N
+	rowPtr := make([]int, n+1)
+	for _, c := range m.ColInd {
+		rowPtr[c+1]++
+	}
+	for r := 0; r < n; r++ {
+		rowPtr[r+1] += rowPtr[r]
+	}
+	colInd := make([]int, len(m.ColInd))
+	val := make([]float64, len(m.Val))
+	next := make([]int, n)
+	copy(next, rowPtr[:n])
+	for r := 0; r < n; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			c := m.ColInd[i]
+			p := next[c]
+			colInd[p] = r
+			val[p] = m.Val[i]
+			next[c]++
+		}
+	}
+	return &CSR{N: n, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// ToCSC converts to compressed sparse column format.
+func (m *CSR) ToCSC() *CSC {
+	t := m.Transpose()
+	return &CSC{N: t.N, ColPtr: t.RowPtr, RowInd: t.ColInd, Val: t.Val}
+}
+
+// SymmetrizePattern returns a matrix with the pattern of A + Aᵀ and the
+// values of A where A has entries (and 0 in positions only present in Aᵀ).
+// The supernodal layer assumes a structurally symmetric matrix, matching the
+// paper's assumption; generators that are already symmetric pass through
+// with identical pattern.
+func (m *CSR) SymmetrizePattern() *CSR {
+	t := m.Transpose()
+	b := NewBuilder(m.N)
+	for r := 0; r < m.N; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			b.Add(r, c, vals[i])
+		}
+		tcols, _ := t.Row(r)
+		for _, c := range tcols {
+			b.Add(r, c, 0)
+		}
+	}
+	return b.ToCSR()
+}
+
+// Permute returns the symmetric permutation of A in which entry (r, c)
+// lands at (perm[r], perm[c]); perm[i] is the new index of original
+// row/column i (a scatter permutation).
+func (m *CSR) Permute(perm []int) *CSR {
+	if len(perm) != m.N {
+		panic("sparse: Permute length mismatch")
+	}
+	b := NewBuilder(m.N)
+	for r := 0; r < m.N; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			b.Add(perm[r], perm[c], vals[i])
+		}
+	}
+	return b.ToCSR()
+}
+
+// CheckValid verifies structural invariants; tests call it after assembly.
+func (m *CSR) CheckValid() error {
+	if len(m.RowPtr) != m.N+1 || m.RowPtr[0] != 0 || m.RowPtr[m.N] != len(m.ColInd) {
+		return fmt.Errorf("sparse: bad RowPtr")
+	}
+	for r := 0; r < m.N; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		if lo > hi {
+			return fmt.Errorf("sparse: row %d has negative length", r)
+		}
+		for i := lo; i < hi; i++ {
+			if m.ColInd[i] < 0 || m.ColInd[i] >= m.N {
+				return fmt.Errorf("sparse: row %d has out-of-range column %d", r, m.ColInd[i])
+			}
+			if i > lo && m.ColInd[i] <= m.ColInd[i-1] {
+				return fmt.Errorf("sparse: row %d columns not strictly increasing", r)
+			}
+		}
+	}
+	return nil
+}

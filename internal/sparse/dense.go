@@ -1,0 +1,98 @@
+package sparse
+
+// Dense kernels on column-major panels. These are the GEMM/TRSM building
+// blocks of the supernodal solver; block sizes are small (supernode width ×
+// nrhs), so simple triple loops are appropriate.
+
+// GemmAdd computes C += A·B for column-major panels, where A is m×k, B is
+// k×n, and C is m×n.
+func GemmAdd(a, b, c *Panel) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic("sparse: GemmAdd shape mismatch")
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for j := 0; j < n; j++ {
+		bj := b.Col(j)
+		cj := c.Col(j)
+		for l := 0; l < k; l++ {
+			blj := bj[l]
+			if blj == 0 {
+				continue
+			}
+			al := a.Col(l)
+			for i := 0; i < m; i++ {
+				cj[i] += al[i] * blj
+			}
+		}
+	}
+}
+
+// GemmSub computes C -= A·B.
+func GemmSub(a, b, c *Panel) {
+	if a.Cols != b.Rows || a.Rows != c.Rows || b.Cols != c.Cols {
+		panic("sparse: GemmSub shape mismatch")
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	for j := 0; j < n; j++ {
+		bj := b.Col(j)
+		cj := c.Col(j)
+		for l := 0; l < k; l++ {
+			blj := bj[l]
+			if blj == 0 {
+				continue
+			}
+			al := a.Col(l)
+			for i := 0; i < m; i++ {
+				cj[i] -= al[i] * blj
+			}
+		}
+	}
+}
+
+// GemmFlops returns the floating-point operation count of one GemmAdd/Sub
+// with the given shapes; the machine models consume it.
+func GemmFlops(m, k, n int) float64 { return 2 * float64(m) * float64(k) * float64(n) }
+
+// InverseLowerUnit returns the dense inverse of a unit lower-triangular
+// t×t panel (the strict lower part is read; the diagonal is taken as 1).
+func InverseLowerUnit(t *Panel) *Panel {
+	n := t.Rows
+	if t.Cols != n {
+		panic("sparse: InverseLowerUnit needs a square panel")
+	}
+	inv := NewPanel(n, n)
+	for j := 0; j < n; j++ {
+		col := inv.Col(j)
+		col[j] = 1
+		for i := j + 1; i < n; i++ {
+			s := 0.0
+			for k := j; k < i; k++ {
+				s += t.At(i, k) * col[k]
+			}
+			col[i] = -s
+		}
+	}
+	return inv
+}
+
+// InverseUpper returns the dense inverse of an upper-triangular t×t panel
+// with nonzero diagonal.
+func InverseUpper(t *Panel) *Panel {
+	n := t.Rows
+	if t.Cols != n {
+		panic("sparse: InverseUpper needs a square panel")
+	}
+	inv := NewPanel(n, n)
+	for j := n - 1; j >= 0; j-- {
+		col := inv.Col(j)
+		col[j] = 1 / t.At(j, j)
+		for i := j - 1; i >= 0; i-- {
+			s := 0.0
+			for k := i + 1; k <= j; k++ {
+				s += t.At(i, k) * col[k]
+			}
+			col[i] = -s / t.At(i, i)
+		}
+	}
+	return inv
+}

@@ -1,0 +1,113 @@
+package sparse
+
+import "math"
+
+// Panel is a dense rows×cols matrix stored column-major. It represents
+// right-hand sides and solution vectors with one or more columns (the
+// paper's nrhs parameter), and the dense supernode blocks reuse the layout.
+type Panel struct {
+	Rows, Cols int
+	Data       []float64 // column-major, len Rows*Cols
+}
+
+// NewPanel allocates a zeroed rows×cols panel.
+func NewPanel(rows, cols int) *Panel {
+	return &Panel{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Col returns column j as a slice aliasing the panel storage.
+func (p *Panel) Col(j int) []float64 {
+	return p.Data[j*p.Rows : (j+1)*p.Rows]
+}
+
+// At returns the element at (i, j).
+func (p *Panel) At(i, j int) float64 { return p.Data[j*p.Rows+i] }
+
+// Set stores v at (i, j).
+func (p *Panel) Set(i, j int, v float64) { p.Data[j*p.Rows+i] = v }
+
+// Clone returns a deep copy.
+func (p *Panel) Clone() *Panel {
+	q := NewPanel(p.Rows, p.Cols)
+	copy(q.Data, p.Data)
+	return q
+}
+
+// Zero clears every element.
+func (p *Panel) Zero() {
+	for i := range p.Data {
+		p.Data[i] = 0
+	}
+}
+
+// AddFrom accumulates q into p elementwise.
+func (p *Panel) AddFrom(q *Panel) {
+	if p.Rows != q.Rows || p.Cols != q.Cols {
+		panic("sparse: AddFrom shape mismatch")
+	}
+	for i, v := range q.Data {
+		p.Data[i] += v
+	}
+}
+
+// MaxAbsDiff returns max |p - q| over all elements.
+func (p *Panel) MaxAbsDiff(q *Panel) float64 {
+	if p.Rows != q.Rows || p.Cols != q.Cols {
+		panic("sparse: MaxAbsDiff shape mismatch")
+	}
+	m := 0.0
+	for i := range p.Data {
+		if d := math.Abs(p.Data[i] - q.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PermuteRows returns the panel with row i of the result taken from row
+// old(i); perm maps original index to permuted index (scatter), matching
+// CSR.Permute: result.Row(perm[i]) = p.Row(i).
+func (p *Panel) PermuteRows(perm []int) *Panel {
+	q := NewPanel(p.Rows, p.Cols)
+	for j := 0; j < p.Cols; j++ {
+		src, dst := p.Col(j), q.Col(j)
+		for i := 0; i < p.Rows; i++ {
+			dst[perm[i]] = src[i]
+		}
+	}
+	return q
+}
+
+// InversePerm returns the inverse permutation of perm.
+func InversePerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// VecNormInf returns the max-norm of v.
+func VecNormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ResidualInf computes ‖A·x − b‖∞ column-wise and returns the largest value,
+// the standard acceptance check in the integration tests.
+func ResidualInf(a *CSR, x, b *Panel) float64 {
+	ax := NewPanel(x.Rows, x.Cols)
+	a.MatPanel(x, ax)
+	worst := 0.0
+	for i := range ax.Data {
+		if d := math.Abs(ax.Data[i] - b.Data[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,246 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCSR(rng *rand.Rand, n int, density float64) *CSR {
+	b := NewBuilder(n)
+	for r := 0; r < n; r++ {
+		b.Add(r, r, float64(n)) // strong diagonal
+		for c := 0; c < n; c++ {
+			if c != r && rng.Float64() < density {
+				b.Add(r, c, rng.NormFloat64())
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(1, 2, 1.5)
+	b.Add(1, 2, 2.5)
+	b.Add(0, 0, 1)
+	m := b.ToCSR()
+	if got := m.At(1, 2); got != 4.0 {
+		t.Fatalf("duplicate sum: got %v, want 4", got)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz: got %d, want 2", m.NNZ())
+	}
+	if err := m.CheckValid(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range entry")
+		}
+	}()
+	NewBuilder(2).Add(2, 0, 1)
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomCSR(rng, 30, 0.2)
+	tt := m.Transpose().Transpose()
+	if m.NNZ() != tt.NNZ() {
+		t.Fatalf("nnz changed: %d vs %d", m.NNZ(), tt.NNZ())
+	}
+	for r := 0; r < m.N; r++ {
+		for c := 0; c < m.N; c++ {
+			if m.At(r, c) != tt.At(r, c) {
+				t.Fatalf("(%d,%d): %v vs %v", r, c, m.At(r, c), tt.At(r, c))
+			}
+		}
+	}
+}
+
+func TestTransposeMatVecAdjoint(t *testing.T) {
+	// Property: ⟨Ax, y⟩ == ⟨x, Aᵀy⟩.
+	rng := rand.New(rand.NewSource(2))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(40)
+		m := randomCSR(r, n, 0.15)
+		mt := m.Transpose()
+		x := make([]float64, n)
+		y := make([]float64, n)
+		ax := make([]float64, n)
+		aty := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		m.MatVec(x, ax)
+		mt.MatVec(y, aty)
+		var lhs, rhs float64
+		for i := range x {
+			lhs += ax[i] * y[i]
+			rhs += x[i] * aty[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-8*(1+math.Abs(lhs))
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 25, 0.2)
+	back := m.ToCSC().ToCSR()
+	for r := 0; r < m.N; r++ {
+		for c := 0; c < m.N; c++ {
+			if m.At(r, c) != back.At(r, c) {
+				t.Fatalf("(%d,%d) mismatch after CSC round trip", r, c)
+			}
+		}
+	}
+}
+
+func TestCSCColAccess(t *testing.T) {
+	b := NewBuilder(4)
+	b.Add(0, 1, 2)
+	b.Add(3, 1, 5)
+	b.Add(2, 2, 7)
+	csc := b.ToCSR().ToCSC()
+	rows, vals := csc.Col(1)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 3 || vals[0] != 2 || vals[1] != 5 {
+		t.Fatalf("column 1 = %v %v", rows, vals)
+	}
+}
+
+func TestSymmetrizePattern(t *testing.T) {
+	b := NewBuilder(3)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	b.Add(2, 2, 1)
+	b.Add(0, 2, 3) // only upper entry
+	m := b.ToCSR().SymmetrizePattern()
+	if m.At(0, 2) != 3 {
+		t.Fatalf("original value lost: %v", m.At(0, 2))
+	}
+	// (2,0) must now be structurally present with value 0.
+	cols, _ := m.Row(2)
+	found := false
+	for _, c := range cols {
+		if c == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("symmetrized pattern missing (2,0)")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(20)
+		m := randomCSR(r, n, 0.25)
+		perm := r.Perm(n)
+		inv := InversePerm(perm)
+		back := m.Permute(perm).Permute(inv)
+		for row := 0; row < n; row++ {
+			for c := 0; c < n; c++ {
+				if m.At(row, c) != back.At(row, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermuteMatVecConsistency(t *testing.T) {
+	// (PAPᵀ)(Px) == P(Ax)
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	m := randomCSR(rng, n, 0.2)
+	perm := rng.Perm(n)
+	pm := m.Permute(perm)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ax := make([]float64, n)
+	m.MatVec(x, ax)
+	px := make([]float64, n)
+	pax := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[perm[i]] = x[i]
+		pax[perm[i]] = ax[i]
+	}
+	got := make([]float64, n)
+	pm.MatVec(px, got)
+	for i := range got {
+		if math.Abs(got[i]-pax[i]) > 1e-10 {
+			t.Fatalf("row %d: %v vs %v", i, got[i], pax[i])
+		}
+	}
+}
+
+func TestPanelBasics(t *testing.T) {
+	p := NewPanel(3, 2)
+	p.Set(2, 1, 7)
+	if p.At(2, 1) != 7 || p.Col(1)[2] != 7 {
+		t.Fatal("panel indexing broken")
+	}
+	q := p.Clone()
+	q.Set(0, 0, 1)
+	if p.At(0, 0) != 0 {
+		t.Fatal("Clone aliases storage")
+	}
+	p.AddFrom(q)
+	if p.At(0, 0) != 1 || p.At(2, 1) != 14 {
+		t.Fatal("AddFrom wrong")
+	}
+	p.Zero()
+	if VecNormInf(p.Data) != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestPanelPermuteRows(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 3 + r.Intn(15)
+		p := NewPanel(rows, 2)
+		for i := range p.Data {
+			p.Data[i] = r.NormFloat64()
+		}
+		perm := r.Perm(rows)
+		back := p.PermuteRows(perm).PermuteRows(InversePerm(perm))
+		return p.MaxAbsDiff(back) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualInf(t *testing.T) {
+	b := NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 3)
+	a := b.ToCSR()
+	x := NewPanel(2, 1)
+	x.Set(0, 0, 1)
+	x.Set(1, 0, 1)
+	rhs := NewPanel(2, 1)
+	rhs.Set(0, 0, 2)
+	rhs.Set(1, 0, 4) // off by 1 in the second row
+	if r := ResidualInf(a, x, rhs); math.Abs(r-1) > 1e-15 {
+		t.Fatalf("residual = %v, want 1", r)
+	}
+}

@@ -1,0 +1,175 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sptrsv/internal/gen"
+	"sptrsv/internal/order"
+	"sptrsv/internal/sparse"
+)
+
+// naiveFill computes the filled lower pattern by dense Gaussian elimination
+// on the pattern — the ground truth for small matrices.
+func naiveFill(a *sparse.CSR) [][]bool {
+	n := a.N
+	p := make([][]bool, n)
+	for i := range p {
+		p[i] = make([]bool, n)
+		cols, _ := a.Row(i)
+		for _, c := range cols {
+			p[i][c] = true
+		}
+		p[i][i] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			if p[i][k] {
+				for j := k + 1; j < n; j++ {
+					if p[k][j] {
+						p[i][j] = true
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+func analyze(t *testing.T, a *sparse.CSR, opt Options) *Structure {
+	t.Helper()
+	s, err := Analyze(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckStructure(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFillMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := gen.RandomDD(rng, n, 0.15)
+		s, err := Analyze(a, Options{})
+		if err != nil {
+			return false
+		}
+		truth := naiveFill(a)
+		for j := 0; j < n; j++ {
+			rows := s.RowInd[s.ColPtr[j]:s.ColPtr[j+1]]
+			have := map[int]bool{}
+			for _, r := range rows {
+				have[r] = true
+			}
+			for r := j; r < n; r++ {
+				if truth[r][j] != have[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := gen.RandomDD(rng, 50, 0.1)
+	s := analyze(t, a, Options{})
+	truth := naiveFill(a)
+	for j := 0; j < a.N; j++ {
+		want := -1
+		for r := j + 1; r < a.N; r++ {
+			if truth[r][j] {
+				want = r
+				break
+			}
+		}
+		if s.Parent[j] != want {
+			t.Fatalf("parent[%d] = %d, want %d", j, s.Parent[j], want)
+		}
+	}
+}
+
+func TestSupernodesCoverColumns(t *testing.T) {
+	a := gen.S2D9pt(20, 20, 1)
+	s := analyze(t, a, Options{MaxSupernode: 8})
+	if s.SnBegin[0] != 0 || s.SnBegin[s.SnCount] != a.N {
+		t.Fatal("supernodes do not tile the columns")
+	}
+	for k := 0; k < s.SnCount; k++ {
+		if s.SnCols(k) <= 0 || s.SnCols(k) > 8 {
+			t.Fatalf("supernode %d has width %d", k, s.SnCols(k))
+		}
+		for j := s.SnBegin[k]; j < s.SnBegin[k+1]; j++ {
+			if s.ColToSn[j] != k {
+				t.Fatalf("ColToSn[%d] = %d, want %d", j, s.ColToSn[j], k)
+			}
+		}
+	}
+}
+
+func TestBoundariesRespected(t *testing.T) {
+	a := gen.S2D9pt(16, 16, 2)
+	tr := order.NestedDissection(a, 2)
+	ap := a.Permute(tr.Perm)
+	var bounds []int
+	for _, nd := range tr.Nodes {
+		bounds = append(bounds, nd.Begin, nd.End, nd.SubBegin)
+	}
+	s := analyze(t, ap, Options{Boundaries: bounds})
+	for _, b := range bounds {
+		if b == 0 || b == a.N {
+			continue
+		}
+		if s.ColToSn[b] == s.ColToSn[b-1] {
+			t.Fatalf("supernode spans boundary at column %d", b)
+		}
+	}
+}
+
+func TestDenseBlockBecomesWideSupernode(t *testing.T) {
+	// An arrow-free dense trailing block should produce a supernode as wide
+	// as the cap allows.
+	b := sparse.NewBuilder(30)
+	for i := 0; i < 30; i++ {
+		b.Add(i, i, 10)
+	}
+	for i := 20; i < 30; i++ {
+		for j := 20; j < 30; j++ {
+			if i != j {
+				b.Add(i, j, 0.1)
+			}
+		}
+	}
+	s := analyze(t, b.ToCSR(), Options{MaxSupernode: 48})
+	last := s.SnCount - 1
+	if s.SnCols(last) != 10 {
+		t.Fatalf("trailing dense supernode width %d, want 10", s.SnCols(last))
+	}
+}
+
+func TestFillNNZSymmetricIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := gen.RandomDD(rng, 60, 0.1)
+	s := analyze(t, a, Options{})
+	if s.FillNNZ() < a.NNZ()/2 {
+		t.Fatalf("fill %d smaller than half of nnz(A) %d", s.FillNNZ(), a.NNZ())
+	}
+}
+
+func TestEtreeParentAboveChild(t *testing.T) {
+	a := gen.S2D9pt(12, 12, 3)
+	s := analyze(t, a, Options{})
+	for j := 0; j < a.N; j++ {
+		if s.Parent[j] != -1 && s.Parent[j] <= j {
+			t.Fatalf("parent[%d] = %d not above child", j, s.Parent[j])
+		}
+	}
+}

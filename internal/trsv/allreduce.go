@@ -1,0 +1,246 @@
+package trsv
+
+import (
+	"fmt"
+
+	"sptrsv/internal/runtime"
+)
+
+// arHelper runs the sparse allreduce of Alg. 2 for one rank: a pairwise
+// reduce of partial y subvectors toward the smallest grid replicating each
+// node, then the mirrored pairwise broadcast. Each rank exchanges with the
+// rank holding its own 2D coordinates on the partner grid, so every rank
+// sends/receives O(log Pz) packed messages.
+//
+// Shared by the CPU and GPU variants of the proposed algorithm; the
+// exchanges ride MPI (the paper implements SparseAllReduce with MPI even in
+// the GPU code path).
+type arHelper struct {
+	r        *rankBase
+	levels   int // log2(Pz)
+	trailing int // trailing zeros of z (grid 0: levels)
+	step     int // next reduce step to receive
+	done     bool
+}
+
+func newARHelper(r *rankBase) *arHelper {
+	a := &arHelper{r: r, levels: r.p.Map.L}
+	a.trailing = trailingZeros(r.z, a.levels)
+	return a
+}
+
+// begin starts the allreduce after the L phase; it returns true when the
+// allreduce is already complete (Pz=1 or nothing to exchange and z=0 sends
+// synchronously). Partial y panels owned by this rank for replicated nodes
+// are cloned first: the originals may still be read by L-phase broadcast
+// receivers on other ranks.
+func (a *arHelper) begin(ctx *runtime.Ctx) bool {
+	r := a.r
+	if r.p.Layout.Pz == 1 {
+		a.done = true
+		return true
+	}
+	for _, k := range r.myDiagSns {
+		if r.gp.Path[r.gp.NodeOf[k]].Replicated() {
+			r.y[k] = r.y[k].Clone()
+		}
+	}
+	a.advance(ctx)
+	return a.done
+}
+
+// acceptsReduce reports whether a reduce bundle for the given step can be
+// processed now.
+func (a *arHelper) acceptsReduce(step int) bool {
+	return !a.done && step == a.step && a.step < min(a.trailing, a.levels)
+}
+
+// acceptsBcast reports whether the broadcast bundle can be processed now.
+func (a *arHelper) acceptsBcast() bool {
+	return !a.done && a.step >= min(a.trailing, a.levels)
+}
+
+// onReduce accumulates a partner's partial subvectors; returns true when
+// the whole allreduce has finished for this rank.
+func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
+	r := a.r
+	for i, k := range b.Ks {
+		yk := r.y[k]
+		if yk == nil {
+			panic(fmt.Sprintf("trsv: rank %d allreduce for unsolved y(%d)", r.rank, k))
+		}
+		yk.AddFrom(b.Vs[i])
+	}
+	a.step++
+	a.advance(ctx)
+	return a.done
+}
+
+// onBcast installs the complete subvectors and forwards them downward;
+// returns true (the broadcast receipt always completes the allreduce).
+func (a *arHelper) onBcast(ctx *runtime.Ctx, b *vecBundle) bool {
+	r := a.r
+	for i, k := range b.Ks {
+		r.y[k] = b.Vs[i]
+	}
+	a.sendBcasts(ctx, a.trailing-1)
+	a.done = true
+	return true
+}
+
+// advance executes the rank's schedule: after all expected reduce receives,
+// either forward the reduce buffer up (z≠0) and await the broadcast, or
+// start the downward broadcasts (z=0).
+func (a *arHelper) advance(ctx *runtime.Ctx) {
+	r := a.r
+	s := min(a.trailing, a.levels)
+	if a.step < s {
+		return // waiting for the next reduce bundle
+	}
+	if r.z != 0 {
+		partner := r.z - (1 << s)
+		b := a.bundle(s, a.levels-s-1, true)
+		ctx.Send(runtime.Msg{
+			Dst: r.p.GlobalRank(partner, r.r2d), Tag: tagARReduce, Cat: runtime.CatZ,
+			Data: b, Bytes: b.bytes(),
+		})
+		return // await tagARBcast
+	}
+	a.sendBcasts(ctx, a.levels-1)
+	a.done = true
+}
+
+// bundle packs this rank's owned y subvectors for nodes at tree level ≤
+// maxLevel.
+func (a *arHelper) bundle(step, maxLevel int, clone bool) *vecBundle {
+	r := a.r
+	b := &vecBundle{Step: step}
+	for _, k := range r.myDiagSns {
+		if r.gp.Path[r.gp.NodeOf[k]].Level <= maxLevel {
+			v := r.y[k]
+			if clone {
+				v = v.Clone()
+			}
+			b.Ks = append(b.Ks, k)
+			b.Vs = append(b.Vs, v)
+		}
+	}
+	return b
+}
+
+// sendBcasts emits the broadcast-phase bundles for steps from..0.
+func (a *arHelper) sendBcasts(ctx *runtime.Ctx, from int) {
+	r := a.r
+	for l := from; l >= 0; l-- {
+		partner := r.z + (1 << l)
+		b := a.bundle(l, a.levels-l-1, false)
+		ctx.Send(runtime.Msg{
+			Dst: r.p.GlobalRank(partner, r.r2d), Tag: tagARBcast, Cat: runtime.CatZ,
+			Data: b, Bytes: b.bytes(),
+		})
+	}
+}
+
+// naiveAR is the strawman inter-grid reduction the paper's §3.2 argues
+// against: one MPI_Allreduce-style collective per replicated
+// elimination-tree node, executed sequentially from the lowest shared
+// level to the root. Each collective is a recursive-doubling butterfly
+// over the node's replication set in which *every* rank of the
+// participating grids exchanges at every step, whether or not it owns
+// data — the latency and synchronization cost the packed sparse allreduce
+// (Alg. 2) eliminates.
+type naiveAR struct {
+	r    *rankBase
+	node int // current path node index being reduced (1..L)
+	step int // current butterfly step within the node
+	done bool
+}
+
+func newNaiveAR(r *rankBase) *naiveAR {
+	return &naiveAR{r: r, node: 1}
+}
+
+// span returns the replication width of path node ni.
+func (a *naiveAR) span(ni int) int { return a.r.gp.Path[ni].GridCount }
+
+// steps returns log2(span) for path node ni.
+func (a *naiveAR) steps(ni int) int {
+	n, s := a.span(ni), 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// begin clones the mutable panels and starts the first collective.
+func (a *naiveAR) begin(ctx *runtime.Ctx) bool {
+	r := a.r
+	if r.p.Layout.Pz == 1 || len(r.gp.Path) <= 1 {
+		a.done = true
+		return true
+	}
+	for _, k := range r.myDiagSns {
+		if r.gp.Path[r.gp.NodeOf[k]].Replicated() {
+			r.y[k] = r.y[k].Clone()
+		}
+	}
+	a.sendStep(ctx)
+	return a.done
+}
+
+// partner returns the butterfly partner grid for the current step.
+func (a *naiveAR) partner() int {
+	return a.r.z ^ (1 << a.step)
+}
+
+// bundle packs this rank's owned subvectors of the current node.
+func (a *naiveAR) bundle() *vecBundle {
+	r := a.r
+	b := &vecBundle{Step: a.node<<8 | a.step}
+	for _, k := range r.myDiagSns {
+		if r.gp.NodeOf[k] == a.node {
+			b.Ks = append(b.Ks, k)
+			b.Vs = append(b.Vs, r.y[k].Clone())
+		}
+	}
+	return b
+}
+
+// sendStep emits this rank's half of the current exchange.
+func (a *naiveAR) sendStep(ctx *runtime.Ctx) {
+	r := a.r
+	b := a.bundle()
+	ctx.Send(runtime.Msg{
+		Dst: r.p.GlobalRank(a.partner(), r.r2d), Tag: tagNaiveARUp, Cat: runtime.CatZ,
+		Data: b, Bytes: b.bytes(),
+	})
+}
+
+// accepts admits only the exchange for the current (node, step).
+func (a *naiveAR) accepts(m runtime.Msg) bool {
+	if a.done || m.Tag != tagNaiveARUp {
+		return false
+	}
+	return m.Data.(*vecBundle).Step == a.node<<8|a.step
+}
+
+// onMsg combines the partner's partials and advances the schedule; returns
+// true when the whole reduction has finished.
+func (a *naiveAR) onMsg(ctx *runtime.Ctx, m runtime.Msg) bool {
+	r := a.r
+	d := m.Data.(*vecBundle)
+	for i, k := range d.Ks {
+		r.y[k].AddFrom(d.Vs[i])
+	}
+	a.step++
+	if a.step >= a.steps(a.node) {
+		a.node++
+		a.step = 0
+		if a.node >= len(r.gp.Path) {
+			a.done = true
+			return true
+		}
+	}
+	a.sendStep(ctx)
+	return false
+}

@@ -1,0 +1,456 @@
+package trsv
+
+import (
+	"fmt"
+	"maps"
+	"sort"
+
+	"sptrsv/internal/dist"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+)
+
+// base3dRank implements the baseline 3D SpTRSV (Sao et al., ICS '19) for
+// one rank. Grid z (with s trailing zero bits) processes path nodes
+// 0 (leaf) through s, one at a time:
+//
+//	L-solve, node i: pre-gathered cross-node lsum + message-driven 2D solve
+//	  with one flat broadcast tree per (column, row-node) pair and a flat
+//	  within-node reduction; then a pairwise inter-grid merge of leftover
+//	  lsum rows with grid z+2^i (the per-level synchronization the proposed
+//	  algorithm eliminates);
+//	U-solve: the mirror image, top-down, with pairwise x broadcasts.
+//
+// With Pz=1 this is the classic 2D solver with flat communication.
+type base3dRank struct {
+	rankBase
+
+	phase int // 0=L, 1=await U bundle (z≠0), 2=U, 3=done
+	s     int // trailing zeros of z, capped at L = log2(Pz)
+
+	// groupMsg payloads carry the broadcast group (target node index).
+	lStage      int
+	lAwaitMerge bool
+	lRemaining  []int
+	pendingL    map[int]int
+	readyY      []int
+
+	uStage     int
+	uRemaining []int
+	pendingU   map[int]int
+	readyX     []int
+	xQueued    map[int]bool // guards against double-queueing a row
+
+	deferred []runtime.Msg
+}
+
+// groupMsg is a y/x broadcast restricted to one row-node group.
+type groupMsg struct {
+	K, G int
+	V    *sparse.Panel
+}
+
+// NewBaseline3D returns the handler factory for the baseline algorithm.
+// dist.Plan.BuildBaseline must have run (Solve does it).
+func NewBaseline3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	if err := p.BuildBaseline(); err != nil {
+		panic(err)
+	}
+	return func(rank int) runtime.Handler {
+		h := &base3dRank{}
+		h.rankBase.init(p, model, rank, b, x)
+		return h
+	}
+}
+
+func (h *base3dRank) Done() bool { return h.phase == 3 }
+
+func (h *base3dRank) base() *dist.Baseline { return h.gp.Base }
+
+func (h *base3dRank) Init(ctx *runtime.Ctx) {
+	bb := h.base()
+	h.s = bb.S
+	rd := bb.Ranks[h.r2d]
+	h.pendingL = maps.Clone(rd.PendingL)
+	h.pendingU = maps.Clone(rd.PendingU)
+	h.xQueued = make(map[int]bool)
+	h.lRemaining = append([]int(nil), rd.LRemaining...)
+	h.uRemaining = append([]int(nil), rd.URemaining...)
+
+	// Kick off the leaf node.
+	for _, k := range h.myDiagSns {
+		if h.gp.NodeOf[k] == 0 && h.pendingL[k] == 0 {
+			h.readyY = append(h.readyY, k)
+		}
+	}
+	h.drainReadyY(ctx)
+	h.advanceL(ctx)
+	h.drainDeferred(ctx)
+}
+
+func (h *base3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
+	if !h.accepts(m) {
+		h.deferred = append(h.deferred, m)
+		return
+	}
+	h.process(ctx, m)
+	h.drainDeferred(ctx)
+}
+
+func (h *base3dRank) accepts(m runtime.Msg) bool {
+	switch m.Tag {
+	case tagYBcast:
+		return h.phase == 0 && !h.lAwaitMerge && h.gp.NodeOf[m.Data.(*groupMsg).K] == h.lStage
+	case tagLReduce:
+		return h.phase == 0 && !h.lAwaitMerge && h.gp.NodeOf[m.Data.(*sumMsg).K] == h.lStage
+	case tagZGatherL:
+		return h.phase == 0 && h.lAwaitMerge && m.Data.(*vecBundle).Step == h.lStage
+	case tagZBcastU:
+		return h.phase == 1
+	case tagXBcast, tagUReduce:
+		return h.phase == 2
+	}
+	panic(fmt.Sprintf("trsv: baseline rank %d unexpected tag %d", h.rank, m.Tag))
+}
+
+func (h *base3dRank) drainDeferred(ctx *runtime.Ctx) {
+	for {
+		progressed := false
+		for i := 0; i < len(h.deferred); i++ {
+			if h.accepts(h.deferred[i]) {
+				m := h.deferred[i]
+				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
+				h.process(ctx, m)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
+	switch m.Tag {
+	case tagYBcast:
+		d := m.Data.(*groupMsg)
+		h.lRemaining[h.lStage]--
+		h.applyYGroup(ctx, d.K, d.G, d.V)
+		h.drainReadyY(ctx)
+		h.advanceL(ctx)
+	case tagLReduce:
+		d := m.Data.(*sumMsg)
+		h.lRemaining[h.lStage]--
+		h.getLsum(d.K).AddFrom(d.S)
+		h.lRowContribution(ctx, d.K)
+		h.drainReadyY(ctx)
+		h.advanceL(ctx)
+	case tagZGatherL:
+		d := m.Data.(*vecBundle)
+		for i, k := range d.Ks {
+			h.getLsum(k).AddFrom(d.Vs[i])
+		}
+		h.lAwaitMerge = false
+		h.lStage++
+		h.sendGathers(ctx)
+		for _, k := range h.myDiagSns {
+			if h.gp.NodeOf[k] == h.lStage && h.pendingL[k] == 0 {
+				h.readyY = append(h.readyY, k)
+			}
+		}
+		h.drainReadyY(ctx)
+		h.advanceL(ctx)
+	case tagZBcastU:
+		d := m.Data.(*vecBundle)
+		h.phase = 2
+		h.uStage = h.s
+		for i, k := range d.Ks {
+			h.xl[k] = d.Vs[i]
+		}
+		for i, k := range d.Ks {
+			h.rebroadcastX(ctx, k, d.Vs[i])
+		}
+		h.startU(ctx)
+	case tagXBcast:
+		d := m.Data.(*groupMsg)
+		stage := h.gp.NodeOf[d.K]
+		if stage > h.s {
+			stage = h.s // re-broadcasts are charged to stage s
+		}
+		h.uRemaining[stage]--
+		h.applyXGroup(ctx, d.K, d.G, d.V)
+		h.drainReadyX(ctx)
+		h.advanceU(ctx)
+	case tagUReduce:
+		d := m.Data.(*sumMsg)
+		h.uRemaining[h.gp.NodeOf[d.K]]--
+		h.getUsum(d.K).AddFrom(d.S)
+		h.uRowContribution(ctx, d.K)
+		h.drainReadyX(ctx)
+		h.advanceU(ctx)
+	}
+}
+
+// ---- L phase ----
+
+// applyYGroup applies my column-K blocks whose rows live in node group g.
+func (h *base3dRank) applyYGroup(ctx *runtime.Ctx, k, g int, yk *sparse.Panel) {
+	for _, blk := range h.colL[k] {
+		if h.gp.NodeOf[blk.I] != g {
+			continue
+		}
+		ctx.Compute(h.applyLBlock(blk, k, yk), nil)
+		if g == h.gp.NodeOf[k] {
+			h.lRowContribution(ctx, blk.I)
+		}
+	}
+}
+
+func (h *base3dRank) lRowContribution(ctx *runtime.Ctx, k int) {
+	h.pendingL[k]--
+	if h.pendingL[k] != 0 {
+		return
+	}
+	t := h.base().LReduceNode[k]
+	if t.Root() == h.r2d {
+		h.readyY = append(h.readyY, k)
+		return
+	}
+	s := h.getLsum(k)
+	ctx.Send(runtime.Msg{
+		Dst: h.p.GlobalRank(h.z, t.Parent(h.r2d)), Tag: tagLReduce, Cat: runtime.CatXY,
+		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
+	})
+	delete(h.lsum, k)
+}
+
+func (h *base3dRank) drainReadyY(ctx *runtime.Ctx) {
+	for len(h.readyY) > 0 {
+		k := h.readyY[0]
+		h.readyY = h.readyY[1:]
+		yk, secs := h.diagSolveY(k, h.rhsFor(k, true))
+		ctx.Compute(secs, nil)
+		delete(h.lsum, k)
+		h.y[k] = yk
+		// One broadcast per row-node group (the baseline's extra messages).
+		for _, gt := range h.base().LBcastGroups[k] {
+			for _, child := range gt.Tree.Children(h.r2d) {
+				ctx.Send(runtime.Msg{
+					Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
+					Data: &groupMsg{K: k, G: gt.Node, V: yk}, Bytes: panelBytes(yk),
+				})
+			}
+		}
+		// Apply my own blocks across all groups.
+		for _, blk := range h.colL[k] {
+			ctx.Compute(h.applyLBlock(blk, k, yk), nil)
+			if h.gp.NodeOf[blk.I] == h.gp.NodeOf[k] {
+				h.lRowContribution(ctx, blk.I)
+			}
+		}
+	}
+}
+
+// sendGathers forwards my accumulated cross-node lsum rows for the new
+// current node to their diagonal ranks.
+func (h *base3dRank) sendGathers(ctx *runtime.Ctx) {
+	for _, k := range h.gp.Sns {
+		if h.gp.NodeOf[k] != h.lStage || k%h.p.Layout.Px != h.row {
+			continue
+		}
+		diagCol := k % h.p.Layout.Py
+		if h.col == diagCol || !containsCol(h.base().GatherCols[k], h.col) {
+			continue
+		}
+		s := h.getLsum(k)
+		ctx.Send(runtime.Msg{
+			Dst: h.p.GlobalRank(h.z, h.p.DiagRank2D(k)), Tag: tagLReduce, Cat: runtime.CatXY,
+			Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
+		})
+		delete(h.lsum, k)
+	}
+}
+
+func containsCol(cols []int, c int) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceL moves through node stages once the current stage has quiesced.
+func (h *base3dRank) advanceL(ctx *runtime.Ctx) {
+	for h.phase == 0 && !h.lAwaitMerge && h.lRemaining[h.lStage] == 0 && len(h.readyY) == 0 {
+		if h.lStage < h.s {
+			h.lAwaitMerge = true
+			return
+		}
+		h.finishL(ctx)
+		return
+	}
+}
+
+func (h *base3dRank) finishL(ctx *runtime.Ctx) {
+	ctx.Mark(MarkLDone)
+	if h.z != 0 {
+		// Ship every leftover lsum row (all in unprocessed ancestor
+		// nodes) to my partner on the continuing grid.
+		partner := h.z - (1 << h.s)
+		b := &vecBundle{Step: h.s}
+		for _, k := range sortedKeys(h.lsum) {
+			b.Ks = append(b.Ks, k)
+			b.Vs = append(b.Vs, h.lsum[k])
+		}
+		h.lsum = make(map[int]*sparse.Panel)
+		ctx.Send(runtime.Msg{
+			Dst: h.p.GlobalRank(partner, h.r2d), Tag: tagZGatherL, Cat: runtime.CatZ,
+			Data: b, Bytes: b.bytes(),
+		})
+		h.phase = 1 // await the U bundle
+		return
+	}
+	ctx.Mark(MarkZDone)
+	h.phase = 2
+	h.uStage = h.s
+	h.startU(ctx)
+}
+
+// ---- U phase ----
+
+// queueX enqueues a diagonal row for solving exactly once: both the
+// phase-start seeding and the dependency counters can discover the same
+// ready row.
+func (h *base3dRank) queueX(k int) {
+	if !h.xQueued[k] {
+		h.xQueued[k] = true
+		h.readyX = append(h.readyX, k)
+	}
+}
+
+func (h *base3dRank) startU(ctx *runtime.Ctx) {
+	if h.z != 0 {
+		ctx.Mark(MarkZDone)
+	}
+	for _, k := range h.myDiagSns {
+		if h.gp.NodeOf[k] <= h.s && h.pendingU[k] == 0 {
+			h.queueX(k)
+		}
+	}
+	h.drainReadyX(ctx)
+	h.advanceU(ctx)
+}
+
+// rebroadcastX forwards a bundle-received x(K) (K in an unprocessed node)
+// down my grid's group trees and applies my own blocks.
+func (h *base3dRank) rebroadcastX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
+	for _, gt := range h.base().UBcastGroups[k] {
+		if gt.Node > h.s {
+			continue
+		}
+		for _, child := range gt.Tree.Children(h.r2d) {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
+				Data: &groupMsg{K: k, G: gt.Node, V: xk}, Bytes: panelBytes(xk),
+			})
+		}
+	}
+	for _, ref := range h.colU[k] {
+		if h.gp.NodeOf[ref.I] > h.s {
+			continue
+		}
+		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+		h.uRowContribution(ctx, ref.I)
+	}
+}
+
+func (h *base3dRank) applyXGroup(ctx *runtime.Ctx, k, g int, xk *sparse.Panel) {
+	for _, ref := range h.colU[k] {
+		if h.gp.NodeOf[ref.I] != g {
+			continue
+		}
+		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+		h.uRowContribution(ctx, ref.I)
+	}
+}
+
+func (h *base3dRank) uRowContribution(ctx *runtime.Ctx, k int) {
+	h.pendingU[k]--
+	if h.pendingU[k] != 0 {
+		return
+	}
+	t := h.base().UReduceFlat[k]
+	if t.Root() == h.r2d {
+		h.queueX(k)
+		return
+	}
+	s := h.getUsum(k)
+	ctx.Send(runtime.Msg{
+		Dst: h.p.GlobalRank(h.z, t.Parent(h.r2d)), Tag: tagUReduce, Cat: runtime.CatXY,
+		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
+	})
+	delete(h.usum, k)
+}
+
+func (h *base3dRank) drainReadyX(ctx *runtime.Ctx) {
+	for len(h.readyX) > 0 {
+		k := h.readyX[0]
+		h.readyX = h.readyX[1:]
+		xk, secs := h.diagSolveX(k)
+		ctx.Compute(secs, nil)
+		h.xl[k] = xk
+		if h.gp.OwnerGridOfSn(k) == h.z {
+			h.writeX(k, xk)
+		}
+		for _, gt := range h.base().UBcastGroups[k] {
+			for _, child := range gt.Tree.Children(h.r2d) {
+				ctx.Send(runtime.Msg{
+					Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
+					Data: &groupMsg{K: k, G: gt.Node, V: xk}, Bytes: panelBytes(xk),
+				})
+			}
+		}
+		for _, ref := range h.colU[k] {
+			ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+			h.uRowContribution(ctx, ref.I)
+		}
+	}
+}
+
+// advanceU retires node stages top-down, sending the pairwise x bundle to
+// the grid that resumes at each level.
+func (h *base3dRank) advanceU(ctx *runtime.Ctx) {
+	for h.phase == 2 && h.uRemaining[h.uStage] == 0 && len(h.readyX) == 0 {
+		if h.uStage >= 1 {
+			partner := h.z + (1 << (h.uStage - 1))
+			b := &vecBundle{Step: h.uStage}
+			for _, k := range sortedKeys(h.xl) {
+				if h.gp.NodeOf[k] >= h.uStage {
+					b.Ks = append(b.Ks, k)
+					b.Vs = append(b.Vs, h.xl[k])
+				}
+			}
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(partner, h.r2d), Tag: tagZBcastU, Cat: runtime.CatZ,
+				Data: b, Bytes: b.bytes(),
+			})
+			h.uStage--
+			continue
+		}
+		ctx.Mark(MarkUDone)
+		h.phase = 3
+		return
+	}
+}
+
+func sortedKeys(m map[int]*sparse.Panel) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

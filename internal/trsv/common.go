@@ -1,0 +1,285 @@
+// Package trsv implements the distributed sparse triangular solve
+// algorithms of the paper on top of the message runtime:
+//
+//   - the proposed 3D SpTRSV (Alg. 1): one 2D L-solve over the whole
+//     leaf-to-root path per grid, one inter-grid sparse allreduce (Alg. 2),
+//     one 2D U-solve — with flat or binary communication trees (Alg. 3);
+//   - the baseline 3D SpTRSV (Sao et al., ICS '19): level-by-level node
+//     processing with O(log Pz) inter-grid exchanges and per-node-group
+//     flat trees;
+//   - GPU execution models for both the single-GPU-per-grid kernels
+//     (Alg. 4) and the NVSHMEM multi-GPU kernels (Alg. 5).
+//
+// With Pz=1 the proposed algorithm reduces to the communication-optimized
+// 2D solver of Liu et al. (CSC '18) and the baseline reduces to the classic
+// 2D solver — the paper's two 2D reference points.
+package trsv
+
+import (
+	"fmt"
+
+	"sptrsv/internal/dist"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/snode"
+	"sptrsv/internal/sparse"
+)
+
+// Message tags. Allreduce and Z-exchange tags carry the step in the payload.
+const (
+	tagYBcast      = iota + 1 // L-phase: y(K) down a broadcast tree
+	tagLReduce                // L-phase: partial lsum(K) up a reduction tree
+	tagARReduce               // sparse allreduce: reduce step (Alg. 2)
+	tagARBcast                // sparse allreduce: broadcast step
+	tagXBcast                 // U-phase: x(K) down a broadcast tree
+	tagUReduce                // U-phase: partial usum(K) up a reduction tree
+	tagZGatherL               // baseline: inter-grid lsum merge
+	tagZBcastU                // baseline: inter-grid x broadcast
+	tagGPUEvent               // GPU model: task completion self-event
+	tagGPUPut                 // GPU model: one-sided put delivery
+	tagNaiveARUp              // naive allreduce ablation: partial y to the owner grid
+	tagNaiveARDown            // naive allreduce ablation: complete y back to a replica
+)
+
+// yMsg carries a solved subvector (y or x) for one supernode. The panel is
+// immutable after sending; receivers only read it.
+type yMsg struct {
+	K int
+	Y *sparse.Panel
+}
+
+// sumMsg carries an aggregated partial sum for one supernode row. The
+// receiver takes ownership and accumulates into it or from it.
+type sumMsg struct {
+	K int
+	S *sparse.Panel
+}
+
+// vecBundle carries subvectors for many supernodes at once (the packed
+// buffers of the sparse allreduce and the baseline Z exchanges).
+type vecBundle struct {
+	Step int
+	Ks   []int
+	Vs   []*sparse.Panel
+}
+
+func (b *vecBundle) bytes() int {
+	n := 16
+	for _, v := range b.Vs {
+		if v != nil {
+			n += 8 * v.Rows * v.Cols
+		}
+	}
+	return n
+}
+
+// Backend selects how handlers execute.
+type Backend interface {
+	Run(n int, net runtime.Network, f func(int) runtime.Handler) (*runtime.Result, error)
+}
+
+// SimBackend runs on the discrete-event engine (virtual time).
+type SimBackend struct{}
+
+// Run implements Backend.
+func (SimBackend) Run(n int, net runtime.Network, f func(int) runtime.Handler) (*runtime.Result, error) {
+	return runtime.NewEngine(n, net).Run(f)
+}
+
+// PoolBackend runs on real goroutines (wall-clock time).
+type PoolBackend struct{ Pool runtime.Pool }
+
+// Run implements Backend.
+func (p PoolBackend) Run(n int, _ runtime.Network, f func(int) runtime.Handler) (*runtime.Result, error) {
+	return p.Pool.Run(n, f)
+}
+
+// Marks used for the per-phase load-balance figures.
+const (
+	MarkLDone = "L_done"
+	MarkZDone = "Z_done"
+	MarkUDone = "U_done"
+)
+
+// panelBytes is the modeled wire size of one supernode subvector message.
+func panelBytes(p *sparse.Panel) int { return 8*p.Rows*p.Cols + 16 }
+
+// rankBase holds the per-rank geometry and block lists shared by the CPU
+// algorithms.
+type rankBase struct {
+	p     *dist.Plan
+	model *machine.Model
+	gp    *dist.GridPlan
+	nrhs  int
+
+	rank, z, row, col, r2d int
+
+	// b is the global RHS panel (read-only); x the global output panel
+	// (each supernode written by exactly one rank).
+	b, x *sparse.Panel
+
+	// Per-supernode numeric state, keyed by global supernode index.
+	lsum map[int]*sparse.Panel
+	usum map[int]*sparse.Panel
+	y    map[int]*sparse.Panel // subvectors at their diagonal rank
+	xl   map[int]*sparse.Panel // solved x at the diagonal rank
+
+	// Precomputed read-only views shared with the plan.
+	colL      map[int][]*snode.LBlock  // my blocks in column K (L)
+	colU      map[int][]dist.UBlockRef // my blocks in column K (U): U(I, K)
+	localL    map[int]int              // #my blocks in row K (L)
+	localU    map[int]int              // #my blocks in row K (U)
+	myDiagSns []int                    // supernodes whose diagonal rank is me
+}
+
+func (r *rankBase) init(p *dist.Plan, model *machine.Model, rank int, b, x *sparse.Panel) {
+	r.p = p
+	r.model = model
+	r.rank = rank
+	r.nrhs = b.Cols
+	g := p.Layout.GridSize()
+	r.z = rank / g
+	r.r2d = rank % g
+	r.row = r.r2d / p.Layout.Py
+	r.col = r.r2d % p.Layout.Py
+	r.gp = p.Grids[r.z]
+	r.b, r.x = b, x
+
+	r.lsum = make(map[int]*sparse.Panel)
+	r.usum = make(map[int]*sparse.Panel)
+	r.y = make(map[int]*sparse.Panel)
+	r.xl = make(map[int]*sparse.Panel)
+
+	rd := r.gp.Ranks[r.r2d]
+	r.colL = rd.ColL
+	r.colU = rd.ColU
+	r.localL = rd.LocalL
+	r.localU = rd.LocalU
+	r.myDiagSns = rd.MyDiagSns
+}
+
+// snWidth returns the width of supernode k.
+func (r *rankBase) snWidth(k int) int { return r.p.M.SnWidth(k) }
+
+// getLsum returns (allocating if needed) the lsum accumulator for row k.
+func (r *rankBase) getLsum(k int) *sparse.Panel {
+	s := r.lsum[k]
+	if s == nil {
+		s = sparse.NewPanel(r.snWidth(k), r.nrhs)
+		r.lsum[k] = s
+	}
+	return s
+}
+
+// getUsum returns the usum accumulator for row k.
+func (r *rankBase) getUsum(k int) *sparse.Panel {
+	s := r.usum[k]
+	if s == nil {
+		s = sparse.NewPanel(r.snWidth(k), r.nrhs)
+		r.usum[k] = s
+	}
+	return s
+}
+
+// rhsFor builds the diagonal rank's local copy of b(K), honoring the
+// proposed algorithm's zeroing rule (Alg. 1 lines 4–10): when replicate is
+// false the subvector is zero unless this grid owns the node.
+func (r *rankBase) rhsFor(k int, keep bool) *sparse.Panel {
+	w := r.snWidth(k)
+	out := sparse.NewPanel(w, r.nrhs)
+	if keep {
+		lo := r.p.M.SnBegin[k]
+		for j := 0; j < r.nrhs; j++ {
+			copy(out.Col(j), r.b.Col(j)[lo:lo+w])
+		}
+	}
+	return out
+}
+
+// applyLBlock computes prod = L(I,K)·y(K) and accumulates it into lsum(I),
+// returning the modeled FP seconds of the operation.
+func (r *rankBase) applyLBlock(blk *snode.LBlock, k int, yk *sparse.Panel) float64 {
+	w := r.snWidth(k)
+	prod := sparse.NewPanel(len(blk.Rows), r.nrhs)
+	sparse.GemmAdd(blk.Val, yk, prod)
+	dst := r.getLsum(blk.I)
+	base := r.p.M.SnBegin[blk.I]
+	for j := 0; j < r.nrhs; j++ {
+		dc := dst.Col(j)
+		pc := prod.Col(j)
+		for t, row := range blk.Rows {
+			dc[row-base] += pc[t]
+		}
+	}
+	return r.model.GemmTime(len(blk.Rows), w, r.nrhs)
+}
+
+// applyUBlock accumulates U(I,K)·x(K) into usum(I) and returns the modeled
+// FP seconds.
+func (r *rankBase) applyUBlock(ref dist.UBlockRef, k int, xk *sparse.Panel) float64 {
+	blk := ref.Blk
+	base := r.p.M.SnBegin[k]
+	sub := sparse.NewPanel(len(blk.Cols), r.nrhs)
+	for j := 0; j < r.nrhs; j++ {
+		sc := sub.Col(j)
+		xc := xk.Col(j)
+		for t, c := range blk.Cols {
+			sc[t] = xc[c-base]
+		}
+	}
+	sparse.GemmAdd(blk.Val, sub, r.getUsum(ref.I))
+	return r.model.GemmTime(blk.Val.Rows, len(blk.Cols), r.nrhs)
+}
+
+// diagSolveY computes y(K) = inv(L(K,K))·(rhs − lsum(K)); rhs is consumed.
+func (r *rankBase) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64) {
+	if s := r.lsum[k]; s != nil {
+		for i, v := range s.Data {
+			rhs.Data[i] -= v
+		}
+	}
+	w := r.snWidth(k)
+	yk := sparse.NewPanel(w, r.nrhs)
+	sparse.GemmAdd(r.p.M.LDiagInv[k], rhs, yk)
+	return yk, r.model.GemmTime(w, w, r.nrhs)
+}
+
+// diagSolveX computes x(K) = inv(U(K,K))·(y(K) − usum(K)).
+func (r *rankBase) diagSolveX(k int) (*sparse.Panel, float64) {
+	yk := r.y[k]
+	if yk == nil {
+		panic(fmt.Sprintf("trsv: rank %d solving x(%d) without y", r.rank, k))
+	}
+	rhs := yk.Clone()
+	if s := r.usum[k]; s != nil {
+		for i, v := range s.Data {
+			rhs.Data[i] -= v
+		}
+	}
+	w := r.snWidth(k)
+	xk := sparse.NewPanel(w, r.nrhs)
+	sparse.GemmAdd(r.p.M.UDiagInv[k], rhs, xk)
+	return xk, r.model.GemmTime(w, w, r.nrhs)
+}
+
+// writeX stores x(K) into the global output panel.
+func (r *rankBase) writeX(k int, xk *sparse.Panel) {
+	lo := r.p.M.SnBegin[k]
+	for j := 0; j < r.nrhs; j++ {
+		copy(r.x.Col(j)[lo:lo+xk.Rows], xk.Col(j))
+	}
+}
+
+// trailingZeros returns the number of trailing zero bits of z, capped at
+// cap (grid 0 behaves as having cap trailing zeros).
+func trailingZeros(z, cap int) int {
+	if z == 0 {
+		return cap
+	}
+	s := 0
+	for z&1 == 0 {
+		s++
+		z >>= 1
+	}
+	return s
+}

@@ -1,0 +1,540 @@
+package trsv
+
+import (
+	"fmt"
+
+	"sptrsv/internal/dist"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+)
+
+// The GPU execution model. One rank is one GPU. A supernode column is one
+// thread-block task (Algs. 4 and 5); at most SMs tasks run concurrently
+// (the NVSHMEM scheduling limit the paper works around with the SOLVE/WAIT
+// dual-kernel design — the WAIT kernel is the tagGPUPut delivery here).
+// Task duration is the roofline time of its block operations on one SM's
+// share of the GPU plus a per-block overhead; dependency tracking (fmod /
+// bmod and the spin-wait flags) is exact, so the simulated schedule is a
+// list schedule of the real DAG, and the handlers perform the real numeric
+// work as tasks execute.
+//
+// These handlers require the simulation backend: GPU hardware is modeled,
+// not present.
+
+// gpuTask describes one queued thread-block task.
+type gpuTask struct {
+	k    int
+	put  *sparse.Panel // received subvector for off-diagonal tasks; nil at diagonal tasks
+	isU  bool
+	diag bool
+}
+
+// smScheduler performs list scheduling over the GPU's SM slots.
+type smScheduler struct {
+	free  int
+	ready []gpuTask
+}
+
+// flopsBytesL returns the modeled volume of an L task for column k: the
+// diagonal GEMM (diagonal tasks only) plus this rank's off-diagonal GEMVs.
+func flopsBytesL(r *rankBase, k int, diag bool) (flops, bytes, diagFlops float64) {
+	w := float64(r.snWidth(k))
+	n := float64(r.nrhs)
+	if diag {
+		diagFlops = 2 * w * w * n
+		flops += diagFlops
+		bytes += 8 * (w*w + 2*w*n)
+	}
+	for _, blk := range r.colL[k] {
+		rows := float64(len(blk.Rows))
+		flops += 2 * rows * w * n
+		bytes += 8 * (rows*w + w*n + 2*rows*n)
+	}
+	return flops, bytes, diagFlops
+}
+
+// flopsBytesU mirrors flopsBytesL for U tasks.
+func flopsBytesU(r *rankBase, k int, diag bool) (flops, bytes, diagFlops float64) {
+	w := float64(r.snWidth(k))
+	n := float64(r.nrhs)
+	if diag {
+		diagFlops = 2 * w * w * n
+		flops += diagFlops
+		bytes += 8 * (w*w + 2*w*n)
+	}
+	for _, ref := range r.colU[k] {
+		rows := float64(ref.Blk.Val.Rows)
+		cols := float64(len(ref.Blk.Cols))
+		flops += 2 * rows * cols * n
+		bytes += 8 * (rows*cols + cols*n + 2*rows*n)
+	}
+	return flops, bytes, diagFlops
+}
+
+// ---- Single GPU per grid (Alg. 4): Px = Py = 1 ----
+
+type gpuSingleRank struct {
+	rankBase
+	gpu *machine.GPU
+
+	phase int // 0=L, 1=AR, 2=U, 3=done
+	ar    *arHelper
+
+	sched     smScheduler
+	fmod      map[int]int
+	bmod      map[int]int
+	tasksLeft int
+
+	deferred []runtime.Msg
+}
+
+// NewGPUSingle returns the handler factory for the single-GPU-per-grid
+// variant of the proposed 3D algorithm.
+func NewGPUSingle(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	return func(rank int) runtime.Handler {
+		h := &gpuSingleRank{gpu: model.GPU}
+		h.rankBase.init(p, model, rank, b, x)
+		return h
+	}
+}
+
+func (h *gpuSingleRank) Done() bool { return h.phase == 3 }
+
+func (h *gpuSingleRank) Init(ctx *runtime.Ctx) {
+	if !ctx.Virtual() {
+		panic("trsv: GPU algorithms require the simulation backend")
+	}
+	h.ar = newARHelper(&h.rankBase)
+	h.fmod = make(map[int]int)
+	h.bmod = make(map[int]int)
+	h.sched.free = h.gpu.SMs
+	h.tasksLeft = len(h.gp.Sns)
+	for _, k := range h.gp.Sns {
+		h.fmod[k] = len(h.gp.RowSns[k])
+		h.bmod[k] = len(h.gp.URowSns[k])
+	}
+	for _, k := range h.gp.Sns {
+		if h.fmod[k] == 0 {
+			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true})
+		}
+	}
+	h.startTasks(ctx)
+	h.maybeFinishPhase(ctx)
+}
+
+func (h *gpuSingleRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
+	if !h.accepts(m) {
+		h.deferred = append(h.deferred, m)
+		return
+	}
+	h.process(ctx, m)
+	for {
+		progressed := false
+		for i := 0; i < len(h.deferred); i++ {
+			if h.accepts(h.deferred[i]) {
+				d := h.deferred[i]
+				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
+				h.process(ctx, d)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (h *gpuSingleRank) accepts(m runtime.Msg) bool {
+	switch m.Tag {
+	case tagGPUEvent:
+		return true
+	case tagARReduce:
+		return h.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
+	case tagARBcast:
+		return h.phase == 1 && h.ar.acceptsBcast()
+	}
+	panic(fmt.Sprintf("trsv: gpu rank %d unexpected tag %d", h.rank, m.Tag))
+}
+
+func (h *gpuSingleRank) process(ctx *runtime.Ctx, m runtime.Msg) {
+	switch m.Tag {
+	case tagGPUEvent:
+		h.onTaskDone(ctx, m.Data.(gpuTask))
+	case tagARReduce:
+		if h.ar.onReduce(ctx, m.Data.(*vecBundle)) {
+			h.finishAR(ctx)
+		}
+	case tagARBcast:
+		if h.ar.onBcast(ctx, m.Data.(*vecBundle)) {
+			h.finishAR(ctx)
+		}
+	}
+}
+
+// startTasks launches ready tasks onto free SM slots: the real numeric
+// work runs now (dependencies are satisfied), the completion event fires
+// after the modeled duration.
+func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
+	for h.sched.free > 0 && len(h.sched.ready) > 0 {
+		t := h.sched.ready[0]
+		h.sched.ready = h.sched.ready[1:]
+		h.sched.free--
+		var dur float64
+		if !t.isU {
+			flops, bytes, _ := flopsBytesL(&h.rankBase, t.k, true)
+			dur = h.gpu.TaskTime(flops, bytes)
+			ctx.Compute(0, func() {
+				keep := h.gp.OwnerGridOfSn(t.k) == h.z
+				yk, _ := h.diagSolveY(t.k, h.rhsFor(t.k, keep))
+				h.y[t.k] = yk
+				for _, blk := range h.colL[t.k] {
+					h.applyLBlock(blk, t.k, yk)
+				}
+			})
+		} else {
+			flops, bytes, _ := flopsBytesU(&h.rankBase, t.k, true)
+			dur = h.gpu.TaskTime(flops, bytes)
+			ctx.Compute(0, func() {
+				xk, _ := h.diagSolveX(t.k)
+				h.xl[t.k] = xk
+				if h.gp.OwnerGridOfSn(t.k) == h.z {
+					h.writeX(t.k, xk)
+				}
+				for _, ref := range h.colU[t.k] {
+					h.applyUBlock(ref, t.k, xk)
+				}
+			})
+		}
+		ctx.After(dur, tagGPUEvent, t)
+	}
+}
+
+func (h *gpuSingleRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
+	h.sched.free++
+	h.tasksLeft--
+	if !t.isU {
+		for _, blk := range h.colL[t.k] {
+			h.fmod[blk.I]--
+			if h.fmod[blk.I] == 0 {
+				h.sched.ready = append(h.sched.ready, gpuTask{k: blk.I, diag: true})
+			}
+		}
+	} else {
+		for _, ref := range h.colU[t.k] {
+			h.bmod[ref.I]--
+			if h.bmod[ref.I] == 0 {
+				h.sched.ready = append(h.sched.ready, gpuTask{k: ref.I, diag: true, isU: true})
+			}
+		}
+	}
+	h.startTasks(ctx)
+	h.maybeFinishPhase(ctx)
+}
+
+func (h *gpuSingleRank) maybeFinishPhase(ctx *runtime.Ctx) {
+	if h.tasksLeft != 0 {
+		return
+	}
+	switch h.phase {
+	case 0:
+		ctx.Mark(MarkLDone)
+		h.phase = 1
+		h.tasksLeft = -1 // sentinel until the U phase reloads it
+		if h.ar.begin(ctx) {
+			h.finishAR(ctx)
+		}
+	case 2:
+		ctx.Mark(MarkUDone)
+		h.phase = 3
+	}
+}
+
+func (h *gpuSingleRank) finishAR(ctx *runtime.Ctx) {
+	ctx.Mark(MarkZDone)
+	h.phase = 2
+	h.tasksLeft = len(h.gp.Sns)
+	for _, k := range h.gp.Sns {
+		if h.bmod[k] == 0 {
+			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true, isU: true})
+		}
+	}
+	h.startTasks(ctx)
+	h.maybeFinishPhase(ctx)
+}
+
+// ---- NVSHMEM multi-GPU (Alg. 5): Px × 1 × Pz ----
+
+type gpuMultiRank struct {
+	rankBase
+	gpu *machine.GPU
+
+	phase int // 0=L, 1=AR, 2=U, 3=done
+	ar    *arHelper
+
+	sched     smScheduler
+	fmod      map[int]int // my rows: remaining local L GEMVs
+	bmod      map[int]int // my rows: remaining local U GEMVs
+	tasksLeft int
+
+	deferred []runtime.Msg
+}
+
+// NewGPUMulti returns the handler factory for the NVSHMEM-based multi-GPU
+// variant (Py=1 layouts, as in the paper's Fig. 11).
+func NewGPUMulti(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	return func(rank int) runtime.Handler {
+		h := &gpuMultiRank{gpu: model.GPU}
+		h.rankBase.init(p, model, rank, b, x)
+		return h
+	}
+}
+
+func (h *gpuMultiRank) Done() bool { return h.phase == 3 }
+
+// taskCountL returns the number of L tasks this rank executes: one per
+// owned diagonal plus one per broadcast-tree membership (the off-diagonal
+// SOLVE blocks of Alg. 5).
+func (h *gpuMultiRank) taskCountL() int {
+	n := 0
+	for _, k := range h.gp.Sns {
+		if h.p.DiagRank2D(k) == h.r2d {
+			n++
+		} else if h.gp.LBcast[k].Contains(h.r2d) {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *gpuMultiRank) taskCountU() int {
+	n := 0
+	for _, k := range h.gp.Sns {
+		if h.p.DiagRank2D(k) == h.r2d {
+			n++
+		} else if h.gp.UBcast[k].Contains(h.r2d) {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *gpuMultiRank) Init(ctx *runtime.Ctx) {
+	if !ctx.Virtual() {
+		panic("trsv: GPU algorithms require the simulation backend")
+	}
+	h.ar = newARHelper(&h.rankBase)
+	h.fmod = make(map[int]int)
+	h.bmod = make(map[int]int)
+	h.sched.free = h.gpu.SMs
+	h.tasksLeft = h.taskCountL()
+	// With Py=1 every block of row K lives on rank K mod Px, so the fmod
+	// counters are purely local (no reduction phase — the reason the paper
+	// prefers Py=1 on GPUs).
+	for _, k := range h.gp.Sns {
+		if k%h.p.Layout.Px == h.row {
+			h.fmod[k] = h.localL[k]
+			h.bmod[k] = h.localU[k]
+		}
+	}
+	for _, k := range h.myDiagSns {
+		if h.fmod[k] == 0 {
+			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true})
+		}
+	}
+	h.startTasks(ctx)
+	h.maybeFinishPhase(ctx)
+}
+
+func (h *gpuMultiRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
+	if !h.accepts(m) {
+		h.deferred = append(h.deferred, m)
+		return
+	}
+	h.process(ctx, m)
+	for {
+		progressed := false
+		for i := 0; i < len(h.deferred); i++ {
+			if h.accepts(h.deferred[i]) {
+				d := h.deferred[i]
+				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
+				h.process(ctx, d)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
+	switch m.Tag {
+	case tagGPUEvent:
+		return true
+	case tagGPUPut:
+		d := m.Data.(*gpuPut)
+		return (d.isU && h.phase == 2) || (!d.isU && h.phase == 0)
+	case tagARReduce:
+		return h.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
+	case tagARBcast:
+		return h.phase == 1 && h.ar.acceptsBcast()
+	}
+	panic(fmt.Sprintf("trsv: gpu rank %d unexpected tag %d", h.rank, m.Tag))
+}
+
+// gpuPut is a one-sided delivery of a solved subvector (the ready_y / flag
+// pair of Alg. 5).
+type gpuPut struct {
+	K   int
+	V   *sparse.Panel
+	isU bool
+}
+
+func (h *gpuMultiRank) process(ctx *runtime.Ctx, m runtime.Msg) {
+	switch m.Tag {
+	case tagGPUEvent:
+		h.onTaskDone(ctx, m.Data.(gpuTask))
+	case tagGPUPut:
+		d := m.Data.(*gpuPut)
+		h.sched.ready = append(h.sched.ready, gpuTask{k: d.K, put: d.V, isU: d.isU})
+		h.startTasks(ctx)
+	case tagARReduce:
+		if h.ar.onReduce(ctx, m.Data.(*vecBundle)) {
+			h.finishAR(ctx)
+		}
+	case tagARBcast:
+		if h.ar.onBcast(ctx, m.Data.(*vecBundle)) {
+			h.finishAR(ctx)
+		}
+	}
+}
+
+// forwardPuts sends v to this rank's children in the tree, with one-sided
+// put latency (NVLink inside a node, fabric across nodes), after an
+// initial in-task delay.
+func (h *gpuMultiRank) forwardPuts(ctx *runtime.Ctx, k int, v *sparse.Panel, isU bool, delay float64) {
+	tree := h.gp.LBcast[k]
+	if isU {
+		tree = h.gp.UBcast[k]
+	}
+	for _, child := range tree.Children(h.r2d) {
+		dst := h.p.GlobalRank(h.z, child)
+		cost := h.gpu.PutCost(h.rank, dst, panelBytes(v))
+		ctx.SendAfter(delay+cost, runtime.Msg{
+			Dst: dst, Tag: tagGPUPut, Cat: runtime.CatXY,
+			Data: &gpuPut{K: k, V: v, isU: isU},
+		})
+	}
+}
+
+func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
+	for h.sched.free > 0 && len(h.sched.ready) > 0 {
+		t := h.sched.ready[0]
+		h.sched.ready = h.sched.ready[1:]
+		h.sched.free--
+		diag := t.put == nil
+		var dur float64
+		if !t.isU {
+			flops, bytes, diagFlops := flopsBytesL(&h.rankBase, t.k, diag)
+			dur = h.gpu.TaskTime(flops, bytes)
+			var yk *sparse.Panel
+			ctx.Compute(0, func() {
+				if diag {
+					keep := h.gp.OwnerGridOfSn(t.k) == h.z
+					yk, _ = h.diagSolveY(t.k, h.rhsFor(t.k, keep))
+					h.y[t.k] = yk
+				} else {
+					yk = t.put
+				}
+				for _, blk := range h.colL[t.k] {
+					h.applyLBlock(blk, t.k, yk)
+				}
+			})
+			delay := 0.0
+			if diag {
+				delay = diagFlops / (h.gpu.Flops / float64(h.gpu.SMs))
+			}
+			h.forwardPuts(ctx, t.k, yk, false, delay)
+		} else {
+			flops, bytes, diagFlops := flopsBytesU(&h.rankBase, t.k, diag)
+			dur = h.gpu.TaskTime(flops, bytes)
+			var xk *sparse.Panel
+			ctx.Compute(0, func() {
+				if diag {
+					xk, _ = h.diagSolveX(t.k)
+					h.xl[t.k] = xk
+					if h.gp.OwnerGridOfSn(t.k) == h.z {
+						h.writeX(t.k, xk)
+					}
+				} else {
+					xk = t.put
+				}
+				for _, ref := range h.colU[t.k] {
+					h.applyUBlock(ref, t.k, xk)
+				}
+			})
+			delay := 0.0
+			if diag {
+				delay = diagFlops / (h.gpu.Flops / float64(h.gpu.SMs))
+			}
+			h.forwardPuts(ctx, t.k, xk, true, delay)
+		}
+		ctx.After(dur, tagGPUEvent, t)
+	}
+}
+
+func (h *gpuMultiRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
+	h.sched.free++
+	h.tasksLeft--
+	if !t.isU {
+		for _, blk := range h.colL[t.k] {
+			h.fmod[blk.I]--
+			if h.fmod[blk.I] == 0 && h.p.DiagRank2D(blk.I) == h.r2d {
+				h.sched.ready = append(h.sched.ready, gpuTask{k: blk.I, diag: true})
+			}
+		}
+	} else {
+		for _, ref := range h.colU[t.k] {
+			h.bmod[ref.I]--
+			if h.bmod[ref.I] == 0 && h.p.DiagRank2D(ref.I) == h.r2d {
+				h.sched.ready = append(h.sched.ready, gpuTask{k: ref.I, diag: true, isU: true})
+			}
+		}
+	}
+	h.startTasks(ctx)
+	h.maybeFinishPhase(ctx)
+}
+
+func (h *gpuMultiRank) maybeFinishPhase(ctx *runtime.Ctx) {
+	if h.tasksLeft != 0 {
+		return
+	}
+	switch h.phase {
+	case 0:
+		ctx.Mark(MarkLDone)
+		h.phase = 1
+		h.tasksLeft = -1
+		if h.ar.begin(ctx) {
+			h.finishAR(ctx)
+		}
+	case 2:
+		ctx.Mark(MarkUDone)
+		h.phase = 3
+	}
+}
+
+func (h *gpuMultiRank) finishAR(ctx *runtime.Ctx) {
+	ctx.Mark(MarkZDone)
+	h.phase = 2
+	h.tasksLeft = h.taskCountU()
+	for _, k := range h.myDiagSns {
+		if h.bmod[k] == 0 {
+			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true, isU: true})
+		}
+	}
+	h.startTasks(ctx)
+	h.maybeFinishPhase(ctx)
+}

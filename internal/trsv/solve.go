@@ -1,0 +1,93 @@
+package trsv
+
+import (
+	"fmt"
+
+	"sptrsv/internal/dist"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+)
+
+// Algorithm selects a distributed SpTRSV variant.
+type Algorithm int
+
+const (
+	// Proposed3D is the paper's contribution (Alg. 1): one inter-grid
+	// synchronization via sparse allreduce. With Pz=1 it is the 2D solver
+	// with the plan's tree kind.
+	Proposed3D Algorithm = iota
+	// Baseline3D is the level-by-level 3D algorithm of Sao et al. (ICS
+	// '19) with O(log Pz) inter-grid exchanges and per-node-group flat
+	// communication. With Pz=1 it is the classic 2D solver.
+	Baseline3D
+	// GPUSingle is the proposed 3D algorithm with each 2D grid collapsed
+	// to one GPU (Px=Py=1, Alg. 4): no intra-grid communication, task-
+	// parallel execution on SM slots. Simulation backend only.
+	GPUSingle
+	// GPUMulti is the proposed 3D algorithm with NVSHMEM-style multi-GPU
+	// 2D grids (Alg. 5), Py=1 layouts. Simulation backend only.
+	GPUMulti
+	// Proposed3DNaiveAR is the proposed algorithm with the sparse
+	// allreduce replaced by a per-node strawman exchange — the §3.2
+	// ablation.
+	Proposed3DNaiveAR
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Proposed3D:
+		return "proposed-3d"
+	case Baseline3D:
+		return "baseline-3d"
+	case GPUSingle:
+		return "gpu-single"
+	case GPUMulti:
+		return "gpu-multi"
+	case Proposed3DNaiveAR:
+		return "proposed-3d-naive-allreduce"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Solve runs one distributed triangular solve of L·U·x = b on the given
+// backend and returns the solution panel (in the permuted ordering of the
+// plan's factors) together with the per-rank timing result.
+func Solve(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b *sparse.Panel) (*sparse.Panel, *runtime.Result, error) {
+	if b.Rows != p.M.N {
+		return nil, nil, fmt.Errorf("trsv: rhs has %d rows, matrix has %d", b.Rows, p.M.N)
+	}
+	x := sparse.NewPanel(b.Rows, b.Cols)
+	var factory func(int) runtime.Handler
+	switch algo {
+	case Proposed3D:
+		factory = NewProposed3D(p, model, b, x)
+	case Proposed3DNaiveAR:
+		factory = NewProposed3DNaiveAR(p, model, b, x)
+	case Baseline3D:
+		factory = NewBaseline3D(p, model, b, x)
+	case GPUSingle:
+		if p.Layout.Px != 1 || p.Layout.Py != 1 {
+			return nil, nil, fmt.Errorf("trsv: gpu-single requires Px=Py=1, got %dx%d", p.Layout.Px, p.Layout.Py)
+		}
+		if model.GPU == nil {
+			return nil, nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
+		}
+		factory = NewGPUSingle(p, model, b, x)
+	case GPUMulti:
+		if p.Layout.Py != 1 {
+			return nil, nil, fmt.Errorf("trsv: gpu-multi requires Py=1, got Py=%d", p.Layout.Py)
+		}
+		if model.GPU == nil {
+			return nil, nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
+		}
+		factory = NewGPUMulti(p, model, b, x)
+	default:
+		return nil, nil, fmt.Errorf("trsv: unknown algorithm %v", algo)
+	}
+	res, err := back.Run(p.Layout.Size(), model.Net(), factory)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, res, nil
+}

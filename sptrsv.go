@@ -1,0 +1,171 @@
+// Package sptrsv is a Go reproduction of "Unified Communication
+// Optimization Strategies for Sparse Triangular Solver on CPU and GPU
+// Clusters" (Liu, Ding, Sao, Williams, Li — SC '23).
+//
+// It provides distributed-memory sparse triangular solve (SpTRSV) on
+// supernodal LU factors over a 3D process layout Px × Py × Pz, with the
+// paper's four algorithm variants:
+//
+//   - Proposed3D — the paper's contribution: one 2D L-solve over each
+//     grid's whole elimination-tree path, a single inter-grid sparse
+//     allreduce, one 2D U-solve, with flat or binary communication trees.
+//   - Baseline3D — the level-by-level 3D algorithm it improves on
+//     (Sao et al., ICS '19), with O(log Pz) inter-grid synchronizations.
+//   - GPUSingle / GPUMulti — the GPU execution models of the paper's
+//     Algorithms 4 and 5 (thread-block tasks on SM slots; NVSHMEM-style
+//     one-sided broadcasts), simulation backend only.
+//
+// Two execution backends run the same algorithms: a deterministic
+// discrete-event simulator with machine models of Cori Haswell, Perlmutter
+// and Crusher (regenerates the paper's figures), and a real
+// goroutine-per-rank pool (wall-clock benchmarks on the host). Every
+// simulated run performs the real numeric solve, so results are always
+// verifiable against the serial reference.
+//
+// Quickstart:
+//
+//	a := sptrsv.S2D9pt(256, 256, 1)          // 2D Poisson analog
+//	sys, _ := sptrsv.Factorize(a, sptrsv.FactorOptions{})
+//	solver, _ := sptrsv.NewSolver(sys, sptrsv.Config{
+//		Layout:    sptrsv.Layout{Px: 4, Py: 4, Pz: 4},
+//		Algorithm: sptrsv.Proposed3D,
+//		Trees:     sptrsv.BinaryTrees,
+//		Machine:   sptrsv.CoriHaswell(),
+//	})
+//	b := sptrsv.NewPanel(a.N, 1) // fill with the right-hand side
+//	x, report, _ := solver.Solve(b)
+//	_ = x
+//	fmt.Printf("solve time %.3g s\n", report.Time)
+package sptrsv
+
+import (
+	"io"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/mtx"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+// Matrix and vector types.
+type (
+	// CSR is a square sparse matrix in compressed sparse row form.
+	CSR = sparse.CSR
+	// Builder assembles CSR matrices from coordinate entries.
+	Builder = sparse.Builder
+	// Panel is a dense column-major rows×cols matrix used for right-hand
+	// sides and solutions (cols = nrhs).
+	Panel = sparse.Panel
+)
+
+// NewBuilder returns a coordinate builder for an n×n matrix.
+func NewBuilder(n int) *Builder { return sparse.NewBuilder(n) }
+
+// NewPanel allocates a zeroed rows×cols panel.
+func NewPanel(rows, cols int) *Panel { return sparse.NewPanel(rows, cols) }
+
+// ResidualInf computes max over columns of ‖A·x − b‖∞.
+func ResidualInf(a *CSR, x, b *Panel) float64 { return sparse.ResidualInf(a, x, b) }
+
+// Preprocessing pipeline.
+type (
+	// FactorOptions controls ordering depth and supernode width.
+	FactorOptions = core.FactorOptions
+	// System is a factored matrix ready to distribute and solve.
+	System = core.System
+	// Config selects layout, algorithm, trees, machine, and backend.
+	Config = core.Config
+	// Solver executes distributed solves for one System and Config.
+	Solver = core.Solver
+	// Report summarizes one solve (makespan, breakdown, per-rank spans).
+	Report = core.Report
+)
+
+// Factorize orders, analyzes and LU-factors a symmetric-pattern matrix.
+func Factorize(a *CSR, opt FactorOptions) (*System, error) { return core.Factorize(a, opt) }
+
+// NewSolver validates a configuration and builds the distribution plan.
+func NewSolver(sys *System, cfg Config) (*Solver, error) { return core.NewSolver(sys, cfg) }
+
+// Layout is a Px × Py × Pz process layout (Pz must be a power of two).
+type Layout = grid.Layout
+
+// Square2D splits p ranks into the most square Px×Py grid (Px ≥ Py), the
+// paper's rule for Fig. 4.
+func Square2D(p int) (px, py int) { return grid.Square2D(p) }
+
+// Algorithm variants. Proposed3DNaiveAR swaps the sparse allreduce for a
+// per-node collective — the ablation of the paper's §3.2 optimization.
+const (
+	Proposed3D        = trsv.Proposed3D
+	Baseline3D        = trsv.Baseline3D
+	GPUSingle         = trsv.GPUSingle
+	GPUMulti          = trsv.GPUMulti
+	Proposed3DNaiveAR = trsv.Proposed3DNaiveAR
+)
+
+// Communication tree kinds for the intra-grid broadcasts and reductions.
+// AutoTrees picks flat below a fan-out threshold and binary above it.
+const (
+	FlatTrees   = ctree.Flat
+	BinaryTrees = ctree.Binary
+	AutoTrees   = ctree.Auto
+)
+
+// Machine models of the paper's three systems.
+var (
+	CoriHaswell   = machine.CoriHaswell
+	PerlmutterCPU = machine.PerlmutterCPU
+	PerlmutterGPU = machine.PerlmutterGPU
+	CrusherCPU    = machine.CrusherCPU
+	CrusherGPU    = machine.CrusherGPU
+)
+
+// MachineModel is a simulator machine description; see the machine
+// constructors above, or build a custom one.
+type MachineModel = machine.Model
+
+// Backends.
+type (
+	// SimBackend runs on the deterministic discrete-event simulator.
+	SimBackend = trsv.SimBackend
+	// PoolBackend runs one goroutine per rank in real time.
+	PoolBackend = trsv.PoolBackend
+)
+
+// GoroutinePool returns a PoolBackend with default settings.
+func GoroutinePool() PoolBackend { return PoolBackend{Pool: runtime.Pool{}} }
+
+// Generators for the paper's six matrix analogs (see internal/gen for the
+// substitution rationale) plus scale-parameterized suite access.
+var (
+	S2D9pt         = gen.S2D9pt
+	NLPKKTLike     = gen.NLPKKTLike
+	LdoorLike      = gen.LdoorLike
+	DielFilterLike = gen.DielFilterLike
+	GaAsLike       = gen.GaAsLike
+	S1MatLike      = gen.S1MatLike
+)
+
+// TestMatrix is a generated analog of one of the paper's test matrices.
+type TestMatrix = gen.Matrix
+
+// Suite generates the full Table 1 analog set at the given scale
+// ("small", "medium", "large" via ParseScale).
+func Suite(scale string) []TestMatrix { return gen.Suite(gen.ParseScale(scale)) }
+
+// ReadMatrixMarket parses a Matrix Market coordinate stream (real/integer,
+// general/symmetric) into a CSR matrix, so the paper's original SuiteSparse
+// matrices can be used when available.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) { return mtx.Read(r) }
+
+// ReadMatrixMarketFile reads a .mtx file from disk.
+func ReadMatrixMarketFile(path string) (*CSR, error) { return mtx.ReadFile(path) }
+
+// WriteMatrixMarket emits a matrix in coordinate real general form.
+func WriteMatrixMarket(w io.Writer, a *CSR) error { return mtx.Write(w, a) }
