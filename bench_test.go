@@ -123,6 +123,7 @@ func BenchmarkSerialSolve(b *testing.B) {
 	for i := range rhs.Data {
 		rhs.Data[i] = 1
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.SN.Solve(rhs.PermuteRows(sys.Perm))
@@ -147,12 +148,14 @@ func benchPoolSolve(b *testing.B, px, py, pz, nrhs int) {
 	for i := range rhs.Data {
 		rhs.Data[i] = 1
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := solver.Solve(rhs); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/s")
 }
 
 func BenchmarkPoolSolve1x1x1(b *testing.B) { benchPoolSolve(b, 1, 1, 1, 1) }
@@ -177,10 +180,45 @@ func BenchmarkSimSolve(b *testing.B) {
 	for i := range rhs.Data {
 		rhs.Data[i] = 1
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := solver.Solve(rhs); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+}
+
+// BenchmarkSolveBatch measures SolveBatch throughput: 8 independent
+// right-hand sides solved concurrently on the goroutine backend by one
+// shared Solver, reporting aggregate solves per second.
+func BenchmarkSolveBatch(b *testing.B) {
+	sys := benchSystem(b)
+	solver, err := sptrsv.NewSolver(sys, sptrsv.Config{
+		Layout:    sptrsv.Layout{Px: 2, Py: 2, Pz: 1},
+		Algorithm: sptrsv.Proposed3D,
+		Trees:     sptrsv.BinaryTrees,
+		Machine:   sptrsv.CoriHaswell(),
+		Backend:   sptrsv.GoroutinePool(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	bs := make([]*sptrsv.Panel, batch)
+	for i := range bs {
+		bs[i] = sptrsv.NewPanel(sys.A.N, 1)
+		for j := range bs[i].Data {
+			bs[i].Data[j] = float64(i + 1)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solver.SolveBatch(bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "solves/s")
 }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+func randomPanels(n, rows, cols int, seed int64) []*sparse.Panel {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*sparse.Panel, n)
+	for i := range out {
+		out[i] = sparse.NewPanel(rows, cols)
+		for j := range out[i].Data {
+			out[i].Data[j] = rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+func samePanel(a, b *sparse.Panel) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentSharedSolverSim runs 8 simultaneous Solve calls against one
+// shared Solver on the DES backend and requires each result — solution bits
+// and virtual makespan — to match a sequential reference solve exactly:
+// concurrency must not perturb the simulated event order.
+func TestConcurrentSharedSolverSim(t *testing.T) {
+	sys := testSystem(t)
+	cases := []struct {
+		algo   trsv.Algorithm
+		layout grid.Layout
+		mach   *machine.Model
+	}{
+		{trsv.Proposed3D, grid.Layout{Px: 2, Py: 2, Pz: 2}, machine.CoriHaswell()},
+		{trsv.Baseline3D, grid.Layout{Px: 2, Py: 2, Pz: 2}, machine.CoriHaswell()},
+		{trsv.GPUSingle, grid.Layout{Px: 1, Py: 1, Pz: 8}, machine.PerlmutterGPU()},
+	}
+	for _, tc := range cases {
+		s, err := NewSolver(sys, Config{
+			Layout:    tc.layout,
+			Algorithm: tc.algo,
+			Trees:     ctree.Binary,
+			Machine:   tc.mach,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 8
+		bs := randomPanels(n, sys.A.N, 1, 11)
+
+		refX := make([]*sparse.Panel, n)
+		refT := make([]float64, n)
+		for i := range bs {
+			x, rep, err := s.Solve(bs[i])
+			if err != nil {
+				t.Fatalf("%v: reference solve %d: %v", tc.algo, i, err)
+			}
+			refX[i], refT[i] = x, rep.Time
+		}
+
+		xs := make([]*sparse.Panel, n)
+		reps := make([]*Report, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := range bs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				xs[i], reps[i], errs[i] = s.Solve(bs[i])
+			}(i)
+		}
+		wg.Wait()
+
+		for i := range bs {
+			if errs[i] != nil {
+				t.Fatalf("%v: concurrent solve %d: %v", tc.algo, i, errs[i])
+			}
+			if r := s.Residual(xs[i], bs[i]); r > 1e-7 {
+				t.Fatalf("%v: concurrent solve %d residual %g", tc.algo, i, r)
+			}
+			if !samePanel(xs[i], refX[i]) {
+				t.Fatalf("%v: concurrent solve %d solution differs from sequential reference", tc.algo, i)
+			}
+			if reps[i].Time != refT[i] {
+				t.Fatalf("%v: concurrent solve %d virtual time %g, sequential reference %g",
+					tc.algo, i, reps[i].Time, refT[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentSharedSolverPool runs 8 simultaneous Solve calls against
+// one shared Solver on the goroutine-pool backend. Wall-clock times and
+// floating-point summation orders vary across pool runs, so the check is
+// the residual of each solution.
+func TestConcurrentSharedSolverPool(t *testing.T) {
+	sys := testSystem(t)
+	for _, algo := range []trsv.Algorithm{trsv.Proposed3D, trsv.Baseline3D} {
+		s, err := NewSolver(sys, Config{
+			Layout:    grid.Layout{Px: 2, Py: 2, Pz: 2},
+			Algorithm: algo,
+			Trees:     ctree.Binary,
+			Machine:   machine.CoriHaswell(),
+			Backend:   trsv.PoolBackend{Pool: runtime.Pool{Timeout: 60 * time.Second}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 8
+		bs := randomPanels(n, sys.A.N, 2, 13)
+		xs := make([]*sparse.Panel, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := range bs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				xs[i], _, errs[i] = s.Solve(bs[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range bs {
+			if errs[i] != nil {
+				t.Fatalf("%v: concurrent pool solve %d: %v", algo, i, errs[i])
+			}
+			if r := s.Residual(xs[i], bs[i]); r > 1e-7 {
+				t.Fatalf("%v: concurrent pool solve %d residual %g", algo, i, r)
+			}
+		}
+	}
+}
+
+// TestRepeatedSolveDeterminism pins the acceptance criterion that DES
+// results stay bit-identical across repeated solves of the same RHS on one
+// Solver — pooled state must leave no residue between solves.
+func TestRepeatedSolveDeterminism(t *testing.T) {
+	sys := testSystem(t)
+	for _, algo := range []trsv.Algorithm{trsv.Proposed3D, trsv.Baseline3D} {
+		s, err := NewSolver(sys, Config{
+			Layout:    grid.Layout{Px: 2, Py: 2, Pz: 4},
+			Algorithm: algo,
+			Trees:     ctree.Binary,
+			Machine:   machine.CoriHaswell(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randomPanels(1, sys.A.N, 2, 17)[0]
+		x0, rep0, err := s.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			x, rep, err := s.Solve(b)
+			if err != nil {
+				t.Fatalf("%v: repeat %d: %v", algo, trial, err)
+			}
+			if !samePanel(x, x0) {
+				t.Fatalf("%v: repeat %d solution differs bitwise", algo, trial)
+			}
+			if rep.Time != rep0.Time {
+				t.Fatalf("%v: repeat %d time %g != %g", algo, trial, rep.Time, rep0.Time)
+			}
+			for r := range rep.Raw.Clocks {
+				if rep.Raw.Clocks[r] != rep0.Raw.Clocks[r] {
+					t.Fatalf("%v: repeat %d rank %d clock %g != %g",
+						algo, trial, r, rep.Raw.Clocks[r], rep0.Raw.Clocks[r])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatch checks the parallel multi-RHS entry point on both
+// backends.
+func TestSolveBatch(t *testing.T) {
+	sys := testSystem(t)
+	backends := map[string]trsv.Backend{
+		"sim":  trsv.SimBackend{},
+		"pool": trsv.PoolBackend{Pool: runtime.Pool{Timeout: 60 * time.Second}},
+	}
+	for name, back := range backends {
+		s, err := NewSolver(sys, Config{
+			Layout:    grid.Layout{Px: 2, Py: 2, Pz: 2},
+			Algorithm: trsv.Proposed3D,
+			Trees:     ctree.Binary,
+			Machine:   machine.CoriHaswell(),
+			Backend:   back,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs := randomPanels(6, sys.A.N, 1, 19)
+		xs, reps, err := s.SolveBatch(bs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(xs) != len(bs) || len(reps) != len(bs) {
+			t.Fatalf("%s: batch result lengths %d/%d", name, len(xs), len(reps))
+		}
+		for i := range bs {
+			if r := s.Residual(xs[i], bs[i]); r > 1e-7 {
+				t.Fatalf("%s: batch solve %d residual %g", name, i, r)
+			}
+			if reps[i] == nil || reps[i].Time <= 0 {
+				t.Fatalf("%s: batch solve %d has no report", name, i)
+			}
+		}
+	}
+}
+
+// TestSolveBatchError propagates the first failure without losing the
+// successful entries.
+func TestSolveBatchError(t *testing.T) {
+	sys := testSystem(t)
+	s, err := NewSolver(sys, Config{
+		Layout:    grid.Layout{Px: 2, Py: 2, Pz: 2},
+		Algorithm: trsv.Proposed3D,
+		Trees:     ctree.Binary,
+		Machine:   machine.CoriHaswell(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := randomPanels(1, sys.A.N, 1, 23)[0]
+	bad := sparse.NewPanel(3, 1) // wrong row count
+	xs, _, err := s.SolveBatch([]*sparse.Panel{good, bad})
+	if err == nil {
+		t.Fatal("batch with malformed RHS succeeded")
+	}
+	if xs[0] == nil {
+		t.Fatal("successful batch entry lost on sibling failure")
+	}
+	if xs[1] != nil {
+		t.Fatal("failed batch entry produced a solution")
+	}
+}
+
+// TestPhaseSpans pins the span computation against ranks with missing or
+// out-of-order marks: spans must clamp to 0 instead of going negative
+// (mirroring runtime.Result.MarkSpan semantics).
+func TestPhaseSpans(t *testing.T) {
+	res := &runtime.Result{
+		Clocks: []float64{6, 2, 0, 5},
+		Timers: []runtime.Timers{
+			{Marks: map[string]float64{trsv.MarkLDone: 1, trsv.MarkZDone: 3, trsv.MarkUDone: 6}},
+			{Marks: map[string]float64{trsv.MarkLDone: 2}}, // never reached Z or U
+			{}, // no marks at all
+			{Marks: map[string]float64{trsv.MarkZDone: 1, trsv.MarkLDone: 4, trsv.MarkUDone: 5}}, // out of order
+		},
+	}
+	l, z, u := phaseSpans(res)
+	wantL := []float64{1, 2, 0, 4}
+	wantZ := []float64{2, 0, 0, 0}
+	wantU := []float64{3, 0, 0, 4}
+	for i := range wantL {
+		if l[i] != wantL[i] || z[i] != wantZ[i] || u[i] != wantU[i] {
+			t.Fatalf("rank %d spans L=%g Z=%g U=%g, want L=%g Z=%g U=%g",
+				i, l[i], z[i], u[i], wantL[i], wantZ[i], wantU[i])
+		}
+		if l[i] < 0 || z[i] < 0 || u[i] < 0 {
+			t.Fatalf("rank %d has negative span", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sptrsv/internal/ctree"
 	"sptrsv/internal/dist"
@@ -83,11 +84,23 @@ type Config struct {
 }
 
 // Solver executes distributed triangular solves for one System and Config.
+// A Solver is an immutable plan plus a pool of per-solve buffers: after
+// NewSolver nothing in it is written by a solve, so Solve and SolveBatch
+// are safe for concurrent use from multiple goroutines.
 type Solver struct {
 	sys  *System
 	cfg  Config
 	plan *dist.Plan
 	inv  []int
+
+	// bufs recycles the permuted-RHS and permuted-solution panels between
+	// solves so repeated solves do not reallocate them.
+	bufs sync.Pool
+}
+
+// solveBuffers holds one solve's rank-private permutation panels.
+type solveBuffers struct {
+	bp, xp *sparse.Panel
 }
 
 // NewSolver validates the configuration and builds the distribution plan.
@@ -107,7 +120,9 @@ func NewSolver(sys *System, cfg Config) (*Solver, error) {
 			return nil, err
 		}
 	}
-	return &Solver{sys: sys, cfg: cfg, plan: plan, inv: sparse.InversePerm(sys.Perm)}, nil
+	s := &Solver{sys: sys, cfg: cfg, plan: plan, inv: sparse.InversePerm(sys.Perm)}
+	s.bufs.New = func() any { return &solveBuffers{} }
+	return s, nil
 }
 
 // Plan exposes the distribution plan (read-only) for experiment harnesses.
@@ -129,13 +144,27 @@ type Report struct {
 
 // Solve computes x with A·x = b, where b and x are in the original (
 // unpermuted) row ordering. b may have multiple columns (nrhs > 1).
+//
+// Solve is safe to call concurrently from multiple goroutines: every solve
+// draws its own buffers and execution state from pools, and the shared
+// plan is read-only.
 func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
-	bp := b.PermuteRows(s.sys.Perm)
-	xp, res, err := trsv.Solve(s.plan, s.cfg.Machine, s.cfg.Algorithm, s.cfg.Backend, bp)
+	if b.Rows != s.sys.A.N {
+		return nil, nil, fmt.Errorf("core: rhs has %d rows, matrix has %d", b.Rows, s.sys.A.N)
+	}
+	sb := s.bufs.Get().(*solveBuffers)
+	if sb.bp == nil || sb.bp.Rows != b.Rows || sb.bp.Cols != b.Cols {
+		sb.bp = sparse.NewPanel(b.Rows, b.Cols)
+		sb.xp = sparse.NewPanel(b.Rows, b.Cols)
+	}
+	b.PermuteRowsInto(s.sys.Perm, sb.bp)
+	res, err := trsv.SolveInto(s.plan, s.cfg.Machine, s.cfg.Algorithm, s.cfg.Backend, sb.bp, sb.xp)
 	if err != nil {
+		s.bufs.Put(sb)
 		return nil, nil, err
 	}
-	x := xp.PermuteRows(s.inv)
+	x := sb.xp.PermuteRows(s.inv)
+	s.bufs.Put(sb)
 	rep := &Report{
 		Time:   res.MaxClock(),
 		MeanFP: res.MeanCat(runtime.CatFP),
@@ -143,19 +172,51 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 		MeanZ:  res.MeanCat(runtime.CatZ),
 		Raw:    res,
 	}
-	rep.LSpan = make([]float64, len(res.Timers))
-	rep.USpan = make([]float64, len(res.Timers))
-	rep.ZSpan = make([]float64, len(res.Timers))
-	for i := range res.Timers {
-		marks := res.Timers[i].Marks
-		if marks == nil {
-			continue
-		}
-		rep.LSpan[i] = marks[trsv.MarkLDone]
-		rep.ZSpan[i] = marks[trsv.MarkZDone] - marks[trsv.MarkLDone]
-		rep.USpan[i] = marks[trsv.MarkUDone] - marks[trsv.MarkZDone]
-	}
+	rep.LSpan, rep.ZSpan, rep.USpan = phaseSpans(res)
 	return x, rep, nil
+}
+
+// phaseSpans converts the per-rank phase marks into durations. It mirrors
+// runtime.Result.MarkSpan semantics: a rank missing a mark (a grid that
+// never reaches a phase) or with out-of-order marks contributes 0, never a
+// negative span.
+func phaseSpans(res *runtime.Result) (l, z, u []float64) {
+	l = make([]float64, len(res.Timers))
+	for i := range res.Timers {
+		if marks := res.Timers[i].Marks; marks != nil {
+			if v, ok := marks[trsv.MarkLDone]; ok && v > 0 {
+				l[i] = v
+			}
+		}
+	}
+	z = res.MarkSpan(trsv.MarkLDone, trsv.MarkZDone)
+	u = res.MarkSpan(trsv.MarkZDone, trsv.MarkUDone)
+	return l, z, u
+}
+
+// SolveBatch solves one independent system per panel in bs, running the
+// solves concurrently (each on its own backend run), and returns the
+// solutions and reports in matching order. The first error, if any, is
+// returned; entries of failed solves are nil.
+func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, error) {
+	xs := make([]*sparse.Panel, len(bs))
+	reps := make([]*Report, len(bs))
+	errs := make([]error, len(bs))
+	var wg sync.WaitGroup
+	for i, b := range bs {
+		wg.Add(1)
+		go func(i int, b *sparse.Panel) {
+			defer wg.Done()
+			xs[i], reps[i], errs[i] = s.Solve(b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return xs, reps, err
+		}
+	}
+	return xs, reps, nil
 }
 
 // Residual returns ‖A·x − b‖∞ in the original ordering.

@@ -56,21 +56,22 @@ type Baseline struct {
 }
 
 // BuildBaseline populates the baseline structures for every grid. It is
-// idempotent and must be called before running the baseline algorithm
-// (Solve does it); building eagerly keeps the handlers read-only over the
-// plan, which the goroutine backend requires.
+// idempotent, safe for concurrent callers, and must run before the
+// baseline algorithm (Solve does it); building once up front keeps the
+// handlers strictly read-only over the plan, which concurrent solves and
+// the goroutine backend require.
 func (p *Plan) BuildBaseline() error {
-	for _, gp := range p.Grids {
-		if gp.Base != nil {
-			continue
+	p.baseOnce.Do(func() {
+		for _, gp := range p.Grids {
+			b, err := p.buildBaselineGrid(gp)
+			if err != nil {
+				p.baseErr = err
+				return
+			}
+			gp.Base = b
 		}
-		b, err := p.buildBaselineGrid(gp)
-		if err != nil {
-			return err
-		}
-		gp.Base = b
-	}
-	return nil
+	})
+	return p.baseErr
 }
 
 // withinNode reports whether global supernode j lies inside the path node

@@ -12,6 +12,7 @@ package dist
 
 import (
 	"fmt"
+	"sync"
 
 	"sptrsv/internal/ctree"
 	"sptrsv/internal/grid"
@@ -92,6 +93,12 @@ type Plan struct {
 	RowLists [][]int
 
 	Grids []*GridPlan
+
+	// baseOnce guards the lazy one-time construction of the baseline
+	// structures — the plan's only post-New mutation, made safe for
+	// concurrent solves by the once. baseErr caches the build outcome.
+	baseOnce sync.Once
+	baseErr  error
 }
 
 // Rank2D converts 2D coordinates to the grid-local rank id used by trees.

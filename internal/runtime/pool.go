@@ -11,6 +11,16 @@ import (
 // in-memory inboxes, wall-clock timing. It runs the same handlers as the
 // Engine, providing true shared-memory parallel execution for the examples
 // and the testing.B wall-clock benchmarks.
+//
+// Wait-time attribution rule: the wall-clock time a rank spends blocked on
+// its inbox is charged to the category of the message that ends the wait —
+// including the wait before the first message of a phase. This matches the
+// Engine, which charges a rank's virtual idle gap to the category of the
+// event that wakes it, so the per-category breakdowns of the two backends
+// are directly comparable: ByCat[c] answers "how long did ranks sit waiting
+// for category-c traffic", not "what was the rank doing before it blocked".
+// A Pool value holds only configuration; every Run builds its own state, so
+// concurrent Run calls on one Pool are independent.
 type Pool struct {
 	// Timeout aborts a run that stops making progress (a handler waiting
 	// for a message that never comes). Zero means 60s.

@@ -339,3 +339,32 @@ func TestMessageCounters(t *testing.T) {
 		t.Fatal("per-category counts wrong")
 	}
 }
+
+func TestPoolWaitAttribution(t *testing.T) {
+	// Pins the attribution rule documented in the package comment: inbox
+	// wait time — including the wait before a rank's first message — is
+	// charged to the category of the message that ends the wait, matching
+	// the Engine (see TestEngineWaitAttribution).
+	p := &Pool{Timeout: 10 * time.Second}
+	res, err := p.Run(2, func(r int) Handler {
+		if r == 1 {
+			return &initOnly{fn: func(ctx *Ctx) {
+				time.Sleep(100 * time.Millisecond)
+				ctx.Send(Msg{Dst: 0, Tag: 9, Cat: CatZ})
+			}}
+		}
+		return &recvN{n: 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := res.Timers[0].ByCat[CatZ]; z < 0.05 {
+		t.Fatalf("rank 0 Z wait %g, want ≥0.05 (wait charged to the arriving message's category)", z)
+	}
+	if xy := res.Timers[0].ByCat[CatXY]; xy != 0 {
+		t.Fatalf("rank 0 XY time %g, want 0 (no XY traffic ended a wait)", xy)
+	}
+	if fp := res.Timers[0].ByCat[CatFP]; fp > 0.01 {
+		t.Fatalf("rank 0 FP time %g, want ~0", fp)
+	}
+}

@@ -69,13 +69,24 @@ func (p *Panel) MaxAbsDiff(q *Panel) float64 {
 // CSR.Permute: result.Row(perm[i]) = p.Row(i).
 func (p *Panel) PermuteRows(perm []int) *Panel {
 	q := NewPanel(p.Rows, p.Cols)
+	p.PermuteRowsInto(perm, q)
+	return q
+}
+
+// PermuteRowsInto is PermuteRows writing into a caller-provided panel of
+// the same shape, so repeated solves can reuse permutation buffers. The
+// scatter writes every destination element, so dst need not be zeroed; dst
+// must not alias p.
+func (p *Panel) PermuteRowsInto(perm []int, dst *Panel) {
+	if dst.Rows != p.Rows || dst.Cols != p.Cols {
+		panic("sparse: PermuteRowsInto shape mismatch")
+	}
 	for j := 0; j < p.Cols; j++ {
-		src, dst := p.Col(j), q.Col(j)
+		src, out := p.Col(j), dst.Col(j)
 		for i := 0; i < p.Rows; i++ {
-			dst[perm[i]] = src[i]
+			out[perm[i]] = src[i]
 		}
 	}
-	return q
 }
 
 // InversePerm returns the inverse permutation of perm.

@@ -16,14 +16,14 @@ import (
 // exchanges ride MPI (the paper implements SparseAllReduce with MPI even in
 // the GPU code path).
 type arHelper struct {
-	r        *rankBase
+	r        *rankCore
 	levels   int // log2(Pz)
 	trailing int // trailing zeros of z (grid 0: levels)
 	step     int // next reduce step to receive
 	done     bool
 }
 
-func newARHelper(r *rankBase) *arHelper {
+func newARHelper(r *rankCore) *arHelper {
 	a := &arHelper{r: r, levels: r.p.Map.L}
 	a.trailing = trailingZeros(r.z, a.levels)
 	return a
@@ -42,7 +42,7 @@ func (a *arHelper) begin(ctx *runtime.Ctx) bool {
 	}
 	for _, k := range r.myDiagSns {
 		if r.gp.Path[r.gp.NodeOf[k]].Replicated() {
-			r.y[k] = r.y[k].Clone()
+			r.st.y[k] = r.st.y[k].Clone()
 		}
 	}
 	a.advance(ctx)
@@ -65,7 +65,7 @@ func (a *arHelper) acceptsBcast() bool {
 func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 	r := a.r
 	for i, k := range b.Ks {
-		yk := r.y[k]
+		yk := r.st.y[k]
 		if yk == nil {
 			panic(fmt.Sprintf("trsv: rank %d allreduce for unsolved y(%d)", r.rank, k))
 		}
@@ -81,7 +81,7 @@ func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 func (a *arHelper) onBcast(ctx *runtime.Ctx, b *vecBundle) bool {
 	r := a.r
 	for i, k := range b.Ks {
-		r.y[k] = b.Vs[i]
+		r.st.y[k] = b.Vs[i]
 	}
 	a.sendBcasts(ctx, a.trailing-1)
 	a.done = true
@@ -117,7 +117,7 @@ func (a *arHelper) bundle(step, maxLevel int, clone bool) *vecBundle {
 	b := &vecBundle{Step: step}
 	for _, k := range r.myDiagSns {
 		if r.gp.Path[r.gp.NodeOf[k]].Level <= maxLevel {
-			v := r.y[k]
+			v := r.st.y[k]
 			if clone {
 				v = v.Clone()
 			}
@@ -150,13 +150,13 @@ func (a *arHelper) sendBcasts(ctx *runtime.Ctx, from int) {
 // data — the latency and synchronization cost the packed sparse allreduce
 // (Alg. 2) eliminates.
 type naiveAR struct {
-	r    *rankBase
+	r    *rankCore
 	node int // current path node index being reduced (1..L)
 	step int // current butterfly step within the node
 	done bool
 }
 
-func newNaiveAR(r *rankBase) *naiveAR {
+func newNaiveAR(r *rankCore) *naiveAR {
 	return &naiveAR{r: r, node: 1}
 }
 
@@ -181,7 +181,7 @@ func (a *naiveAR) begin(ctx *runtime.Ctx) bool {
 	}
 	for _, k := range r.myDiagSns {
 		if r.gp.Path[r.gp.NodeOf[k]].Replicated() {
-			r.y[k] = r.y[k].Clone()
+			r.st.y[k] = r.st.y[k].Clone()
 		}
 	}
 	a.sendStep(ctx)
@@ -200,7 +200,7 @@ func (a *naiveAR) bundle() *vecBundle {
 	for _, k := range r.myDiagSns {
 		if r.gp.NodeOf[k] == a.node {
 			b.Ks = append(b.Ks, k)
-			b.Vs = append(b.Vs, r.y[k].Clone())
+			b.Vs = append(b.Vs, r.st.y[k].Clone())
 		}
 	}
 	return b
@@ -230,7 +230,7 @@ func (a *naiveAR) onMsg(ctx *runtime.Ctx, m runtime.Msg) bool {
 	r := a.r
 	d := m.Data.(*vecBundle)
 	for i, k := range d.Ks {
-		r.y[k].AddFrom(d.Vs[i])
+		r.st.y[k].AddFrom(d.Vs[i])
 	}
 	a.step++
 	if a.step >= a.steps(a.node) {

@@ -2,7 +2,6 @@ package trsv
 
 import (
 	"fmt"
-	"maps"
 	"sort"
 
 	"sptrsv/internal/dist"
@@ -24,25 +23,9 @@ import (
 //
 // With Pz=1 this is the classic 2D solver with flat communication.
 type base3dRank struct {
-	rankBase
+	rankCore
 
-	phase int // 0=L, 1=await U bundle (z≠0), 2=U, 3=done
-	s     int // trailing zeros of z, capped at L = log2(Pz)
-
-	// groupMsg payloads carry the broadcast group (target node index).
-	lStage      int
-	lAwaitMerge bool
-	lRemaining  []int
-	pendingL    map[int]int
-	readyY      []int
-
-	uStage     int
-	uRemaining []int
-	pendingU   map[int]int
-	readyX     []int
-	xQueued    map[int]bool // guards against double-queueing a row
-
-	deferred []runtime.Msg
+	s int // trailing zeros of z, capped at L = log2(Pz)
 }
 
 // groupMsg is a y/x broadcast restricted to one row-node group.
@@ -59,12 +42,12 @@ func NewBaseline3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(
 	}
 	return func(rank int) runtime.Handler {
 		h := &base3dRank{}
-		h.rankBase.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x)
 		return h
 	}
 }
 
-func (h *base3dRank) Done() bool { return h.phase == 3 }
+func (h *base3dRank) Done() bool { return h.st.phase == 3 }
 
 func (h *base3dRank) base() *dist.Baseline { return h.gp.Base }
 
@@ -72,102 +55,81 @@ func (h *base3dRank) Init(ctx *runtime.Ctx) {
 	bb := h.base()
 	h.s = bb.S
 	rd := bb.Ranks[h.r2d]
-	h.pendingL = maps.Clone(rd.PendingL)
-	h.pendingU = maps.Clone(rd.PendingU)
-	h.xQueued = make(map[int]bool)
-	h.lRemaining = append([]int(nil), rd.LRemaining...)
-	h.uRemaining = append([]int(nil), rd.URemaining...)
+	st := h.st
+	copyCounts(st.pendingL, rd.PendingL)
+	copyCounts(st.pendingU, rd.PendingU)
+	st.lRemaining = append(st.lRemaining[:0], rd.LRemaining...)
+	st.uRemaining = append(st.uRemaining[:0], rd.URemaining...)
 
 	// Kick off the leaf node.
 	for _, k := range h.myDiagSns {
-		if h.gp.NodeOf[k] == 0 && h.pendingL[k] == 0 {
-			h.readyY = append(h.readyY, k)
+		if h.gp.NodeOf[k] == 0 && st.pendingL[k] == 0 {
+			st.enqueueY(k)
 		}
 	}
-	h.drainReadyY(ctx)
+	h.drainReadyY(ctx, h)
 	h.advanceL(ctx)
-	h.drainDeferred(ctx)
+	h.drainDeferred(ctx, h)
 }
 
 func (h *base3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
-	if !h.accepts(m) {
-		h.deferred = append(h.deferred, m)
-		return
-	}
-	h.process(ctx, m)
-	h.drainDeferred(ctx)
+	h.dispatch(ctx, m, h)
 }
 
 func (h *base3dRank) accepts(m runtime.Msg) bool {
+	st := h.st
 	switch m.Tag {
 	case tagYBcast:
-		return h.phase == 0 && !h.lAwaitMerge && h.gp.NodeOf[m.Data.(*groupMsg).K] == h.lStage
+		return st.phase == 0 && !st.lAwaitMerge && h.gp.NodeOf[m.Data.(*groupMsg).K] == st.lStage
 	case tagLReduce:
-		return h.phase == 0 && !h.lAwaitMerge && h.gp.NodeOf[m.Data.(*sumMsg).K] == h.lStage
+		return st.phase == 0 && !st.lAwaitMerge && h.gp.NodeOf[m.Data.(*sumMsg).K] == st.lStage
 	case tagZGatherL:
-		return h.phase == 0 && h.lAwaitMerge && m.Data.(*vecBundle).Step == h.lStage
+		return st.phase == 0 && st.lAwaitMerge && m.Data.(*vecBundle).Step == st.lStage
 	case tagZBcastU:
-		return h.phase == 1
+		return st.phase == 1
 	case tagXBcast, tagUReduce:
-		return h.phase == 2
+		return st.phase == 2
 	}
 	panic(fmt.Sprintf("trsv: baseline rank %d unexpected tag %d", h.rank, m.Tag))
 }
 
-func (h *base3dRank) drainDeferred(ctx *runtime.Ctx) {
-	for {
-		progressed := false
-		for i := 0; i < len(h.deferred); i++ {
-			if h.accepts(h.deferred[i]) {
-				m := h.deferred[i]
-				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
-				h.process(ctx, m)
-				progressed = true
-				break
-			}
-		}
-		if !progressed {
-			return
-		}
-	}
-}
-
 func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
+	st := h.st
 	switch m.Tag {
 	case tagYBcast:
 		d := m.Data.(*groupMsg)
-		h.lRemaining[h.lStage]--
+		st.lRemaining[st.lStage]--
 		h.applyYGroup(ctx, d.K, d.G, d.V)
-		h.drainReadyY(ctx)
+		h.drainReadyY(ctx, h)
 		h.advanceL(ctx)
 	case tagLReduce:
 		d := m.Data.(*sumMsg)
-		h.lRemaining[h.lStage]--
+		st.lRemaining[st.lStage]--
 		h.getLsum(d.K).AddFrom(d.S)
-		h.lRowContribution(ctx, d.K)
-		h.drainReadyY(ctx)
+		h.lContribution(ctx, d.K, h.base().LReduceNode[d.K])
+		h.drainReadyY(ctx, h)
 		h.advanceL(ctx)
 	case tagZGatherL:
 		d := m.Data.(*vecBundle)
 		for i, k := range d.Ks {
 			h.getLsum(k).AddFrom(d.Vs[i])
 		}
-		h.lAwaitMerge = false
-		h.lStage++
+		st.lAwaitMerge = false
+		st.lStage++
 		h.sendGathers(ctx)
 		for _, k := range h.myDiagSns {
-			if h.gp.NodeOf[k] == h.lStage && h.pendingL[k] == 0 {
-				h.readyY = append(h.readyY, k)
+			if h.gp.NodeOf[k] == st.lStage && st.pendingL[k] == 0 {
+				st.enqueueY(k)
 			}
 		}
-		h.drainReadyY(ctx)
+		h.drainReadyY(ctx, h)
 		h.advanceL(ctx)
 	case tagZBcastU:
 		d := m.Data.(*vecBundle)
-		h.phase = 2
-		h.uStage = h.s
+		st.phase = 2
+		st.uStage = h.s
 		for i, k := range d.Ks {
-			h.xl[k] = d.Vs[i]
+			st.xl[k] = d.Vs[i]
 		}
 		for i, k := range d.Ks {
 			h.rebroadcastX(ctx, k, d.Vs[i])
@@ -179,16 +141,16 @@ func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 		if stage > h.s {
 			stage = h.s // re-broadcasts are charged to stage s
 		}
-		h.uRemaining[stage]--
+		st.uRemaining[stage]--
 		h.applyXGroup(ctx, d.K, d.G, d.V)
-		h.drainReadyX(ctx)
+		h.drainReadyX(ctx, h)
 		h.advanceU(ctx)
 	case tagUReduce:
 		d := m.Data.(*sumMsg)
-		h.uRemaining[h.gp.NodeOf[d.K]]--
+		st.uRemaining[h.gp.NodeOf[d.K]]--
 		h.getUsum(d.K).AddFrom(d.S)
-		h.uRowContribution(ctx, d.K)
-		h.drainReadyX(ctx)
+		h.uContribution(ctx, d.K, h.base().UReduceFlat[d.K])
+		h.drainReadyX(ctx, h)
 		h.advanceU(ctx)
 	}
 }
@@ -203,52 +165,32 @@ func (h *base3dRank) applyYGroup(ctx *runtime.Ctx, k, g int, yk *sparse.Panel) {
 		}
 		ctx.Compute(h.applyLBlock(blk, k, yk), nil)
 		if g == h.gp.NodeOf[k] {
-			h.lRowContribution(ctx, blk.I)
+			h.lContribution(ctx, blk.I, h.base().LReduceNode[blk.I])
 		}
 	}
 }
 
-func (h *base3dRank) lRowContribution(ctx *runtime.Ctx, k int) {
-	h.pendingL[k]--
-	if h.pendingL[k] != 0 {
-		return
-	}
-	t := h.base().LReduceNode[k]
-	if t.Root() == h.r2d {
-		h.readyY = append(h.readyY, k)
-		return
-	}
-	s := h.getLsum(k)
-	ctx.Send(runtime.Msg{
-		Dst: h.p.GlobalRank(h.z, t.Parent(h.r2d)), Tag: tagLReduce, Cat: runtime.CatXY,
-		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
-	})
-	delete(h.lsum, k)
-}
-
-func (h *base3dRank) drainReadyY(ctx *runtime.Ctx) {
-	for len(h.readyY) > 0 {
-		k := h.readyY[0]
-		h.readyY = h.readyY[1:]
-		yk, secs := h.diagSolveY(k, h.rhsFor(k, true))
-		ctx.Compute(secs, nil)
-		delete(h.lsum, k)
-		h.y[k] = yk
-		// One broadcast per row-node group (the baseline's extra messages).
-		for _, gt := range h.base().LBcastGroups[k] {
-			for _, child := range gt.Tree.Children(h.r2d) {
-				ctx.Send(runtime.Msg{
-					Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
-					Data: &groupMsg{K: k, G: gt.Node, V: yk}, Bytes: panelBytes(yk),
-				})
-			}
+// solveY performs one L-phase diagonal solve plus the baseline's
+// per-row-node-group broadcasts (diagSolver, driven by the shared drain).
+func (h *base3dRank) solveY(ctx *runtime.Ctx, k int) {
+	yk, secs := h.diagSolveY(k, h.rhsFor(k, true))
+	ctx.Compute(secs, nil)
+	delete(h.st.lsum, k)
+	h.st.y[k] = yk
+	// One broadcast per row-node group (the baseline's extra messages).
+	for _, gt := range h.base().LBcastGroups[k] {
+		for _, child := range gt.Tree.Children(h.r2d) {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
+				Data: &groupMsg{K: k, G: gt.Node, V: yk}, Bytes: panelBytes(yk),
+			})
 		}
-		// Apply my own blocks across all groups.
-		for _, blk := range h.colL[k] {
-			ctx.Compute(h.applyLBlock(blk, k, yk), nil)
-			if h.gp.NodeOf[blk.I] == h.gp.NodeOf[k] {
-				h.lRowContribution(ctx, blk.I)
-			}
+	}
+	// Apply my own blocks across all groups.
+	for _, blk := range h.colL[k] {
+		ctx.Compute(h.applyLBlock(blk, k, yk), nil)
+		if h.gp.NodeOf[blk.I] == h.gp.NodeOf[k] {
+			h.lContribution(ctx, blk.I, h.base().LReduceNode[blk.I])
 		}
 	}
 }
@@ -256,8 +198,9 @@ func (h *base3dRank) drainReadyY(ctx *runtime.Ctx) {
 // sendGathers forwards my accumulated cross-node lsum rows for the new
 // current node to their diagonal ranks.
 func (h *base3dRank) sendGathers(ctx *runtime.Ctx) {
+	st := h.st
 	for _, k := range h.gp.Sns {
-		if h.gp.NodeOf[k] != h.lStage || k%h.p.Layout.Px != h.row {
+		if h.gp.NodeOf[k] != st.lStage || k%h.p.Layout.Px != h.row {
 			continue
 		}
 		diagCol := k % h.p.Layout.Py
@@ -269,7 +212,7 @@ func (h *base3dRank) sendGathers(ctx *runtime.Ctx) {
 			Dst: h.p.GlobalRank(h.z, h.p.DiagRank2D(k)), Tag: tagLReduce, Cat: runtime.CatXY,
 			Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
 		})
-		delete(h.lsum, k)
+		delete(st.lsum, k)
 	}
 }
 
@@ -284,9 +227,10 @@ func containsCol(cols []int, c int) bool {
 
 // advanceL moves through node stages once the current stage has quiesced.
 func (h *base3dRank) advanceL(ctx *runtime.Ctx) {
-	for h.phase == 0 && !h.lAwaitMerge && h.lRemaining[h.lStage] == 0 && len(h.readyY) == 0 {
-		if h.lStage < h.s {
-			h.lAwaitMerge = true
+	st := h.st
+	for st.phase == 0 && !st.lAwaitMerge && st.lRemaining[st.lStage] == 0 && len(st.readyY) == 0 {
+		if st.lStage < h.s {
+			st.lAwaitMerge = true
 			return
 		}
 		h.finishL(ctx)
@@ -296,51 +240,43 @@ func (h *base3dRank) advanceL(ctx *runtime.Ctx) {
 
 func (h *base3dRank) finishL(ctx *runtime.Ctx) {
 	ctx.Mark(MarkLDone)
+	st := h.st
 	if h.z != 0 {
 		// Ship every leftover lsum row (all in unprocessed ancestor
 		// nodes) to my partner on the continuing grid.
 		partner := h.z - (1 << h.s)
 		b := &vecBundle{Step: h.s}
-		for _, k := range sortedKeys(h.lsum) {
+		for _, k := range sortedKeys(st.lsum) {
 			b.Ks = append(b.Ks, k)
-			b.Vs = append(b.Vs, h.lsum[k])
+			b.Vs = append(b.Vs, st.lsum[k])
 		}
-		h.lsum = make(map[int]*sparse.Panel)
+		clear(st.lsum) // ownership of the panels moved into the bundle
 		ctx.Send(runtime.Msg{
 			Dst: h.p.GlobalRank(partner, h.r2d), Tag: tagZGatherL, Cat: runtime.CatZ,
 			Data: b, Bytes: b.bytes(),
 		})
-		h.phase = 1 // await the U bundle
+		st.phase = 1 // await the U bundle
 		return
 	}
 	ctx.Mark(MarkZDone)
-	h.phase = 2
-	h.uStage = h.s
+	st.phase = 2
+	st.uStage = h.s
 	h.startU(ctx)
 }
 
 // ---- U phase ----
 
-// queueX enqueues a diagonal row for solving exactly once: both the
-// phase-start seeding and the dependency counters can discover the same
-// ready row.
-func (h *base3dRank) queueX(k int) {
-	if !h.xQueued[k] {
-		h.xQueued[k] = true
-		h.readyX = append(h.readyX, k)
-	}
-}
-
 func (h *base3dRank) startU(ctx *runtime.Ctx) {
+	st := h.st
 	if h.z != 0 {
 		ctx.Mark(MarkZDone)
 	}
 	for _, k := range h.myDiagSns {
-		if h.gp.NodeOf[k] <= h.s && h.pendingU[k] == 0 {
-			h.queueX(k)
+		if h.gp.NodeOf[k] <= h.s && st.pendingU[k] == 0 {
+			st.enqueueX(k)
 		}
 	}
-	h.drainReadyX(ctx)
+	h.drainReadyX(ctx, h)
 	h.advanceU(ctx)
 }
 
@@ -363,7 +299,7 @@ func (h *base3dRank) rebroadcastX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 			continue
 		}
 		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
-		h.uRowContribution(ctx, ref.I)
+		h.uContribution(ctx, ref.I, h.base().UReduceFlat[ref.I])
 	}
 }
 
@@ -373,75 +309,55 @@ func (h *base3dRank) applyXGroup(ctx *runtime.Ctx, k, g int, xk *sparse.Panel) {
 			continue
 		}
 		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
-		h.uRowContribution(ctx, ref.I)
+		h.uContribution(ctx, ref.I, h.base().UReduceFlat[ref.I])
 	}
 }
 
-func (h *base3dRank) uRowContribution(ctx *runtime.Ctx, k int) {
-	h.pendingU[k]--
-	if h.pendingU[k] != 0 {
-		return
+// solveX performs one U-phase diagonal solve plus the group broadcasts.
+func (h *base3dRank) solveX(ctx *runtime.Ctx, k int) {
+	xk, secs := h.diagSolveX(k)
+	ctx.Compute(secs, nil)
+	h.st.xl[k] = xk
+	if h.gp.OwnerGridOfSn(k) == h.z {
+		h.writeX(k, xk)
 	}
-	t := h.base().UReduceFlat[k]
-	if t.Root() == h.r2d {
-		h.queueX(k)
-		return
+	for _, gt := range h.base().UBcastGroups[k] {
+		for _, child := range gt.Tree.Children(h.r2d) {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
+				Data: &groupMsg{K: k, G: gt.Node, V: xk}, Bytes: panelBytes(xk),
+			})
+		}
 	}
-	s := h.getUsum(k)
-	ctx.Send(runtime.Msg{
-		Dst: h.p.GlobalRank(h.z, t.Parent(h.r2d)), Tag: tagUReduce, Cat: runtime.CatXY,
-		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
-	})
-	delete(h.usum, k)
-}
-
-func (h *base3dRank) drainReadyX(ctx *runtime.Ctx) {
-	for len(h.readyX) > 0 {
-		k := h.readyX[0]
-		h.readyX = h.readyX[1:]
-		xk, secs := h.diagSolveX(k)
-		ctx.Compute(secs, nil)
-		h.xl[k] = xk
-		if h.gp.OwnerGridOfSn(k) == h.z {
-			h.writeX(k, xk)
-		}
-		for _, gt := range h.base().UBcastGroups[k] {
-			for _, child := range gt.Tree.Children(h.r2d) {
-				ctx.Send(runtime.Msg{
-					Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
-					Data: &groupMsg{K: k, G: gt.Node, V: xk}, Bytes: panelBytes(xk),
-				})
-			}
-		}
-		for _, ref := range h.colU[k] {
-			ctx.Compute(h.applyUBlock(ref, k, xk), nil)
-			h.uRowContribution(ctx, ref.I)
-		}
+	for _, ref := range h.colU[k] {
+		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+		h.uContribution(ctx, ref.I, h.base().UReduceFlat[ref.I])
 	}
 }
 
 // advanceU retires node stages top-down, sending the pairwise x bundle to
 // the grid that resumes at each level.
 func (h *base3dRank) advanceU(ctx *runtime.Ctx) {
-	for h.phase == 2 && h.uRemaining[h.uStage] == 0 && len(h.readyX) == 0 {
-		if h.uStage >= 1 {
-			partner := h.z + (1 << (h.uStage - 1))
-			b := &vecBundle{Step: h.uStage}
-			for _, k := range sortedKeys(h.xl) {
-				if h.gp.NodeOf[k] >= h.uStage {
+	st := h.st
+	for st.phase == 2 && st.uRemaining[st.uStage] == 0 && len(st.readyX) == 0 {
+		if st.uStage >= 1 {
+			partner := h.z + (1 << (st.uStage - 1))
+			b := &vecBundle{Step: st.uStage}
+			for _, k := range sortedKeys(st.xl) {
+				if h.gp.NodeOf[k] >= st.uStage {
 					b.Ks = append(b.Ks, k)
-					b.Vs = append(b.Vs, h.xl[k])
+					b.Vs = append(b.Vs, st.xl[k])
 				}
 			}
 			ctx.Send(runtime.Msg{
 				Dst: h.p.GlobalRank(partner, h.r2d), Tag: tagZBcastU, Cat: runtime.CatZ,
 				Data: b, Bytes: b.bytes(),
 			})
-			h.uStage--
+			st.uStage--
 			continue
 		}
 		ctx.Mark(MarkUDone)
-		h.phase = 3
+		st.phase = 3
 		return
 	}
 }

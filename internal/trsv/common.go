@@ -13,11 +13,21 @@
 // With Pz=1 the proposed algorithm reduces to the communication-optimized
 // 2D solver of Liu et al. (CSC '18) and the baseline reduces to the classic
 // 2D solver — the paper's two 2D reference points.
+//
+// The package is split into a plan layer and an execution layer. The plan
+// layer (dist.Plan plus the per-rank geometry cached in rankCore) is
+// immutable once a solver is built, so any number of solves may run against
+// it concurrently. The execution layer is the per-solve mutable state —
+// dependency counters, partial-sum panels, ready queues, deferred
+// messages — grouped in solveState and recycled through a sync.Pool so that
+// repeated solves reach a steady state with minimal allocation.
 package trsv
 
 import (
 	"fmt"
+	"sync"
 
+	"sptrsv/internal/ctree"
 	"sptrsv/internal/dist"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
@@ -104,19 +114,21 @@ const (
 // panelBytes is the modeled wire size of one supernode subvector message.
 func panelBytes(p *sparse.Panel) int { return 8*p.Rows*p.Cols + 16 }
 
-// rankBase holds the per-rank geometry and block lists shared by the CPU
-// algorithms.
-type rankBase struct {
-	p     *dist.Plan
-	model *machine.Model
-	gp    *dist.GridPlan
-	nrhs  int
+// ---- execution layer ----
 
-	rank, z, row, col, r2d int
-
-	// b is the global RHS panel (read-only); x the global output panel
-	// (each supernode written by exactly one rank).
+// solveState is the per-solve mutable state of one rank handler: everything
+// a solve writes to, for every algorithm family. States are recycled
+// through statePool — maps keep their bucket storage and slices their
+// backing arrays between solves, which is what makes repeated solves on one
+// Solver nearly allocation-free in steady state. A state is owned by
+// exactly one handler for the duration of one solve; release returns it.
+type solveState struct {
+	// b is the global RHS panel (read-only during the solve); x the global
+	// output panel (each supernode written by exactly one rank).
 	b, x *sparse.Panel
+	nrhs int
+
+	phase int
 
 	// Per-supernode numeric state, keyed by global supernode index.
 	lsum map[int]*sparse.Panel
@@ -124,73 +136,322 @@ type rankBase struct {
 	y    map[int]*sparse.Panel // subvectors at their diagonal rank
 	xl   map[int]*sparse.Panel // solved x at the diagonal rank
 
+	// Dependency tracking: working copies of the plan's read-only counter
+	// templates, plus the ready queues of solvable diagonal rows.
+	pendingL, pendingU   map[int]int
+	lRecvLeft, uRecvLeft int
+	readyY, readyX       []int
+	xQueued              map[int]bool // enqueueX dedup guard
+
+	// Messages that arrived ahead of the phase that can process them.
+	deferred []runtime.Msg
+
+	// Baseline-3D stage state.
+	lStage, uStage int
+	lAwaitMerge    bool
+	lRemaining     []int
+	uRemaining     []int
+
+	// GPU task state.
+	fmod, bmod        map[int]int
+	readyTasks        []gpuTask
+	smFree, tasksLeft int
+
+	// scratch backs the short-lived block products of scratchPanel.
+	scratch sparse.Panel
+}
+
+func newSolveState() *solveState {
+	return &solveState{
+		lsum:     map[int]*sparse.Panel{},
+		usum:     map[int]*sparse.Panel{},
+		y:        map[int]*sparse.Panel{},
+		xl:       map[int]*sparse.Panel{},
+		pendingL: map[int]int{},
+		pendingU: map[int]int{},
+		xQueued:  map[int]bool{},
+		fmod:     map[int]int{},
+		bmod:     map[int]int{},
+	}
+}
+
+var statePool = sync.Pool{New: func() any { return newSolveState() }}
+
+// acquireState takes a recycled (already reset) state from the pool and
+// binds it to one solve's global panels.
+func acquireState(b, x *sparse.Panel) *solveState {
+	st := statePool.Get().(*solveState)
+	st.b, st.x, st.nrhs = b, x, b.Cols
+	return st
+}
+
+// release drops every reference the solve accumulated — panels travel
+// between ranks, so a stale reference would pin another solve's memory —
+// and returns the state to the pool.
+func (st *solveState) release() {
+	clear(st.lsum)
+	clear(st.usum)
+	clear(st.y)
+	clear(st.xl)
+	clear(st.pendingL)
+	clear(st.pendingU)
+	clear(st.xQueued)
+	clear(st.fmod)
+	clear(st.bmod)
+	clear(st.deferred) // zero the elements: Msg.Data holds panels
+	st.deferred = st.deferred[:0]
+	clear(st.readyTasks) // gpuTask.put holds panels
+	st.readyTasks = st.readyTasks[:0]
+	st.readyY, st.readyX = st.readyY[:0], st.readyX[:0]
+	st.lRemaining, st.uRemaining = st.lRemaining[:0], st.uRemaining[:0]
+	st.b, st.x = nil, nil
+	st.nrhs, st.phase = 0, 0
+	st.lRecvLeft, st.uRecvLeft = 0, 0
+	st.lStage, st.uStage, st.lAwaitMerge = 0, 0, false
+	st.smFree, st.tasksLeft = 0, 0
+	statePool.Put(st)
+}
+
+// enqueueY queues a diagonal row for the L-phase solve.
+func (st *solveState) enqueueY(k int) { st.readyY = append(st.readyY, k) }
+
+// enqueueX queues a diagonal row for the U-phase solve exactly once: both
+// the phase-start seeding and the dependency counters can discover the same
+// ready row.
+func (st *solveState) enqueueX(k int) {
+	if st.xQueued[k] {
+		return
+	}
+	st.xQueued[k] = true
+	st.readyX = append(st.readyX, k)
+}
+
+// scratchPanel returns a zeroed rows×cols panel backed by the state's
+// reusable scratch buffer. It is valid only until the next scratchPanel
+// call and must never escape the current handler step (be sent in a message
+// or stored in a map) — callers copy out anything they keep.
+func (st *solveState) scratchPanel(rows, cols int) *sparse.Panel {
+	n := rows * cols
+	if cap(st.scratch.Data) < n {
+		st.scratch.Data = make([]float64, n)
+	}
+	st.scratch.Data = st.scratch.Data[:n]
+	clear(st.scratch.Data)
+	st.scratch.Rows, st.scratch.Cols = rows, cols
+	return &st.scratch
+}
+
+// copyCounts refills dst from the plan's read-only counter template,
+// reusing dst's bucket storage.
+func copyCounts(dst, src map[int]int) {
+	clear(dst)
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// ---- shared rank scaffolding ----
+
+// rankOps is the per-algorithm surface the shared scaffolding drives:
+// message admission (phase gating) and processing.
+type rankOps interface {
+	accepts(m runtime.Msg) bool
+	process(ctx *runtime.Ctx, m runtime.Msg)
+}
+
+// diagSolver is implemented by the CPU handlers that drive the shared
+// ready-queue drains: solveY/solveX perform one diagonal solve plus its
+// follow-up broadcasts and block applications.
+type diagSolver interface {
+	solveY(ctx *runtime.Ctx, k int)
+	solveX(ctx *runtime.Ctx, k int)
+}
+
+// rankCore holds one rank's read-only view of the plan — geometry, block
+// lists, communication trees — plus the per-solve execution state and the
+// state-machine scaffolding every algorithm shares: message deferral,
+// ready-queue draining, and reduction-tree row contributions. The plan side
+// is shared across concurrent solves and never written after NewSolver.
+type rankCore struct {
+	p     *dist.Plan
+	model *machine.Model
+	gp    *dist.GridPlan
+
+	rank, z, row, col, r2d int
+
 	// Precomputed read-only views shared with the plan.
 	colL      map[int][]*snode.LBlock  // my blocks in column K (L)
 	colU      map[int][]dist.UBlockRef // my blocks in column K (U): U(I, K)
 	localL    map[int]int              // #my blocks in row K (L)
 	localU    map[int]int              // #my blocks in row K (U)
 	myDiagSns []int                    // supernodes whose diagonal rank is me
+
+	// st is this solve's mutable state, acquired in init and handed back to
+	// the pool by releaseState once the run has quiesced.
+	st *solveState
 }
 
-func (r *rankBase) init(p *dist.Plan, model *machine.Model, rank int, b, x *sparse.Panel) {
-	r.p = p
-	r.model = model
-	r.rank = rank
-	r.nrhs = b.Cols
+func (c *rankCore) init(p *dist.Plan, model *machine.Model, rank int, b, x *sparse.Panel) {
+	c.p = p
+	c.model = model
+	c.rank = rank
 	g := p.Layout.GridSize()
-	r.z = rank / g
-	r.r2d = rank % g
-	r.row = r.r2d / p.Layout.Py
-	r.col = r.r2d % p.Layout.Py
-	r.gp = p.Grids[r.z]
-	r.b, r.x = b, x
+	c.z = rank / g
+	c.r2d = rank % g
+	c.row = c.r2d / p.Layout.Py
+	c.col = c.r2d % p.Layout.Py
+	c.gp = p.Grids[c.z]
 
-	r.lsum = make(map[int]*sparse.Panel)
-	r.usum = make(map[int]*sparse.Panel)
-	r.y = make(map[int]*sparse.Panel)
-	r.xl = make(map[int]*sparse.Panel)
+	rd := c.gp.Ranks[c.r2d]
+	c.colL = rd.ColL
+	c.colU = rd.ColU
+	c.localL = rd.LocalL
+	c.localU = rd.LocalU
+	c.myDiagSns = rd.MyDiagSns
 
-	rd := r.gp.Ranks[r.r2d]
-	r.colL = rd.ColL
-	r.colU = rd.ColU
-	r.localL = rd.LocalL
-	r.localU = rd.LocalU
-	r.myDiagSns = rd.MyDiagSns
+	c.st = acquireState(b, x)
 }
+
+// releaseState returns the per-solve state to the pool. Solve calls it
+// after the backend run has fully completed, so no handler code can still
+// be touching the state.
+func (c *rankCore) releaseState() {
+	if c.st != nil {
+		c.st.release()
+		c.st = nil
+	}
+}
+
+// dispatch implements the deferral protocol shared by every handler:
+// process the message if the current phase admits it, otherwise buffer it;
+// then drain whatever buffered messages the processing unlocked.
+func (c *rankCore) dispatch(ctx *runtime.Ctx, m runtime.Msg, ops rankOps) {
+	if !ops.accepts(m) {
+		c.st.deferred = append(c.st.deferred, m)
+		return
+	}
+	ops.process(ctx, m)
+	c.drainDeferred(ctx, ops)
+}
+
+// drainDeferred re-offers buffered messages until none is acceptable;
+// processing one message can unlock others (e.g. a phase transition).
+func (c *rankCore) drainDeferred(ctx *runtime.Ctx, ops rankOps) {
+	for {
+		progressed := false
+		for i := 0; i < len(c.st.deferred); i++ {
+			if ops.accepts(c.st.deferred[i]) {
+				m := c.st.deferred[i]
+				c.st.deferred = append(c.st.deferred[:i], c.st.deferred[i+1:]...)
+				ops.process(ctx, m)
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// drainReadyY solves queued L-phase diagonal rows; solving one row can
+// locally unlock further rows, so it loops until the queue is quiet.
+func (c *rankCore) drainReadyY(ctx *runtime.Ctx, s diagSolver) {
+	st := c.st
+	for len(st.readyY) > 0 {
+		k := st.readyY[0]
+		st.readyY = st.readyY[1:]
+		s.solveY(ctx, k)
+	}
+}
+
+// drainReadyX mirrors drainReadyY for the U phase.
+func (c *rankCore) drainReadyX(ctx *runtime.Ctx, s diagSolver) {
+	st := c.st
+	for len(st.readyX) > 0 {
+		k := st.readyX[0]
+		st.readyX = st.readyX[1:]
+		s.solveX(ctx, k)
+	}
+}
+
+// lContribution records one lsum contribution for row K (a local GEMV or a
+// reduction-tree child message) under the given reduction tree and fires
+// the follow-up when the row completes: enqueue the diagonal solve at the
+// tree root, forward the partial sum to the parent elsewhere.
+func (c *rankCore) lContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
+	st := c.st
+	st.pendingL[k]--
+	if st.pendingL[k] != 0 {
+		return
+	}
+	if tree.Root() == c.r2d {
+		st.enqueueY(k)
+		return
+	}
+	s := c.getLsum(k)
+	ctx.Send(runtime.Msg{
+		Dst: c.p.GlobalRank(c.z, tree.Parent(c.r2d)), Tag: tagLReduce, Cat: runtime.CatXY,
+		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
+	})
+	delete(st.lsum, k) // ownership transferred
+}
+
+// uContribution mirrors lContribution for usum rows.
+func (c *rankCore) uContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
+	st := c.st
+	st.pendingU[k]--
+	if st.pendingU[k] != 0 {
+		return
+	}
+	if tree.Root() == c.r2d {
+		st.enqueueX(k)
+		return
+	}
+	s := c.getUsum(k)
+	ctx.Send(runtime.Msg{
+		Dst: c.p.GlobalRank(c.z, tree.Parent(c.r2d)), Tag: tagUReduce, Cat: runtime.CatXY,
+		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
+	})
+	delete(st.usum, k)
+}
+
+// ---- shared numeric kernels ----
 
 // snWidth returns the width of supernode k.
-func (r *rankBase) snWidth(k int) int { return r.p.M.SnWidth(k) }
+func (c *rankCore) snWidth(k int) int { return c.p.M.SnWidth(k) }
 
 // getLsum returns (allocating if needed) the lsum accumulator for row k.
-func (r *rankBase) getLsum(k int) *sparse.Panel {
-	s := r.lsum[k]
+func (c *rankCore) getLsum(k int) *sparse.Panel {
+	s := c.st.lsum[k]
 	if s == nil {
-		s = sparse.NewPanel(r.snWidth(k), r.nrhs)
-		r.lsum[k] = s
+		s = sparse.NewPanel(c.snWidth(k), c.st.nrhs)
+		c.st.lsum[k] = s
 	}
 	return s
 }
 
 // getUsum returns the usum accumulator for row k.
-func (r *rankBase) getUsum(k int) *sparse.Panel {
-	s := r.usum[k]
+func (c *rankCore) getUsum(k int) *sparse.Panel {
+	s := c.st.usum[k]
 	if s == nil {
-		s = sparse.NewPanel(r.snWidth(k), r.nrhs)
-		r.usum[k] = s
+		s = sparse.NewPanel(c.snWidth(k), c.st.nrhs)
+		c.st.usum[k] = s
 	}
 	return s
 }
 
-// rhsFor builds the diagonal rank's local copy of b(K), honoring the
-// proposed algorithm's zeroing rule (Alg. 1 lines 4–10): when replicate is
-// false the subvector is zero unless this grid owns the node.
-func (r *rankBase) rhsFor(k int, keep bool) *sparse.Panel {
-	w := r.snWidth(k)
-	out := sparse.NewPanel(w, r.nrhs)
+// rhsFor builds the diagonal rank's local copy of b(K) in the scratch
+// panel, honoring the proposed algorithm's zeroing rule (Alg. 1 lines
+// 4–10): when keep is false the subvector is zero unless this grid owns the
+// node. The result is consumed by diagSolveY before the next scratch use.
+func (c *rankCore) rhsFor(k int, keep bool) *sparse.Panel {
+	w := c.snWidth(k)
+	out := c.st.scratchPanel(w, c.st.nrhs)
 	if keep {
-		lo := r.p.M.SnBegin[k]
-		for j := 0; j < r.nrhs; j++ {
-			copy(out.Col(j), r.b.Col(j)[lo:lo+w])
+		lo := c.p.M.SnBegin[k]
+		for j := 0; j < c.st.nrhs; j++ {
+			copy(out.Col(j), c.st.b.Col(j)[lo:lo+w])
 		}
 	}
 	return out
@@ -198,75 +459,76 @@ func (r *rankBase) rhsFor(k int, keep bool) *sparse.Panel {
 
 // applyLBlock computes prod = L(I,K)·y(K) and accumulates it into lsum(I),
 // returning the modeled FP seconds of the operation.
-func (r *rankBase) applyLBlock(blk *snode.LBlock, k int, yk *sparse.Panel) float64 {
-	w := r.snWidth(k)
-	prod := sparse.NewPanel(len(blk.Rows), r.nrhs)
+func (c *rankCore) applyLBlock(blk *snode.LBlock, k int, yk *sparse.Panel) float64 {
+	w := c.snWidth(k)
+	prod := c.st.scratchPanel(len(blk.Rows), c.st.nrhs)
 	sparse.GemmAdd(blk.Val, yk, prod)
-	dst := r.getLsum(blk.I)
-	base := r.p.M.SnBegin[blk.I]
-	for j := 0; j < r.nrhs; j++ {
+	dst := c.getLsum(blk.I)
+	base := c.p.M.SnBegin[blk.I]
+	for j := 0; j < c.st.nrhs; j++ {
 		dc := dst.Col(j)
 		pc := prod.Col(j)
 		for t, row := range blk.Rows {
 			dc[row-base] += pc[t]
 		}
 	}
-	return r.model.GemmTime(len(blk.Rows), w, r.nrhs)
+	return c.model.GemmTime(len(blk.Rows), w, c.st.nrhs)
 }
 
 // applyUBlock accumulates U(I,K)·x(K) into usum(I) and returns the modeled
 // FP seconds.
-func (r *rankBase) applyUBlock(ref dist.UBlockRef, k int, xk *sparse.Panel) float64 {
+func (c *rankCore) applyUBlock(ref dist.UBlockRef, k int, xk *sparse.Panel) float64 {
 	blk := ref.Blk
-	base := r.p.M.SnBegin[k]
-	sub := sparse.NewPanel(len(blk.Cols), r.nrhs)
-	for j := 0; j < r.nrhs; j++ {
+	base := c.p.M.SnBegin[k]
+	sub := c.st.scratchPanel(len(blk.Cols), c.st.nrhs)
+	for j := 0; j < c.st.nrhs; j++ {
 		sc := sub.Col(j)
 		xc := xk.Col(j)
-		for t, c := range blk.Cols {
-			sc[t] = xc[c-base]
+		for t, col := range blk.Cols {
+			sc[t] = xc[col-base]
 		}
 	}
-	sparse.GemmAdd(blk.Val, sub, r.getUsum(ref.I))
-	return r.model.GemmTime(blk.Val.Rows, len(blk.Cols), r.nrhs)
+	sparse.GemmAdd(blk.Val, sub, c.getUsum(ref.I))
+	return c.model.GemmTime(blk.Val.Rows, len(blk.Cols), c.st.nrhs)
 }
 
 // diagSolveY computes y(K) = inv(L(K,K))·(rhs − lsum(K)); rhs is consumed.
-func (r *rankBase) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64) {
-	if s := r.lsum[k]; s != nil {
+func (c *rankCore) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64) {
+	if s := c.st.lsum[k]; s != nil {
 		for i, v := range s.Data {
 			rhs.Data[i] -= v
 		}
 	}
-	w := r.snWidth(k)
-	yk := sparse.NewPanel(w, r.nrhs)
-	sparse.GemmAdd(r.p.M.LDiagInv[k], rhs, yk)
-	return yk, r.model.GemmTime(w, w, r.nrhs)
+	w := c.snWidth(k)
+	yk := sparse.NewPanel(w, c.st.nrhs)
+	sparse.GemmAdd(c.p.M.LDiagInv[k], rhs, yk)
+	return yk, c.model.GemmTime(w, w, c.st.nrhs)
 }
 
 // diagSolveX computes x(K) = inv(U(K,K))·(y(K) − usum(K)).
-func (r *rankBase) diagSolveX(k int) (*sparse.Panel, float64) {
-	yk := r.y[k]
+func (c *rankCore) diagSolveX(k int) (*sparse.Panel, float64) {
+	yk := c.st.y[k]
 	if yk == nil {
-		panic(fmt.Sprintf("trsv: rank %d solving x(%d) without y", r.rank, k))
+		panic(fmt.Sprintf("trsv: rank %d solving x(%d) without y", c.rank, k))
 	}
-	rhs := yk.Clone()
-	if s := r.usum[k]; s != nil {
+	w := c.snWidth(k)
+	rhs := c.st.scratchPanel(w, c.st.nrhs)
+	copy(rhs.Data, yk.Data)
+	if s := c.st.usum[k]; s != nil {
 		for i, v := range s.Data {
 			rhs.Data[i] -= v
 		}
 	}
-	w := r.snWidth(k)
-	xk := sparse.NewPanel(w, r.nrhs)
-	sparse.GemmAdd(r.p.M.UDiagInv[k], rhs, xk)
-	return xk, r.model.GemmTime(w, w, r.nrhs)
+	xk := sparse.NewPanel(w, c.st.nrhs)
+	sparse.GemmAdd(c.p.M.UDiagInv[k], rhs, xk)
+	return xk, c.model.GemmTime(w, w, c.st.nrhs)
 }
 
 // writeX stores x(K) into the global output panel.
-func (r *rankBase) writeX(k int, xk *sparse.Panel) {
-	lo := r.p.M.SnBegin[k]
-	for j := 0; j < r.nrhs; j++ {
-		copy(r.x.Col(j)[lo:lo+xk.Rows], xk.Col(j))
+func (c *rankCore) writeX(k int, xk *sparse.Panel) {
+	lo := c.p.M.SnBegin[k]
+	for j := 0; j < c.st.nrhs; j++ {
+		copy(c.st.x.Col(j)[lo:lo+xk.Rows], xk.Col(j))
 	}
 }
 

@@ -30,17 +30,11 @@ type gpuTask struct {
 	diag bool
 }
 
-// smScheduler performs list scheduling over the GPU's SM slots.
-type smScheduler struct {
-	free  int
-	ready []gpuTask
-}
-
 // flopsBytesL returns the modeled volume of an L task for column k: the
 // diagonal GEMM (diagonal tasks only) plus this rank's off-diagonal GEMVs.
-func flopsBytesL(r *rankBase, k int, diag bool) (flops, bytes, diagFlops float64) {
+func flopsBytesL(r *rankCore, k int, diag bool) (flops, bytes, diagFlops float64) {
 	w := float64(r.snWidth(k))
-	n := float64(r.nrhs)
+	n := float64(r.st.nrhs)
 	if diag {
 		diagFlops = 2 * w * w * n
 		flops += diagFlops
@@ -55,9 +49,9 @@ func flopsBytesL(r *rankBase, k int, diag bool) (flops, bytes, diagFlops float64
 }
 
 // flopsBytesU mirrors flopsBytesL for U tasks.
-func flopsBytesU(r *rankBase, k int, diag bool) (flops, bytes, diagFlops float64) {
+func flopsBytesU(r *rankCore, k int, diag bool) (flops, bytes, diagFlops float64) {
 	w := float64(r.snWidth(k))
-	n := float64(r.nrhs)
+	n := float64(r.st.nrhs)
 	if diag {
 		diagFlops = 2 * w * w * n
 		flops += diagFlops
@@ -75,18 +69,9 @@ func flopsBytesU(r *rankBase, k int, diag bool) (flops, bytes, diagFlops float64
 // ---- Single GPU per grid (Alg. 4): Px = Py = 1 ----
 
 type gpuSingleRank struct {
-	rankBase
+	rankCore
 	gpu *machine.GPU
-
-	phase int // 0=L, 1=AR, 2=U, 3=done
-	ar    *arHelper
-
-	sched     smScheduler
-	fmod      map[int]int
-	bmod      map[int]int
-	tasksLeft int
-
-	deferred []runtime.Msg
+	ar  *arHelper
 }
 
 // NewGPUSingle returns the handler factory for the single-GPU-per-grid
@@ -94,29 +79,28 @@ type gpuSingleRank struct {
 func NewGPUSingle(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
 		h := &gpuSingleRank{gpu: model.GPU}
-		h.rankBase.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x)
 		return h
 	}
 }
 
-func (h *gpuSingleRank) Done() bool { return h.phase == 3 }
+func (h *gpuSingleRank) Done() bool { return h.st.phase == 3 }
 
 func (h *gpuSingleRank) Init(ctx *runtime.Ctx) {
 	if !ctx.Virtual() {
 		panic("trsv: GPU algorithms require the simulation backend")
 	}
-	h.ar = newARHelper(&h.rankBase)
-	h.fmod = make(map[int]int)
-	h.bmod = make(map[int]int)
-	h.sched.free = h.gpu.SMs
-	h.tasksLeft = len(h.gp.Sns)
+	h.ar = newARHelper(&h.rankCore)
+	st := h.st
+	st.smFree = h.gpu.SMs
+	st.tasksLeft = len(h.gp.Sns)
 	for _, k := range h.gp.Sns {
-		h.fmod[k] = len(h.gp.RowSns[k])
-		h.bmod[k] = len(h.gp.URowSns[k])
+		st.fmod[k] = len(h.gp.RowSns[k])
+		st.bmod[k] = len(h.gp.URowSns[k])
 	}
 	for _, k := range h.gp.Sns {
-		if h.fmod[k] == 0 {
-			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true})
+		if st.fmod[k] == 0 {
+			st.readyTasks = append(st.readyTasks, gpuTask{k: k, diag: true})
 		}
 	}
 	h.startTasks(ctx)
@@ -124,26 +108,7 @@ func (h *gpuSingleRank) Init(ctx *runtime.Ctx) {
 }
 
 func (h *gpuSingleRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
-	if !h.accepts(m) {
-		h.deferred = append(h.deferred, m)
-		return
-	}
-	h.process(ctx, m)
-	for {
-		progressed := false
-		for i := 0; i < len(h.deferred); i++ {
-			if h.accepts(h.deferred[i]) {
-				d := h.deferred[i]
-				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
-				h.process(ctx, d)
-				progressed = true
-				break
-			}
-		}
-		if !progressed {
-			return
-		}
-	}
+	h.dispatch(ctx, m, h)
 }
 
 func (h *gpuSingleRank) accepts(m runtime.Msg) bool {
@@ -151,9 +116,9 @@ func (h *gpuSingleRank) accepts(m runtime.Msg) bool {
 	case tagGPUEvent:
 		return true
 	case tagARReduce:
-		return h.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
+		return h.st.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
 	case tagARBcast:
-		return h.phase == 1 && h.ar.acceptsBcast()
+		return h.st.phase == 1 && h.ar.acceptsBcast()
 	}
 	panic(fmt.Sprintf("trsv: gpu rank %d unexpected tag %d", h.rank, m.Tag))
 }
@@ -177,28 +142,29 @@ func (h *gpuSingleRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 // work runs now (dependencies are satisfied), the completion event fires
 // after the modeled duration.
 func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
-	for h.sched.free > 0 && len(h.sched.ready) > 0 {
-		t := h.sched.ready[0]
-		h.sched.ready = h.sched.ready[1:]
-		h.sched.free--
+	st := h.st
+	for st.smFree > 0 && len(st.readyTasks) > 0 {
+		t := st.readyTasks[0]
+		st.readyTasks = st.readyTasks[1:]
+		st.smFree--
 		var dur float64
 		if !t.isU {
-			flops, bytes, _ := flopsBytesL(&h.rankBase, t.k, true)
+			flops, bytes, _ := flopsBytesL(&h.rankCore, t.k, true)
 			dur = h.gpu.TaskTime(flops, bytes)
 			ctx.Compute(0, func() {
 				keep := h.gp.OwnerGridOfSn(t.k) == h.z
 				yk, _ := h.diagSolveY(t.k, h.rhsFor(t.k, keep))
-				h.y[t.k] = yk
+				st.y[t.k] = yk
 				for _, blk := range h.colL[t.k] {
 					h.applyLBlock(blk, t.k, yk)
 				}
 			})
 		} else {
-			flops, bytes, _ := flopsBytesU(&h.rankBase, t.k, true)
+			flops, bytes, _ := flopsBytesU(&h.rankCore, t.k, true)
 			dur = h.gpu.TaskTime(flops, bytes)
 			ctx.Compute(0, func() {
 				xk, _ := h.diagSolveX(t.k)
-				h.xl[t.k] = xk
+				st.xl[t.k] = xk
 				if h.gp.OwnerGridOfSn(t.k) == h.z {
 					h.writeX(t.k, xk)
 				}
@@ -212,20 +178,21 @@ func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
 }
 
 func (h *gpuSingleRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
-	h.sched.free++
-	h.tasksLeft--
+	st := h.st
+	st.smFree++
+	st.tasksLeft--
 	if !t.isU {
 		for _, blk := range h.colL[t.k] {
-			h.fmod[blk.I]--
-			if h.fmod[blk.I] == 0 {
-				h.sched.ready = append(h.sched.ready, gpuTask{k: blk.I, diag: true})
+			st.fmod[blk.I]--
+			if st.fmod[blk.I] == 0 {
+				st.readyTasks = append(st.readyTasks, gpuTask{k: blk.I, diag: true})
 			}
 		}
 	} else {
 		for _, ref := range h.colU[t.k] {
-			h.bmod[ref.I]--
-			if h.bmod[ref.I] == 0 {
-				h.sched.ready = append(h.sched.ready, gpuTask{k: ref.I, diag: true, isU: true})
+			st.bmod[ref.I]--
+			if st.bmod[ref.I] == 0 {
+				st.readyTasks = append(st.readyTasks, gpuTask{k: ref.I, diag: true, isU: true})
 			}
 		}
 	}
@@ -234,30 +201,32 @@ func (h *gpuSingleRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
 }
 
 func (h *gpuSingleRank) maybeFinishPhase(ctx *runtime.Ctx) {
-	if h.tasksLeft != 0 {
+	st := h.st
+	if st.tasksLeft != 0 {
 		return
 	}
-	switch h.phase {
+	switch st.phase {
 	case 0:
 		ctx.Mark(MarkLDone)
-		h.phase = 1
-		h.tasksLeft = -1 // sentinel until the U phase reloads it
+		st.phase = 1
+		st.tasksLeft = -1 // sentinel until the U phase reloads it
 		if h.ar.begin(ctx) {
 			h.finishAR(ctx)
 		}
 	case 2:
 		ctx.Mark(MarkUDone)
-		h.phase = 3
+		st.phase = 3
 	}
 }
 
 func (h *gpuSingleRank) finishAR(ctx *runtime.Ctx) {
 	ctx.Mark(MarkZDone)
-	h.phase = 2
-	h.tasksLeft = len(h.gp.Sns)
+	st := h.st
+	st.phase = 2
+	st.tasksLeft = len(h.gp.Sns)
 	for _, k := range h.gp.Sns {
-		if h.bmod[k] == 0 {
-			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true, isU: true})
+		if st.bmod[k] == 0 {
+			st.readyTasks = append(st.readyTasks, gpuTask{k: k, diag: true, isU: true})
 		}
 	}
 	h.startTasks(ctx)
@@ -267,18 +236,9 @@ func (h *gpuSingleRank) finishAR(ctx *runtime.Ctx) {
 // ---- NVSHMEM multi-GPU (Alg. 5): Px × 1 × Pz ----
 
 type gpuMultiRank struct {
-	rankBase
+	rankCore
 	gpu *machine.GPU
-
-	phase int // 0=L, 1=AR, 2=U, 3=done
-	ar    *arHelper
-
-	sched     smScheduler
-	fmod      map[int]int // my rows: remaining local L GEMVs
-	bmod      map[int]int // my rows: remaining local U GEMVs
-	tasksLeft int
-
-	deferred []runtime.Msg
+	ar  *arHelper
 }
 
 // NewGPUMulti returns the handler factory for the NVSHMEM-based multi-GPU
@@ -286,12 +246,12 @@ type gpuMultiRank struct {
 func NewGPUMulti(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
 		h := &gpuMultiRank{gpu: model.GPU}
-		h.rankBase.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x)
 		return h
 	}
 }
 
-func (h *gpuMultiRank) Done() bool { return h.phase == 3 }
+func (h *gpuMultiRank) Done() bool { return h.st.phase == 3 }
 
 // taskCountL returns the number of L tasks this rank executes: one per
 // owned diagonal plus one per broadcast-tree membership (the off-diagonal
@@ -324,23 +284,22 @@ func (h *gpuMultiRank) Init(ctx *runtime.Ctx) {
 	if !ctx.Virtual() {
 		panic("trsv: GPU algorithms require the simulation backend")
 	}
-	h.ar = newARHelper(&h.rankBase)
-	h.fmod = make(map[int]int)
-	h.bmod = make(map[int]int)
-	h.sched.free = h.gpu.SMs
-	h.tasksLeft = h.taskCountL()
+	h.ar = newARHelper(&h.rankCore)
+	st := h.st
+	st.smFree = h.gpu.SMs
+	st.tasksLeft = h.taskCountL()
 	// With Py=1 every block of row K lives on rank K mod Px, so the fmod
 	// counters are purely local (no reduction phase — the reason the paper
 	// prefers Py=1 on GPUs).
 	for _, k := range h.gp.Sns {
 		if k%h.p.Layout.Px == h.row {
-			h.fmod[k] = h.localL[k]
-			h.bmod[k] = h.localU[k]
+			st.fmod[k] = h.localL[k]
+			st.bmod[k] = h.localU[k]
 		}
 	}
 	for _, k := range h.myDiagSns {
-		if h.fmod[k] == 0 {
-			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true})
+		if st.fmod[k] == 0 {
+			st.readyTasks = append(st.readyTasks, gpuTask{k: k, diag: true})
 		}
 	}
 	h.startTasks(ctx)
@@ -348,26 +307,7 @@ func (h *gpuMultiRank) Init(ctx *runtime.Ctx) {
 }
 
 func (h *gpuMultiRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
-	if !h.accepts(m) {
-		h.deferred = append(h.deferred, m)
-		return
-	}
-	h.process(ctx, m)
-	for {
-		progressed := false
-		for i := 0; i < len(h.deferred); i++ {
-			if h.accepts(h.deferred[i]) {
-				d := h.deferred[i]
-				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
-				h.process(ctx, d)
-				progressed = true
-				break
-			}
-		}
-		if !progressed {
-			return
-		}
-	}
+	h.dispatch(ctx, m, h)
 }
 
 func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
@@ -376,11 +316,11 @@ func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
 		return true
 	case tagGPUPut:
 		d := m.Data.(*gpuPut)
-		return (d.isU && h.phase == 2) || (!d.isU && h.phase == 0)
+		return (d.isU && h.st.phase == 2) || (!d.isU && h.st.phase == 0)
 	case tagARReduce:
-		return h.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
+		return h.st.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
 	case tagARBcast:
-		return h.phase == 1 && h.ar.acceptsBcast()
+		return h.st.phase == 1 && h.ar.acceptsBcast()
 	}
 	panic(fmt.Sprintf("trsv: gpu rank %d unexpected tag %d", h.rank, m.Tag))
 }
@@ -399,7 +339,7 @@ func (h *gpuMultiRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 		h.onTaskDone(ctx, m.Data.(gpuTask))
 	case tagGPUPut:
 		d := m.Data.(*gpuPut)
-		h.sched.ready = append(h.sched.ready, gpuTask{k: d.K, put: d.V, isU: d.isU})
+		h.st.readyTasks = append(h.st.readyTasks, gpuTask{k: d.K, put: d.V, isU: d.isU})
 		h.startTasks(ctx)
 	case tagARReduce:
 		if h.ar.onReduce(ctx, m.Data.(*vecBundle)) {
@@ -431,21 +371,22 @@ func (h *gpuMultiRank) forwardPuts(ctx *runtime.Ctx, k int, v *sparse.Panel, isU
 }
 
 func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
-	for h.sched.free > 0 && len(h.sched.ready) > 0 {
-		t := h.sched.ready[0]
-		h.sched.ready = h.sched.ready[1:]
-		h.sched.free--
+	st := h.st
+	for st.smFree > 0 && len(st.readyTasks) > 0 {
+		t := st.readyTasks[0]
+		st.readyTasks = st.readyTasks[1:]
+		st.smFree--
 		diag := t.put == nil
 		var dur float64
 		if !t.isU {
-			flops, bytes, diagFlops := flopsBytesL(&h.rankBase, t.k, diag)
+			flops, bytes, diagFlops := flopsBytesL(&h.rankCore, t.k, diag)
 			dur = h.gpu.TaskTime(flops, bytes)
 			var yk *sparse.Panel
 			ctx.Compute(0, func() {
 				if diag {
 					keep := h.gp.OwnerGridOfSn(t.k) == h.z
 					yk, _ = h.diagSolveY(t.k, h.rhsFor(t.k, keep))
-					h.y[t.k] = yk
+					st.y[t.k] = yk
 				} else {
 					yk = t.put
 				}
@@ -459,13 +400,13 @@ func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 			}
 			h.forwardPuts(ctx, t.k, yk, false, delay)
 		} else {
-			flops, bytes, diagFlops := flopsBytesU(&h.rankBase, t.k, diag)
+			flops, bytes, diagFlops := flopsBytesU(&h.rankCore, t.k, diag)
 			dur = h.gpu.TaskTime(flops, bytes)
 			var xk *sparse.Panel
 			ctx.Compute(0, func() {
 				if diag {
 					xk, _ = h.diagSolveX(t.k)
-					h.xl[t.k] = xk
+					st.xl[t.k] = xk
 					if h.gp.OwnerGridOfSn(t.k) == h.z {
 						h.writeX(t.k, xk)
 					}
@@ -487,20 +428,21 @@ func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 }
 
 func (h *gpuMultiRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
-	h.sched.free++
-	h.tasksLeft--
+	st := h.st
+	st.smFree++
+	st.tasksLeft--
 	if !t.isU {
 		for _, blk := range h.colL[t.k] {
-			h.fmod[blk.I]--
-			if h.fmod[blk.I] == 0 && h.p.DiagRank2D(blk.I) == h.r2d {
-				h.sched.ready = append(h.sched.ready, gpuTask{k: blk.I, diag: true})
+			st.fmod[blk.I]--
+			if st.fmod[blk.I] == 0 && h.p.DiagRank2D(blk.I) == h.r2d {
+				st.readyTasks = append(st.readyTasks, gpuTask{k: blk.I, diag: true})
 			}
 		}
 	} else {
 		for _, ref := range h.colU[t.k] {
-			h.bmod[ref.I]--
-			if h.bmod[ref.I] == 0 && h.p.DiagRank2D(ref.I) == h.r2d {
-				h.sched.ready = append(h.sched.ready, gpuTask{k: ref.I, diag: true, isU: true})
+			st.bmod[ref.I]--
+			if st.bmod[ref.I] == 0 && h.p.DiagRank2D(ref.I) == h.r2d {
+				st.readyTasks = append(st.readyTasks, gpuTask{k: ref.I, diag: true, isU: true})
 			}
 		}
 	}
@@ -509,30 +451,32 @@ func (h *gpuMultiRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
 }
 
 func (h *gpuMultiRank) maybeFinishPhase(ctx *runtime.Ctx) {
-	if h.tasksLeft != 0 {
+	st := h.st
+	if st.tasksLeft != 0 {
 		return
 	}
-	switch h.phase {
+	switch st.phase {
 	case 0:
 		ctx.Mark(MarkLDone)
-		h.phase = 1
-		h.tasksLeft = -1
+		st.phase = 1
+		st.tasksLeft = -1
 		if h.ar.begin(ctx) {
 			h.finishAR(ctx)
 		}
 	case 2:
 		ctx.Mark(MarkUDone)
-		h.phase = 3
+		st.phase = 3
 	}
 }
 
 func (h *gpuMultiRank) finishAR(ctx *runtime.Ctx) {
 	ctx.Mark(MarkZDone)
-	h.phase = 2
-	h.tasksLeft = h.taskCountU()
+	st := h.st
+	st.phase = 2
+	st.tasksLeft = h.taskCountU()
 	for _, k := range h.myDiagSns {
-		if h.bmod[k] == 0 {
-			h.sched.ready = append(h.sched.ready, gpuTask{k: k, diag: true, isU: true})
+		if st.bmod[k] == 0 {
+			st.readyTasks = append(st.readyTasks, gpuTask{k: k, diag: true, isU: true})
 		}
 	}
 	h.startTasks(ctx)

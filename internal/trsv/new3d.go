@@ -2,7 +2,6 @@ package trsv
 
 import (
 	"fmt"
-	"maps"
 
 	"sptrsv/internal/dist"
 	"sptrsv/internal/machine"
@@ -21,34 +20,20 @@ import (
 // with the plan's communication-tree kind (flat = classic 2D, binary =
 // Liu et al. CSC '18).
 type new3dRank struct {
-	rankBase
-
-	phase int // 0=L, 1=AR, 2=U, 3=done
-
-	// L-phase dependency state.
-	pendingL  map[int]int
-	lRecvLeft int
-	readyY    []int // diagonal rows ready to solve
+	rankCore
 
 	// Allreduce state: ar is the paper's sparse allreduce (Alg. 2); when
 	// naive is set, nar runs the per-node strawman instead (ablation).
 	ar    *arHelper
 	nar   *naiveAR
 	naive bool
-
-	// U-phase dependency state.
-	pendingU  map[int]int
-	uRecvLeft int
-	readyX    []int
-
-	deferred []runtime.Msg
 }
 
 // NewProposed3D returns the handler factory for the proposed algorithm.
 func NewProposed3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
 		h := &new3dRank{}
-		h.rankBase.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x)
 		return h
 	}
 }
@@ -59,38 +44,34 @@ func NewProposed3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(
 func NewProposed3DNaiveAR(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
 		h := &new3dRank{naive: true}
-		h.rankBase.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x)
 		return h
 	}
 }
 
-func (h *new3dRank) Done() bool { return h.phase == 3 }
+func (h *new3dRank) Done() bool { return h.st.phase == 3 }
 
 func (h *new3dRank) Init(ctx *runtime.Ctx) {
 	rd := h.gp.Ranks[h.r2d]
-	h.pendingL = maps.Clone(rd.PendingL)
-	h.pendingU = maps.Clone(rd.PendingU)
-	h.lRecvLeft = rd.LRecv
-	h.uRecvLeft = rd.URecv
-	h.ar = newARHelper(&h.rankBase)
+	st := h.st
+	copyCounts(st.pendingL, rd.PendingL)
+	copyCounts(st.pendingU, rd.PendingU)
+	st.lRecvLeft = rd.LRecv
+	st.uRecvLeft = rd.URecv
+	h.ar = newARHelper(&h.rankCore)
 
 	// Kick off: diagonal supernodes with no pending contributions.
 	for _, k := range h.myDiagSns {
-		if h.pendingL[k] == 0 {
-			h.readyY = append(h.readyY, k)
+		if st.pendingL[k] == 0 {
+			st.enqueueY(k)
 		}
 	}
-	h.drainReadyY(ctx)
+	h.drainReadyY(ctx, h)
 	h.maybeFinishL(ctx)
 }
 
 func (h *new3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
-	if !h.accepts(m) {
-		h.deferred = append(h.deferred, m)
-		return
-	}
-	h.process(ctx, m)
-	h.drainDeferred(ctx)
+	h.dispatch(ctx, m, h)
 }
 
 // accepts reports whether the message can be processed in the current
@@ -98,51 +79,33 @@ func (h *new3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
 func (h *new3dRank) accepts(m runtime.Msg) bool {
 	switch m.Tag {
 	case tagYBcast, tagLReduce:
-		return h.phase == 0
+		return h.st.phase == 0
 	case tagARReduce:
-		return h.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
+		return h.st.phase == 1 && h.ar.acceptsReduce(m.Data.(*vecBundle).Step)
 	case tagARBcast:
-		return h.phase == 1 && h.ar.acceptsBcast()
+		return h.st.phase == 1 && h.ar.acceptsBcast()
 	case tagNaiveARUp:
-		return h.phase == 1 && h.nar != nil && h.nar.accepts(m)
+		return h.st.phase == 1 && h.nar != nil && h.nar.accepts(m)
 	case tagXBcast, tagUReduce:
-		return h.phase == 2
+		return h.st.phase == 2
 	}
 	panic(fmt.Sprintf("trsv: rank %d unexpected tag %d", h.rank, m.Tag))
-}
-
-func (h *new3dRank) drainDeferred(ctx *runtime.Ctx) {
-	for {
-		progressed := false
-		for i := 0; i < len(h.deferred); i++ {
-			if h.accepts(h.deferred[i]) {
-				m := h.deferred[i]
-				h.deferred = append(h.deferred[:i], h.deferred[i+1:]...)
-				h.process(ctx, m)
-				progressed = true
-				break
-			}
-		}
-		if !progressed {
-			return
-		}
-	}
 }
 
 func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 	switch m.Tag {
 	case tagYBcast:
 		d := m.Data.(*yMsg)
-		h.lRecvLeft--
+		h.st.lRecvLeft--
 		h.onY(ctx, d.K, d.Y)
-		h.drainReadyY(ctx)
+		h.drainReadyY(ctx, h)
 		h.maybeFinishL(ctx)
 	case tagLReduce:
 		d := m.Data.(*sumMsg)
-		h.lRecvLeft--
+		h.st.lRecvLeft--
 		h.getLsum(d.K).AddFrom(d.S)
-		h.rowContribution(ctx, d.K)
-		h.drainReadyY(ctx)
+		h.lContribution(ctx, d.K, h.gp.LReduce[d.K])
+		h.drainReadyY(ctx, h)
 		h.maybeFinishL(ctx)
 	case tagARReduce:
 		if h.ar.onReduce(ctx, m.Data.(*vecBundle)) {
@@ -158,16 +121,16 @@ func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 		}
 	case tagXBcast:
 		d := m.Data.(*yMsg)
-		h.uRecvLeft--
+		h.st.uRecvLeft--
 		h.onX(ctx, d.K, d.Y)
-		h.drainReadyX(ctx)
+		h.drainReadyX(ctx, h)
 		h.maybeFinishU(ctx)
 	case tagUReduce:
 		d := m.Data.(*sumMsg)
-		h.uRecvLeft--
+		h.st.uRecvLeft--
 		h.getUsum(d.K).AddFrom(d.S)
-		h.uRowContribution(ctx, d.K)
-		h.drainReadyX(ctx)
+		h.uContribution(ctx, d.K, h.gp.UReduce[d.K])
+		h.drainReadyX(ctx, h)
 		h.maybeFinishU(ctx)
 	}
 }
@@ -186,54 +149,29 @@ func (h *new3dRank) onY(ctx *runtime.Ctx, k int, yk *sparse.Panel) {
 	for _, blk := range h.colL[k] {
 		secs := h.applyLBlock(blk, k, yk)
 		ctx.Compute(secs, nil)
-		h.rowContribution(ctx, blk.I)
+		h.lContribution(ctx, blk.I, h.gp.LReduce[blk.I])
 	}
 }
 
-// rowContribution records one lsum contribution for row K (a local GEMV or
-// a reduction-tree child message) and fires the follow-up action when the
-// row is complete.
-func (h *new3dRank) rowContribution(ctx *runtime.Ctx, k int) {
-	h.pendingL[k]--
-	if h.pendingL[k] != 0 {
-		return
-	}
-	tree := h.gp.LReduce[k]
-	if tree.Root() == h.r2d {
-		h.readyY = append(h.readyY, k)
-		return
-	}
-	parent := tree.Parent(h.r2d)
-	s := h.getLsum(k)
-	ctx.Send(runtime.Msg{
-		Dst: h.p.GlobalRank(h.z, parent), Tag: tagLReduce, Cat: runtime.CatXY,
-		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
-	})
-	delete(h.lsum, k) // ownership transferred
-}
-
-// drainReadyY solves diagonal rows whose dependencies are met; solving one
-// row can locally unlock further rows, so loop until quiet.
-func (h *new3dRank) drainReadyY(ctx *runtime.Ctx) {
-	for len(h.readyY) > 0 {
-		k := h.readyY[0]
-		h.readyY = h.readyY[1:]
-		keep := h.gp.OwnerGridOfSn(k) == h.z
-		yk, secs := h.diagSolveY(k, h.rhsFor(k, keep))
-		ctx.Compute(secs, nil)
-		h.y[k] = yk
-		h.onY(ctx, k, yk)
-	}
+// solveY performs one L-phase diagonal solve and its follow-ups
+// (diagSolver, driven by the shared ready-queue drain).
+func (h *new3dRank) solveY(ctx *runtime.Ctx, k int) {
+	keep := h.gp.OwnerGridOfSn(k) == h.z
+	yk, secs := h.diagSolveY(k, h.rhsFor(k, keep))
+	ctx.Compute(secs, nil)
+	h.st.y[k] = yk
+	h.onY(ctx, k, yk)
 }
 
 func (h *new3dRank) maybeFinishL(ctx *runtime.Ctx) {
-	if h.phase != 0 || h.lRecvLeft != 0 || len(h.readyY) != 0 {
+	st := h.st
+	if st.phase != 0 || st.lRecvLeft != 0 || len(st.readyY) != 0 {
 		return
 	}
 	ctx.Mark(MarkLDone)
-	h.phase = 1
+	st.phase = 1
 	if h.naive {
-		h.nar = newNaiveAR(&h.rankBase)
+		h.nar = newNaiveAR(&h.rankCore)
 		if h.nar.begin(ctx) {
 			h.finishAR(ctx)
 		}
@@ -246,13 +184,14 @@ func (h *new3dRank) maybeFinishL(ctx *runtime.Ctx) {
 
 func (h *new3dRank) finishAR(ctx *runtime.Ctx) {
 	ctx.Mark(MarkZDone)
-	h.phase = 2
+	st := h.st
+	st.phase = 2
 	for _, k := range h.myDiagSns {
-		if h.pendingU[k] == 0 {
-			h.readyX = append(h.readyX, k)
+		if st.pendingU[k] == 0 {
+			st.enqueueX(k)
 		}
 	}
-	h.drainReadyX(ctx)
+	h.drainReadyX(ctx, h)
 	h.maybeFinishU(ctx)
 }
 
@@ -268,47 +207,26 @@ func (h *new3dRank) onX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 	for _, ref := range h.colU[k] {
 		secs := h.applyUBlock(ref, k, xk)
 		ctx.Compute(secs, nil)
-		h.uRowContribution(ctx, ref.I)
+		h.uContribution(ctx, ref.I, h.gp.UReduce[ref.I])
 	}
 }
 
-func (h *new3dRank) uRowContribution(ctx *runtime.Ctx, k int) {
-	h.pendingU[k]--
-	if h.pendingU[k] != 0 {
-		return
+// solveX performs one U-phase diagonal solve and its follow-ups.
+func (h *new3dRank) solveX(ctx *runtime.Ctx, k int) {
+	xk, secs := h.diagSolveX(k)
+	ctx.Compute(secs, nil)
+	h.st.xl[k] = xk
+	if h.gp.OwnerGridOfSn(k) == h.z {
+		h.writeX(k, xk)
 	}
-	tree := h.gp.UReduce[k]
-	if tree.Root() == h.r2d {
-		h.readyX = append(h.readyX, k)
-		return
-	}
-	parent := tree.Parent(h.r2d)
-	s := h.getUsum(k)
-	ctx.Send(runtime.Msg{
-		Dst: h.p.GlobalRank(h.z, parent), Tag: tagUReduce, Cat: runtime.CatXY,
-		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
-	})
-	delete(h.usum, k)
-}
-
-func (h *new3dRank) drainReadyX(ctx *runtime.Ctx) {
-	for len(h.readyX) > 0 {
-		k := h.readyX[0]
-		h.readyX = h.readyX[1:]
-		xk, secs := h.diagSolveX(k)
-		ctx.Compute(secs, nil)
-		h.xl[k] = xk
-		if h.gp.OwnerGridOfSn(k) == h.z {
-			h.writeX(k, xk)
-		}
-		h.onX(ctx, k, xk)
-	}
+	h.onX(ctx, k, xk)
 }
 
 func (h *new3dRank) maybeFinishU(ctx *runtime.Ctx) {
-	if h.phase != 2 || h.uRecvLeft != 0 || len(h.readyX) != 0 {
+	st := h.st
+	if st.phase != 2 || st.uRecvLeft != 0 || len(st.readyX) != 0 {
 		return
 	}
 	ctx.Mark(MarkUDone)
-	h.phase = 3
+	st.phase = 3
 }

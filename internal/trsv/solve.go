@@ -50,14 +50,38 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// stateReleaser is implemented by every handler embedding rankCore; Solve
+// uses it to hand the per-solve state back to the pool after the run.
+type stateReleaser interface{ releaseState() }
+
 // Solve runs one distributed triangular solve of L·U·x = b on the given
 // backend and returns the solution panel (in the permuted ordering of the
 // plan's factors) together with the per-rank timing result.
+//
+// The plan is only read, so any number of Solve calls may run concurrently
+// against the same plan, each with its own RHS.
 func Solve(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b *sparse.Panel) (*sparse.Panel, *runtime.Result, error) {
-	if b.Rows != p.M.N {
-		return nil, nil, fmt.Errorf("trsv: rhs has %d rows, matrix has %d", b.Rows, p.M.N)
-	}
 	x := sparse.NewPanel(b.Rows, b.Cols)
+	res, err := SolveInto(p, model, algo, back, b, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, res, nil
+}
+
+// SolveInto is Solve writing the solution into a caller-provided panel
+// (which it zeroes first), letting repeated solves reuse output storage.
+// Each rank handler draws its per-solve execution state from a shared pool
+// and returns it when the run completes, so steady-state repeated solves
+// allocate little beyond the solution subvectors themselves.
+func SolveInto(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b, x *sparse.Panel) (*runtime.Result, error) {
+	if b.Rows != p.M.N {
+		return nil, fmt.Errorf("trsv: rhs has %d rows, matrix has %d", b.Rows, p.M.N)
+	}
+	if x.Rows != b.Rows || x.Cols != b.Cols {
+		return nil, fmt.Errorf("trsv: output panel is %dx%d, rhs is %dx%d", x.Rows, x.Cols, b.Rows, b.Cols)
+	}
+	x.Zero()
 	var factory func(int) runtime.Handler
 	switch algo {
 	case Proposed3D:
@@ -65,29 +89,47 @@ func Solve(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b *
 	case Proposed3DNaiveAR:
 		factory = NewProposed3DNaiveAR(p, model, b, x)
 	case Baseline3D:
+		if err := p.BuildBaseline(); err != nil {
+			return nil, err
+		}
 		factory = NewBaseline3D(p, model, b, x)
 	case GPUSingle:
 		if p.Layout.Px != 1 || p.Layout.Py != 1 {
-			return nil, nil, fmt.Errorf("trsv: gpu-single requires Px=Py=1, got %dx%d", p.Layout.Px, p.Layout.Py)
+			return nil, fmt.Errorf("trsv: gpu-single requires Px=Py=1, got %dx%d", p.Layout.Px, p.Layout.Py)
 		}
 		if model.GPU == nil {
-			return nil, nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
+			return nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
 		}
 		factory = NewGPUSingle(p, model, b, x)
 	case GPUMulti:
 		if p.Layout.Py != 1 {
-			return nil, nil, fmt.Errorf("trsv: gpu-multi requires Py=1, got Py=%d", p.Layout.Py)
+			return nil, fmt.Errorf("trsv: gpu-multi requires Py=1, got Py=%d", p.Layout.Py)
 		}
 		if model.GPU == nil {
-			return nil, nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
+			return nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
 		}
 		factory = NewGPUMulti(p, model, b, x)
 	default:
-		return nil, nil, fmt.Errorf("trsv: unknown algorithm %v", algo)
+		return nil, fmt.Errorf("trsv: unknown algorithm %v", algo)
 	}
-	res, err := back.Run(p.Layout.Size(), model.Net(), factory)
+
+	// Track the handlers so their pooled solve states can be released once
+	// the backend has fully quiesced (both backends only return after every
+	// rank has stopped executing).
+	handlers := make([]runtime.Handler, p.Layout.Size())
+	wrapped := func(rank int) runtime.Handler {
+		h := factory(rank)
+		handlers[rank] = h
+		return h
+	}
+	res, err := back.Run(p.Layout.Size(), model.Net(), wrapped)
+	for _, h := range handlers {
+		if r, ok := h.(stateReleaser); ok {
+			r.releaseState()
+		}
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return x, res, nil
+	return res, nil
 }

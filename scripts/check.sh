@@ -1,0 +1,28 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, race-enabled tests, and the quick
+# solve benchmarks. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== quick solve benchmarks =="
+go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .
+
+echo "== check.sh OK =="

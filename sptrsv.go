@@ -36,6 +36,11 @@
 //	x, report, _ := solver.Solve(b)
 //	_ = x
 //	fmt.Printf("solve time %.3g s\n", report.Time)
+//
+// A Solver is an immutable plan plus pooled per-solve state: build it once
+// and reuse it across right-hand sides. Solve is safe for concurrent use
+// from multiple goroutines, and SolveBatch runs one solve per panel
+// concurrently on a shared Solver.
 package sptrsv
 
 import (
