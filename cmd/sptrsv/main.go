@@ -95,13 +95,21 @@ func main() {
 		backend = trsv.PoolBackend{}
 	}
 
-	solver, err := core.NewSolver(sys, core.Config{
+	cfg := core.Config{
 		Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
 		Algorithm: algo,
 		Trees:     trees,
 		Machine:   machine.ByName(*machineName),
 		Backend:   backend,
-	})
+	}
+	if err := core.ValidateConfig(sys, cfg); err != nil {
+		fail(fmt.Errorf("configuration %dx%dx%d %s on %s is not runnable: %w\n"+
+			"hint: let the autotuner pick a valid configuration for this matrix and machine:\n"+
+			"  go run ./cmd/tune -matrix %s -scale %s -machine %s -p %d",
+			*px, *py, *pz, *algoName, *machineName, err,
+			*matrix, *scale, *machineName, (*px)*(*py)*(*pz)))
+	}
+	solver, err := core.NewSolver(sys, cfg)
 	if err != nil {
 		fail(err)
 	}

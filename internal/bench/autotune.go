@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/machine"
+	"sptrsv/internal/tune"
+)
+
+// AutotuneRow is one matrix × machine point of the autotune harness: the
+// configuration the tuner chose, its DES makespan, the makespan of the
+// fixed default {Proposed3D, Px≈Py, Pz=1, AutoTrees}, and the search
+// effort spent.
+type AutotuneRow struct {
+	Matrix  string
+	Machine string
+	P       int
+	Chosen  string  // "algo PxxPyxPz trees"
+	Tuned   float64 // s, DES makespan of the chosen config
+	Default float64 // s, DES makespan of the naive default
+	Speedup float64 // Default / Tuned
+	Probes  int     // DES probe solves spent
+	Space   int     // legal candidates before pruning
+}
+
+// Autotune runs the tuner for the six analogs on the paper's three
+// systems (Cori Haswell CPU, Perlmutter GPU, Crusher GPU) and tabulates
+// tuned-vs-default makespans — the self-configuration the paper's
+// hand-swept figures imply. Rank budgets follow the harness scale: CPU
+// budgets are grid-sized, GPU budgets stay in the Fig. 9–11 range.
+func Autotune(cfg Config) []AutotuneRow {
+	l := newLab(cfg)
+	type point struct {
+		model *machine.Model
+		p     int
+	}
+	points := []point{
+		{machine.CoriHaswell(), 64},
+		{machine.PerlmutterGPU(), 16},
+		{machine.CrusherGPU(), 16},
+	}
+	if cfg.Quick {
+		points = []point{
+			{machine.CoriHaswell(), 16},
+			{machine.PerlmutterGPU(), 8},
+			{machine.CrusherGPU(), 8},
+		}
+	}
+
+	var rows []AutotuneRow
+	for _, name := range suiteNames() {
+		sys := l.system(name)
+		for _, pt := range points {
+			l.cfg.logf("autotune %s on %s p=%d", name, pt.model.Name, pt.p)
+			res, err := tune.Run(sys, pt.model, pt.p, tune.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("bench: autotune %s on %s: %v", name, pt.model.Name, err))
+			}
+			rows = append(rows, AutotuneRow{
+				Matrix:  name,
+				Machine: pt.model.Name,
+				P:       pt.p,
+				Chosen: fmt.Sprintf("%s %dx%dx%d %s", res.Config.Algorithm,
+					res.Config.Layout.Px, res.Config.Layout.Py, res.Config.Layout.Pz, res.Config.Trees),
+				Tuned:   res.Makespan,
+				Default: res.DefaultMakespan,
+				Speedup: res.DefaultMakespan / res.Makespan,
+				Probes:  res.Probes,
+				Space:   res.SpaceSize,
+			})
+		}
+	}
+
+	if cfg.Out != nil {
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				r.Matrix, r.Machine, fmt.Sprint(r.P), r.Chosen,
+				fmt.Sprintf("%.4g", r.Tuned*1e3), fmt.Sprintf("%.4g", r.Default*1e3),
+				fmt.Sprintf("%.2fx", r.Speedup),
+				fmt.Sprintf("%d/%d", r.Probes, r.Space),
+			})
+		}
+		fmt.Fprintln(cfg.Out, "Autotune: tuned config vs fixed default {proposed-3d, Px≈Py, Pz=1, auto trees} (DES makespans)")
+		table(cfg.Out, []string{"matrix", "machine", "P", "chosen config", "tuned ms", "default ms", "speedup", "probed"}, cells)
+	}
+	return rows
+}

@@ -229,6 +229,26 @@ func TestStats(t *testing.T) {
 	}
 }
 
+func TestAutotuneQuick(t *testing.T) {
+	rows := Autotune(quickCfg())
+	if len(rows) != 6*3 {
+		t.Fatalf("expected 18 rows (6 matrices x 3 machines), got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Tuned <= 0 || r.Default <= 0 {
+			t.Fatalf("nonpositive makespan: %+v", r)
+		}
+		// The tuner must never do worse than the fixed default — it always
+		// probes the default alongside the pre-score's top-k.
+		if r.Tuned > r.Default*(1+1e-12) {
+			t.Fatalf("%s on %s: tuned %g slower than default %g", r.Matrix, r.Machine, r.Tuned, r.Default)
+		}
+		if r.Probes <= 0 || r.Space < r.Probes {
+			t.Fatalf("implausible search effort: %+v", r)
+		}
+	}
+}
+
 func TestAblationQuick(t *testing.T) {
 	pts := Ablation(quickCfg())
 	byVariant := map[string]AblationPoint{}

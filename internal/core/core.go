@@ -103,10 +103,51 @@ type solveBuffers struct {
 	bp, xp *sparse.Panel
 }
 
+// ValidateConfig checks that cfg is a runnable algorithm × layout ×
+// machine combination for sys, without building the distribution plan.
+// NewSolver calls it first, and the autotuner's search-space generator
+// filters candidates through it, so the compatibility rules live in one
+// place.
+func ValidateConfig(sys *System, cfg Config) error {
+	if cfg.Machine == nil {
+		return fmt.Errorf("core: Config.Machine is required")
+	}
+	if err := cfg.Layout.Validate(); err != nil {
+		return err
+	}
+	if max := sys.Tree.NumLeaves(); cfg.Layout.Pz > max {
+		return fmt.Errorf("core: Pz=%d exceeds the separator tree's capacity 2^%d (refactorize with a larger FactorOptions.TreeDepth)",
+			cfg.Layout.Pz, sys.Tree.Depth)
+	}
+	switch cfg.Algorithm {
+	case trsv.Proposed3D, trsv.Baseline3D, trsv.Proposed3DNaiveAR:
+		// CPU algorithms run under every machine model.
+	case trsv.GPUSingle:
+		if cfg.Machine.GPU == nil {
+			return fmt.Errorf("core: algorithm %v needs a GPU machine model, %s is CPU-only", cfg.Algorithm, cfg.Machine.Name)
+		}
+		if cfg.Layout.Px != 1 || cfg.Layout.Py != 1 {
+			return fmt.Errorf("core: algorithm %v requires Px=Py=1 (Alg. 4 collapses each grid to one GPU), got %dx%d",
+				cfg.Algorithm, cfg.Layout.Px, cfg.Layout.Py)
+		}
+	case trsv.GPUMulti:
+		if cfg.Machine.GPU == nil {
+			return fmt.Errorf("core: algorithm %v needs a GPU machine model, %s is CPU-only", cfg.Algorithm, cfg.Machine.Name)
+		}
+		if cfg.Layout.Py != 1 {
+			return fmt.Errorf("core: algorithm %v requires Py=1 (the Alg. 5 model covers Py=1 layouts only), got Py=%d",
+				cfg.Algorithm, cfg.Layout.Py)
+		}
+	default:
+		return fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
+	}
+	return nil
+}
+
 // NewSolver validates the configuration and builds the distribution plan.
 func NewSolver(sys *System, cfg Config) (*Solver, error) {
-	if cfg.Machine == nil {
-		return nil, fmt.Errorf("core: Config.Machine is required")
+	if err := ValidateConfig(sys, cfg); err != nil {
+		return nil, err
 	}
 	if cfg.Backend == nil {
 		cfg.Backend = trsv.SimBackend{}

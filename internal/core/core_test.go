@@ -116,6 +116,57 @@ func TestNewSolverValidation(t *testing.T) {
 	}
 }
 
+func TestValidateConfigAlgorithmRules(t *testing.T) {
+	sys := testSystem(t)
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"gpu-multi Py=2 rejected", Config{
+			Layout: grid.Layout{Px: 2, Py: 2, Pz: 2}, Algorithm: trsv.GPUMulti,
+			Machine: machine.PerlmutterGPU(),
+		}, false},
+		{"gpu-multi Py=1 accepted", Config{
+			Layout: grid.Layout{Px: 2, Py: 1, Pz: 2}, Algorithm: trsv.GPUMulti,
+			Machine: machine.PerlmutterGPU(),
+		}, true},
+		{"gpu-single Px=2 rejected", Config{
+			Layout: grid.Layout{Px: 2, Py: 1, Pz: 2}, Algorithm: trsv.GPUSingle,
+			Machine: machine.PerlmutterGPU(),
+		}, false},
+		{"gpu-single on CPU-only model rejected", Config{
+			Layout: grid.Layout{Px: 1, Py: 1, Pz: 4}, Algorithm: trsv.GPUSingle,
+			Machine: machine.CoriHaswell(),
+		}, false},
+		{"gpu-multi on CPU-only model rejected", Config{
+			Layout: grid.Layout{Px: 2, Py: 1, Pz: 2}, Algorithm: trsv.GPUMulti,
+			Machine: machine.CrusherCPU(),
+		}, false},
+		{"cpu algorithm on GPU model accepted", Config{
+			Layout: grid.Layout{Px: 2, Py: 2, Pz: 2}, Algorithm: trsv.Proposed3D,
+			Machine: machine.PerlmutterGPU(),
+		}, true},
+		{"unknown algorithm rejected", Config{
+			Layout: grid.Layout{Px: 1, Py: 1, Pz: 1}, Algorithm: trsv.Algorithm(99),
+			Machine: machine.CoriHaswell(),
+		}, false},
+	}
+	for _, tc := range cases {
+		err := ValidateConfig(sys, tc.cfg)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+		// NewSolver must agree with the standalone validator.
+		if _, err := NewSolver(sys, tc.cfg); (err == nil) != tc.ok {
+			t.Errorf("%s: NewSolver disagrees with ValidateConfig (err=%v)", tc.name, err)
+		}
+	}
+}
+
 func TestGPUSolveThroughCore(t *testing.T) {
 	sys := testSystem(t)
 	s, err := NewSolver(sys, Config{

@@ -1,0 +1,148 @@
+package tune
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"sptrsv/internal/machine"
+)
+
+func testEntry() Entry {
+	return Entry{
+		Px: 4, Py: 4, Pz: 2,
+		Algorithm: "proposed-3d", Trees: "auto",
+		Makespan: 1.5e-4, Default: 2.0e-4,
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache claims a hit")
+	}
+	want := testEntry()
+	if err := c.Put("k", want); err != nil {
+		t.Fatal(err)
+	}
+	// Same handle.
+	got, ok := c.Get("k")
+	if !ok || got != want {
+		t.Fatalf("get after put: ok=%v got=%+v", ok, got)
+	}
+	// Fresh handle over the same directory: persisted round trip.
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c2.Get("k")
+	if !ok || got != want {
+		t.Fatalf("get after reload: ok=%v got=%+v", ok, got)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("len=%d", c2.Len())
+	}
+	// Entry decodes back into a runnable config shape.
+	cfg, err := got.Config(machine.CoriHaswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Layout.Px != 4 || cfg.Layout.Pz != 2 {
+		t.Fatalf("decoded layout %+v", cfg.Layout)
+	}
+}
+
+func TestCacheCorruptedFileStartsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, cacheFileName)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatalf("corrupted cache file must not fail Open: %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("corrupted cache served %d entries", c.Len())
+	}
+	// The next Put replaces the corrupted file with a valid one.
+	if err := c.Put("k", testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("k"); !ok {
+		t.Fatal("recovered cache lost the entry")
+	}
+}
+
+func TestCacheStaleVersionIgnored(t *testing.T) {
+	dir := t.TempDir()
+	raw, err := json.Marshal(cacheFile{
+		Version: CacheSchemaVersion + 1,
+		Entries: map[string]Entry{"k": testEntry()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, cacheFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stale-schema entry served")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			if i%2 == 0 {
+				if err := c.Put(key, testEntry()); err != nil {
+					t.Error(err)
+				}
+			} else {
+				c.Get(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestEntryConfigRejectsUnknownNames(t *testing.T) {
+	e := testEntry()
+	e.Algorithm = "warp-drive"
+	if _, err := e.Config(machine.CoriHaswell()); err == nil {
+		t.Fatal("unknown algorithm decoded")
+	}
+	e = testEntry()
+	e.Trees = "baobab"
+	if _, err := e.Config(machine.CoriHaswell()); err == nil {
+		t.Fatal("unknown tree kind decoded")
+	}
+}
+
+func TestNRHSClassAndKey(t *testing.T) {
+	if NRHSClass(1) != "single" || NRHSClass(0) != "single" || NRHSClass(50) != "multi" {
+		t.Fatal("nrhs classes wrong")
+	}
+}

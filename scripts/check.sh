@@ -22,6 +22,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== go test -race -count=2 (tuner + solver concurrency stress) =="
+go test -race -count=2 ./internal/tune ./internal/core
+
 echo "== quick solve benchmarks =="
 go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .
 

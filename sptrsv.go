@@ -22,20 +22,25 @@
 // simulated run performs the real numeric solve, so results are always
 // verifiable against the serial reference.
 //
-// Quickstart:
+// Quickstart — let the autotuner pick the algorithm, grid shape, and tree
+// kind for a rank budget:
 //
 //	a := sptrsv.S2D9pt(256, 256, 1)          // 2D Poisson analog
 //	sys, _ := sptrsv.Factorize(a, sptrsv.FactorOptions{})
+//	solver, _ := sptrsv.NewAutoSolver(sys, sptrsv.CoriHaswell(), 64)
+//	b := sptrsv.NewPanel(a.N, 1) // fill with the right-hand side
+//	x, report, _ := solver.Solve(b)
+//	_ = x
+//	fmt.Printf("solve time %.3g s\n", report.Time)
+//
+// Or pin every knob by hand:
+//
 //	solver, _ := sptrsv.NewSolver(sys, sptrsv.Config{
 //		Layout:    sptrsv.Layout{Px: 4, Py: 4, Pz: 4},
 //		Algorithm: sptrsv.Proposed3D,
 //		Trees:     sptrsv.BinaryTrees,
 //		Machine:   sptrsv.CoriHaswell(),
 //	})
-//	b := sptrsv.NewPanel(a.N, 1) // fill with the right-hand side
-//	x, report, _ := solver.Solve(b)
-//	_ = x
-//	fmt.Printf("solve time %.3g s\n", report.Time)
 //
 // A Solver is an immutable plan plus pooled per-solve state: build it once
 // and reuse it across right-hand sides. Solve is safe for concurrent use
@@ -55,6 +60,7 @@ import (
 	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/trsv"
+	"sptrsv/internal/tune"
 )
 
 // Matrix and vector types.
@@ -96,6 +102,61 @@ func Factorize(a *CSR, opt FactorOptions) (*System, error) { return core.Factori
 
 // NewSolver validates a configuration and builds the distribution plan.
 func NewSolver(sys *System, cfg Config) (*Solver, error) { return core.NewSolver(sys, cfg) }
+
+// ValidateConfig checks an algorithm × layout × machine combination
+// without building the distribution plan — the same rules NewSolver
+// enforces.
+func ValidateConfig(sys *System, cfg Config) error { return core.ValidateConfig(sys, cfg) }
+
+// Autotuning. AutoConfig searches the paper-legal configuration space
+// (algorithm × Px×Py×Pz × tree kind) for the rank budget p with a
+// two-stage search — an analytic pre-score followed by concurrent
+// discrete-event probe solves — and returns the best configuration found.
+// The result is deterministic and never slower (in modeled makespan) than
+// the fixed default {Proposed3D, Px≈Py, Pz=1, AutoTrees}.
+type (
+	// TuneOptions controls Tune (probe budget, nrhs class, persistent
+	// cache).
+	TuneOptions = tune.Options
+	// TuneResult reports the chosen config, its makespan, the default's
+	// makespan, and how many probe solves the search ran.
+	TuneResult = tune.Result
+	// TuneCache is the persistent tuned-config cache (one JSON file under
+	// a caller-chosen directory), safe for concurrent use.
+	TuneCache = tune.Cache
+)
+
+// OpenTuneCache loads or initializes a persistent tuned-config cache under
+// dir. Pass it via TuneOptions.Cache to make repeated Tune calls for the
+// same matrix × machine × rank budget skip the search entirely.
+func OpenTuneCache(dir string) (*TuneCache, error) { return tune.OpenCache(dir) }
+
+// Tune runs the autotuner with explicit options and returns the full
+// search report.
+func Tune(sys *System, m *MachineModel, p int, opt TuneOptions) (*TuneResult, error) {
+	return tune.Run(sys, m, p, opt)
+}
+
+// AutoConfig returns the best configuration for solving sys on machine m
+// with p ranks, using default tuning options (nrhs=1, no persistent
+// cache).
+func AutoConfig(sys *System, m *MachineModel, p int) (Config, error) {
+	res, err := tune.Run(sys, m, p, tune.Options{})
+	if err != nil {
+		return Config{}, err
+	}
+	return res.Config, nil
+}
+
+// NewAutoSolver tunes and builds in one step: the Solver equivalent of
+// NewSolver(sys, AutoConfig(sys, m, p)).
+func NewAutoSolver(sys *System, m *MachineModel, p int) (*Solver, error) {
+	cfg, err := AutoConfig(sys, m, p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSolver(sys, cfg)
+}
 
 // Layout is a Px × Py × Pz process layout (Pz must be a power of two).
 type Layout = grid.Layout

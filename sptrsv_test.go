@@ -46,6 +46,63 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPublicAPIAutoSolver exercises the autotuning entry points: tuned
+// solver end-to-end, AutoConfig validity, and the persistent cache flow
+// through TuneOptions.
+func TestPublicAPIAutoSolver(t *testing.T) {
+	a := sptrsv.S2D9pt(24, 24, 2)
+	sys, err := sptrsv.Factorize(a, sptrsv.FactorOptions{TreeDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := sptrsv.NewAutoSolver(sys, sptrsv.CoriHaswell(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b := sptrsv.NewPanel(a.N, 1)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	x, rep, err := solver.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := solver.Residual(x, b); r > 1e-7 {
+		t.Fatalf("auto solver residual %g", r)
+	}
+	if rep.Time <= 0 {
+		t.Fatal("auto solver reported no time")
+	}
+
+	cfg, err := sptrsv.AutoConfig(sys, sptrsv.CoriHaswell(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sptrsv.ValidateConfig(sys, cfg); err != nil {
+		t.Fatalf("AutoConfig returned invalid config: %v", err)
+	}
+
+	cache, err := sptrsv.OpenTuneCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sptrsv.Tune(sys, sptrsv.CoriHaswell(), 8, sptrsv.TuneOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sptrsv.Tune(sys, sptrsv.CoriHaswell(), 8, sptrsv.TuneOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache || warm.Probes != 0 {
+		t.Fatalf("warm tune not cached: fromCache=%v probes=%d", warm.FromCache, warm.Probes)
+	}
+	if warm.Config.Layout != cold.Config.Layout || warm.Config.Algorithm != cold.Config.Algorithm {
+		t.Fatalf("warm config %+v differs from cold %+v", warm.Config, cold.Config)
+	}
+}
+
 func TestPublicAPISuiteAndMTX(t *testing.T) {
 	suite := sptrsv.Suite("small")
 	if len(suite) != 6 {
