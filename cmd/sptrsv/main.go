@@ -23,6 +23,7 @@ import (
 	"sptrsv/internal/grid"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/mtx"
+	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/trsv"
 )
@@ -39,6 +40,7 @@ func main() {
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
 	backendName := flag.String("backend", "sim", "backend: sim (modeled time) or pool (wall clock)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this path (see also cmd/trace)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -90,9 +92,10 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown tree kind %q", *treeName))
 	}
-	var backend trsv.Backend = trsv.SimBackend{}
+	tracing := *tracePath != ""
+	var backend trsv.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: tracing}}
 	if *backendName == "pool" {
-		backend = trsv.PoolBackend{}
+		backend = trsv.PoolBackend{Pool: runtime.Pool{Opts: runtime.Options{Trace: tracing}}}
 	}
 
 	cfg := core.Config{
@@ -128,4 +131,20 @@ func main() {
 	fmt.Printf("breakdown (mean/rank): FP %.3g s, XY-comm %.3g s, Z-comm %.3g s\n",
 		rep.MeanFP, rep.MeanXY, rep.MeanZ)
 	fmt.Printf("residual ‖Ax−b‖∞ = %.3g\n", solver.Residual(x, b))
+
+	if tracing {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.Raw.WriteTraceNamed(f, trsv.TagName); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote trace to %s (%d events) — open in chrome://tracing or ui.perfetto.dev\n",
+			*tracePath, rep.Raw.Trace.Events())
+	}
 }

@@ -1,0 +1,165 @@
+// Command trace runs one traced solve on the discrete-event backend and
+// writes a Chrome trace_event JSON file — open it in chrome://tracing or
+// https://ui.perfetto.dev to see every rank's compute, send, recv, and wait
+// spans on the virtual timeline. It also prints the trace-derived breakdown,
+// the run's critical path (the longest task → message → task dependency
+// chain, a lower bound on any schedule of the same graph), and the
+// top-slack/top-wait message edges — the direct input for choosing the next
+// communication optimization.
+//
+// Usage:
+//
+//	trace -matrix s2d9pt -scale small -px 2 -py 2 -pz 4 \
+//	      -algo proposed -machine cori-haswell -o trace.json -top 5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+func main() {
+	matrix := flag.String("matrix", "s2d9pt", "matrix analog: s2d9pt, nlpkkt, ldoor, dielfilter, gaas, s1mat")
+	scale := flag.String("scale", "small", "matrix scale: small, medium, large")
+	px := flag.Int("px", 2, "process rows per 2D grid")
+	py := flag.Int("py", 2, "process columns per 2D grid")
+	pz := flag.Int("pz", 2, "number of replicated 2D grids (power of two)")
+	algoName := flag.String("algo", "proposed", "algorithm: proposed, baseline, gpu-single, gpu-multi")
+	treeName := flag.String("trees", "auto", "communication trees: flat, binary, auto")
+	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
+	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
+	out := flag.String("o", "trace.json", "output path for the Chrome trace_event JSON")
+	top := flag.Int("top", 5, "how many top-slack and top-wait message edges to print")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+
+	m := gen.Named(*matrix, gen.ParseScale(*scale))
+	fmt.Printf("matrix %s (analog of %s): n=%d, nnz=%d\n", m.Name, m.PaperName, m.A.N, m.A.NNZ())
+	sys, err := core.Factorize(m.A, core.FactorOptions{})
+	if err != nil {
+		fail(err)
+	}
+
+	var algo trsv.Algorithm
+	switch *algoName {
+	case "proposed":
+		algo = trsv.Proposed3D
+	case "baseline":
+		algo = trsv.Baseline3D
+	case "gpu-single":
+		algo = trsv.GPUSingle
+	case "gpu-multi":
+		algo = trsv.GPUMulti
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	var trees ctree.Kind
+	switch *treeName {
+	case "flat":
+		trees = ctree.Flat
+	case "binary":
+		trees = ctree.Binary
+	case "auto":
+		trees = ctree.Auto
+	default:
+		fail(fmt.Errorf("unknown tree kind %q", *treeName))
+	}
+
+	solver, err := core.NewSolver(sys, core.Config{
+		Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
+		Algorithm: algo,
+		Trees:     trees,
+		Machine:   machine.ByName(*machineName),
+		Trace:     true,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	b := sparse.NewPanel(m.A.N, *nrhs)
+	for i := range b.Data {
+		b.Data[i] = 1
+	}
+	x, rep, err := solver.Solve(b)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("layout %dx%dx%d, %s, %s model: solve time %.6g s, residual %.3g\n",
+		*px, *py, *pz, *algoName, *machineName, rep.Time, solver.Residual(x, b))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	w := bufio.NewWriter(f)
+	if err := rep.Raw.WriteTraceNamed(w, trsv.TagName); err != nil {
+		fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%d events) — open in chrome://tracing or ui.perfetto.dev\n",
+		*out, rep.Raw.Trace.Events())
+
+	bd, err := rep.Raw.TraceBreakdown()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nbreakdown (mean s over %d participating ranks):\n", bd.Participants)
+	for _, k := range []runtime.EventKind{runtime.EvCompute, runtime.EvSend, runtime.EvRecv, runtime.EvElapse} {
+		fmt.Printf("  %-8s %.4g\n", k, bd.KindSeconds(k))
+	}
+	fmt.Printf("  wait-XY  %.4g\n", bd.Seconds[runtime.EvWait][runtime.CatXY])
+	fmt.Printf("  wait-Z   %.4g\n", bd.Seconds[runtime.EvWait][runtime.CatZ])
+
+	cp, err := rep.Raw.CriticalPath()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\ncritical path: %.6g s = %.0f%% of the %.6g s makespan\n",
+		cp.Length, 100*cp.Length/cp.Makespan, cp.Makespan)
+	fmt.Printf("  %d steps, %d message hops, %.4g s in latency\n",
+		len(cp.Steps), cp.MsgHops, cp.LatencySeconds)
+	for c := runtime.Category(0); int(c) < runtime.NumCategories; c++ {
+		if w := cp.WorkByCat[c]; w > 0 {
+			fmt.Printf("  work on chain (%s): %.4g s\n", c, w)
+		}
+	}
+
+	edges, err := rep.Raw.MessageEdges()
+	if err != nil {
+		fail(err)
+	}
+	name := func(tag int) string {
+		if n := trsv.TagName(tag); n != "" {
+			return n
+		}
+		return fmt.Sprintf("tag-%d", tag)
+	}
+	fmt.Printf("\ntop %d edges by least slack (0 = receiver was blocked on it):\n", *top)
+	for _, e := range runtime.TopSlack(edges, *top) {
+		fmt.Printf("  %-12s %3d -> %3d  %6d B  slack %.4g s\n", name(e.Tag), e.Src, e.Dst, e.Bytes, e.Slack)
+	}
+	fmt.Printf("top %d edges by receiver wait they ended:\n", *top)
+	for _, e := range runtime.TopWait(edges, *top) {
+		fmt.Printf("  %-12s %3d -> %3d  %6d B  wait %.4g s\n", name(e.Tag), e.Src, e.Dst, e.Bytes, e.Wait)
+	}
+}

@@ -12,6 +12,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"text/tabwriter"
 
@@ -115,7 +116,9 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 	if rc.backend == nil {
 		rc.backend = trsv.SimBackend{}
 	}
-	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs)
+	// The backend is part of the key: a traced and an untraced solver for
+	// the same configuration must not share a cache slot.
+	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend)
 	solver := l.solvers[key]
 	if solver == nil {
 		var err error
@@ -164,13 +167,19 @@ func table(w io.Writer, header []string, rows [][]string) {
 	tw.Flush()
 }
 
-// stats returns mean, min, max of v.
+// stats returns mean, min, max of v, skipping NaN entries (phase spans are
+// NaN on ranks that never reached the phase — see Result.MarkSpan). All-NaN
+// or empty input yields zeros.
 func stats(v []float64) (mean, lo, hi float64) {
-	if len(v) == 0 {
-		return 0, 0, 0
-	}
-	lo, hi = v[0], v[0]
+	n := 0
 	for _, x := range v {
+		if math.IsNaN(x) {
+			continue
+		}
+		if n == 0 {
+			lo, hi = x, x
+		}
+		n++
 		mean += x
 		if x < lo {
 			lo = x
@@ -179,7 +188,10 @@ func stats(v []float64) (mean, lo, hi float64) {
 			hi = x
 		}
 	}
-	return mean / float64(len(v)), lo, hi
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return mean / float64(n), lo, hi
 }
 
 // pzSweep returns the power-of-two Pz values ≤ limit that divide p.

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/trsv"
+)
+
+// BreakdownDetail runs every solver algorithm with event tracing on and
+// reports the paper's Figs. 8/9-style per-category splits — where each
+// rank's time actually went (compute, send/recv overhead, waiting on XY
+// versus Z traffic) — plus the critical-path length of each run and its
+// share of the makespan. It is the trace-derived refinement of the coarse
+// Breakdown (Figs. 5–6) tables: the same question answered from recorded
+// spans instead of aggregate timers, with the dependency-chain bound on
+// top.
+func BreakdownDetail(cfg Config) []BreakdownDetailRow {
+	l := newLab(cfg)
+	matrices := []string{"s2d9pt", "nlpkkt", "ldoor"}
+	type setup struct {
+		name  string
+		algo  trsv.Algorithm
+		trees ctree.Kind
+		lay   grid.Layout
+		model *machine.Model
+	}
+	setups := []setup{
+		{"baseline-3d", trsv.Baseline3D, ctree.Flat, grid.Layout{Px: 2, Py: 2, Pz: 4}, machine.CoriHaswell()},
+		{"proposed-3d", trsv.Proposed3D, ctree.Auto, grid.Layout{Px: 2, Py: 2, Pz: 4}, machine.CoriHaswell()},
+		{"gpu-single", trsv.GPUSingle, ctree.Auto, grid.Layout{Px: 1, Py: 1, Pz: 4}, machine.PerlmutterGPU()},
+		{"gpu-multi", trsv.GPUMulti, ctree.Auto, grid.Layout{Px: 4, Py: 1, Pz: 4}, machine.PerlmutterGPU()},
+	}
+	traced := trsv.SimBackend{Opts: runtime.Options{Trace: true}}
+	var rows []BreakdownDetailRow
+	for _, m := range matrices {
+		for _, s := range setups {
+			cfg.logf("breakdown %s / %s", m, s.name)
+			rep := l.run(m, runCfg{
+				layout: s.lay, algo: s.algo, trees: s.trees,
+				model: s.model, nrhs: 1, backend: traced,
+			})
+			bd, err := rep.Raw.TraceBreakdown()
+			if err != nil {
+				panic(fmt.Sprintf("bench: breakdown %s/%s: %v", m, s.name, err))
+			}
+			cp, err := rep.Raw.CriticalPath()
+			if err != nil {
+				panic(fmt.Sprintf("bench: critical path %s/%s: %v", m, s.name, err))
+			}
+			rows = append(rows, BreakdownDetailRow{
+				Matrix:   m,
+				Algo:     s.name,
+				Layout:   s.lay,
+				Makespan: rep.Time,
+				Compute:  bd.KindSeconds(runtime.EvCompute),
+				Send:     bd.KindSeconds(runtime.EvSend),
+				Recv:     bd.KindSeconds(runtime.EvRecv),
+				Elapse:   bd.KindSeconds(runtime.EvElapse),
+				WaitXY:   bd.Seconds[runtime.EvWait][runtime.CatXY],
+				WaitZ:    bd.Seconds[runtime.EvWait][runtime.CatZ],
+				CritPath: cp.Length,
+				MsgHops:  cp.MsgHops,
+			})
+		}
+	}
+	if cfg.Out != nil {
+		renderBreakdownDetail(cfg, rows)
+	}
+	return rows
+}
+
+// BreakdownDetailRow is one (matrix, algorithm) line of the trace-derived
+// breakdown. All times are seconds: Makespan is the run's virtual time;
+// Compute/Send/Recv/Elapse/WaitXY/WaitZ are means over participating
+// ranks; CritPath is the length of the longest dependency chain (a lower
+// bound on any schedule of the run's task graph) and MsgHops the number of
+// message edges on it.
+type BreakdownDetailRow struct {
+	Matrix   string
+	Algo     string
+	Layout   grid.Layout
+	Makespan float64
+	Compute  float64
+	Send     float64
+	Recv     float64
+	Elapse   float64
+	WaitXY   float64
+	WaitZ    float64
+	CritPath float64
+	MsgHops  int
+}
+
+func renderBreakdownDetail(cfg Config, rows []BreakdownDetailRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Matrix, r.Algo,
+			fmt.Sprintf("%dx%dx%d", r.Layout.Px, r.Layout.Py, r.Layout.Pz),
+			fmt.Sprintf("%.3g", r.Makespan),
+			fmt.Sprintf("%.3g", r.Compute),
+			fmt.Sprintf("%.3g", r.Send),
+			fmt.Sprintf("%.3g", r.Recv),
+			fmt.Sprintf("%.3g", r.Elapse),
+			fmt.Sprintf("%.3g", r.WaitXY),
+			fmt.Sprintf("%.3g", r.WaitZ),
+			fmt.Sprintf("%.3g", r.CritPath),
+			fmt.Sprintf("%.0f%%", 100*r.CritPath/r.Makespan),
+			fmt.Sprintf("%d", r.MsgHops),
+		})
+	}
+	fmt.Fprintln(cfg.Out, "Trace-derived per-rank breakdown (mean seconds over participating ranks)")
+	fmt.Fprintln(cfg.Out, "and critical-path length per run (cp, cp/T, message hops on the chain).")
+	table(cfg.Out, []string{
+		"matrix", "algo", "PxPyPz", "T", "compute", "send", "recv",
+		"elapse", "waitXY", "waitZ", "cp", "cp/T", "hops",
+	}, cells)
+}

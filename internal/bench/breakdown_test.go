@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBreakdownDetailQuick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	cfg.Out = &buf
+	rows := BreakdownDetail(cfg)
+	if len(rows) != 12 {
+		t.Fatalf("%d rows, want 12 (3 matrices x 4 algorithms)", len(rows))
+	}
+	algos := map[string]bool{}
+	for _, r := range rows {
+		algos[r.Algo] = true
+		if r.Makespan <= 0 {
+			t.Fatalf("%s/%s: non-positive makespan %g", r.Matrix, r.Algo, r.Makespan)
+		}
+		if r.CritPath <= 0 || r.CritPath > r.Makespan*(1+1e-12) {
+			t.Fatalf("%s/%s: critical path %g outside (0, makespan=%g]",
+				r.Matrix, r.Algo, r.CritPath, r.Makespan)
+		}
+		// CPU algorithms model FP work as compute seconds; the GPU models
+		// charge task cost through scheduled delays instead, so only the
+		// total split needs to be non-empty there.
+		if strings.HasSuffix(r.Algo, "-3d") && r.Compute <= 0 {
+			t.Fatalf("%s/%s: no compute time on a real solve", r.Matrix, r.Algo)
+		}
+		if r.Compute+r.Send+r.Recv+r.Elapse+r.WaitXY+r.WaitZ <= 0 {
+			t.Fatalf("%s/%s: empty breakdown row", r.Matrix, r.Algo)
+		}
+		if r.MsgHops < 0 {
+			t.Fatalf("%s/%s: negative hop count", r.Matrix, r.Algo)
+		}
+	}
+	for _, want := range []string{"baseline-3d", "proposed-3d", "gpu-single", "gpu-multi"} {
+		if !algos[want] {
+			t.Fatalf("missing algorithm %q in breakdown rows", want)
+		}
+	}
+	out := buf.String()
+	for _, col := range []string{"compute", "waitXY", "waitZ", "cp/T"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("rendered table missing column %q:\n%s", col, out)
+		}
+	}
+}

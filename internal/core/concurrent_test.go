@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -255,8 +256,9 @@ func TestSolveBatchError(t *testing.T) {
 }
 
 // TestPhaseSpans pins the span computation against ranks with missing or
-// out-of-order marks: spans must clamp to 0 instead of going negative
-// (mirroring runtime.Result.MarkSpan semantics).
+// out-of-order marks: such spans must come back NaN — "the rank never had
+// this phase" — not a fake 0 or a negative number (mirroring
+// runtime.Result.MarkSpan semantics).
 func TestPhaseSpans(t *testing.T) {
 	res := &runtime.Result{
 		Clocks: []float64{6, 2, 0, 5},
@@ -268,16 +270,75 @@ func TestPhaseSpans(t *testing.T) {
 		},
 	}
 	l, z, u := phaseSpans(res)
-	wantL := []float64{1, 2, 0, 4}
-	wantZ := []float64{2, 0, 0, 0}
-	wantU := []float64{3, 0, 0, 4}
+	nan := math.NaN()
+	wantL := []float64{1, 2, nan, 4}
+	wantZ := []float64{2, nan, nan, nan}
+	wantU := []float64{3, nan, nan, 4}
+	eq := func(got, want float64) bool {
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
 	for i := range wantL {
-		if l[i] != wantL[i] || z[i] != wantZ[i] || u[i] != wantU[i] {
+		if !eq(l[i], wantL[i]) || !eq(z[i], wantZ[i]) || !eq(u[i], wantU[i]) {
 			t.Fatalf("rank %d spans L=%g Z=%g U=%g, want L=%g Z=%g U=%g",
 				i, l[i], z[i], u[i], wantL[i], wantZ[i], wantU[i])
 		}
 		if l[i] < 0 || z[i] < 0 || u[i] < 0 {
 			t.Fatalf("rank %d has negative span", i)
+		}
+	}
+}
+
+// TestConcurrentTracedSolves runs simultaneous traced solves on one shared
+// Solver under both backends; together with -race in scripts/check.sh this
+// pins that the tracer's per-rank rings are written without data races and
+// every concurrent solve gets its own complete trace.
+func TestConcurrentTracedSolves(t *testing.T) {
+	sys := testSystem(t)
+	backends := map[string]trsv.Backend{
+		"sim": trsv.SimBackend{Opts: runtime.Options{Trace: true}},
+		"pool": trsv.PoolBackend{Pool: runtime.Pool{
+			Timeout: 60 * time.Second,
+			Opts:    runtime.Options{Trace: true},
+		}},
+	}
+	for name, back := range backends {
+		s, err := NewSolver(sys, Config{
+			Layout:    grid.Layout{Px: 2, Py: 2, Pz: 2},
+			Algorithm: trsv.Proposed3D,
+			Trees:     ctree.Binary,
+			Machine:   machine.CoriHaswell(),
+			Backend:   back,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 6
+		bs := randomPanels(n, sys.A.N, 1, 29)
+		reps := make([]*Report, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := range bs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, reps[i], errs[i] = s.Solve(bs[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range bs {
+			if errs[i] != nil {
+				t.Fatalf("%s: traced solve %d: %v", name, i, errs[i])
+			}
+			tr := reps[i].Raw.Trace
+			if tr == nil || tr.Events() == 0 {
+				t.Fatalf("%s: traced solve %d produced no trace", name, i)
+			}
+			if !tr.Complete() {
+				t.Fatalf("%s: traced solve %d dropped events", name, i)
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"sptrsv/internal/ctree"
@@ -81,6 +82,10 @@ type Config struct {
 	Trees     ctree.Kind     // intra-grid communication trees (CPU algorithms)
 	Machine   *machine.Model // performance model for the simulation backend
 	Backend   trsv.Backend   // nil means the discrete-event simulator
+	// Trace enables per-rank event tracing on the default simulation
+	// backend (Report.Raw.Trace, runtime.Result.WriteTrace). Ignored when
+	// Backend is non-nil — set the backend's own Options instead.
+	Trace bool
 }
 
 // Solver executes distributed triangular solves for one System and Config.
@@ -150,7 +155,7 @@ func NewSolver(sys *System, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	if cfg.Backend == nil {
-		cfg.Backend = trsv.SimBackend{}
+		cfg.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: cfg.Trace}}
 	}
 	plan, err := dist.New(sys.SN, sys.Tree, cfg.Layout, cfg.Trees)
 	if err != nil {
@@ -219,13 +224,15 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 
 // phaseSpans converts the per-rank phase marks into durations. It mirrors
 // runtime.Result.MarkSpan semantics: a rank missing a mark (a grid that
-// never reaches a phase) or with out-of-order marks contributes 0, never a
-// negative span.
+// never reaches a phase) or with out-of-order marks contributes NaN — the
+// span does not exist on that rank, and aggregators must skip it rather
+// than dilute means with fake zeros.
 func phaseSpans(res *runtime.Result) (l, z, u []float64) {
 	l = make([]float64, len(res.Timers))
 	for i := range res.Timers {
+		l[i] = math.NaN()
 		if marks := res.Timers[i].Marks; marks != nil {
-			if v, ok := marks[trsv.MarkLDone]; ok && v > 0 {
+			if v, ok := marks[trsv.MarkLDone]; ok {
 				l[i] = v
 			}
 		}

@@ -20,12 +20,21 @@ import (
 )
 
 // Read parses a Matrix Market stream into a CSR matrix. The matrix must be
-// square.
+// square. Parse errors report the 1-based line number of the offending
+// line.
 func Read(r io.Reader) (*sparse.CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	scan := func() bool {
+		if !sc.Scan() {
+			return false
+		}
+		lineNo++
+		return true
+	}
 
-	if !sc.Scan() {
+	if !scan() {
 		return nil, fmt.Errorf("mtx: empty input")
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
@@ -49,52 +58,71 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 		return nil, fmt.Errorf("mtx: unsupported symmetry %q", header[4])
 	}
 
-	// Skip comments; read the size line.
-	var rows, cols, nnz int
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "%") {
-			continue
-		}
-		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("mtx: bad size line %q: %v", line, err)
-		}
-		break
-	}
-	if rows != cols {
-		return nil, fmt.Errorf("mtx: matrix is %dx%d, need square", rows, cols)
-	}
-	if rows <= 0 {
-		return nil, fmt.Errorf("mtx: missing or invalid size line")
-	}
-
-	b := sparse.NewBuilder(rows)
-	read := 0
-	for sc.Scan() && read < nnz {
+	// Skip comments; read the size line. Exactly three integer fields —
+	// fmt.Sscan would silently accept trailing garbage ("2 2 1 extra"),
+	// which almost always means a malformed or mislabeled file.
+	rows, cols, nnz := 0, 0, -1
+	for scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
 		f := strings.Fields(line)
-		if len(f) < 2 {
-			return nil, fmt.Errorf("mtx: bad entry line %q", line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("mtx: line %d: size line %q needs exactly 3 fields (rows cols nnz), got %d", lineNo, line, len(f))
+		}
+		var err error
+		if rows, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("mtx: line %d: bad row count %q", lineNo, f[0])
+		}
+		if cols, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("mtx: line %d: bad column count %q", lineNo, f[1])
+		}
+		if nnz, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("mtx: line %d: bad entry count %q", lineNo, f[2])
+		}
+		if nnz < 0 {
+			return nil, fmt.Errorf("mtx: line %d: negative entry count %d", lineNo, nnz)
+		}
+		break
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("mtx: missing size line")
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("mtx: matrix is %dx%d, need square", rows, cols)
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("mtx: invalid matrix dimension %d", rows)
+	}
+
+	b := sparse.NewBuilder(rows)
+	read := 0
+	for read < nnz && scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 || len(f) > 3 {
+			return nil, fmt.Errorf("mtx: line %d: entry %q needs 2 or 3 fields (row col [value]), got %d", lineNo, line, len(f))
 		}
 		i, err := strconv.Atoi(f[0])
 		if err != nil {
-			return nil, fmt.Errorf("mtx: bad row index %q", f[0])
+			return nil, fmt.Errorf("mtx: line %d: bad row index %q", lineNo, f[0])
 		}
 		j, err := strconv.Atoi(f[1])
 		if err != nil {
-			return nil, fmt.Errorf("mtx: bad column index %q", f[1])
+			return nil, fmt.Errorf("mtx: line %d: bad column index %q", lineNo, f[1])
 		}
 		v := 1.0
-		if len(f) >= 3 {
+		if len(f) == 3 {
 			if v, err = strconv.ParseFloat(f[2], 64); err != nil {
-				return nil, fmt.Errorf("mtx: bad value %q", f[2])
+				return nil, fmt.Errorf("mtx: line %d: bad value %q", lineNo, f[2])
 			}
 		}
 		if i < 1 || i > rows || j < 1 || j > cols {
-			return nil, fmt.Errorf("mtx: entry (%d,%d) out of range", i, j)
+			return nil, fmt.Errorf("mtx: line %d: entry (%d,%d) outside %dx%d matrix", lineNo, i, j, rows, cols)
 		}
 		b.Add(i-1, j-1, v)
 		if symmetric && i != j {

@@ -74,18 +74,60 @@ func TestPatternOnlyEntries(t *testing.T) {
 
 func TestReadErrors(t *testing.T) {
 	cases := map[string]string{
-		"empty":        "",
-		"bad header":   "hello\n1 1 1\n",
-		"array format": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
-		"complex":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
-		"rectangular":  "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1\n",
-		"out of range": "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
-		"truncated":    "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
-		"bad value":    "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 x\n",
+		"empty":              "",
+		"bad header":         "hello\n1 1 1\n",
+		"array format":       "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"complex":            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"rectangular":        "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1\n",
+		"out of range":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"truncated":          "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"bad value":          "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 x\n",
+		"size trailing junk": "%%MatrixMarket matrix coordinate real general\n2 2 1 extra\n1 1 1\n",
+		"size short":         "%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1\n",
+		"negative nnz":       "%%MatrixMarket matrix coordinate real general\n2 2 -1\n",
+		"zero dimension":     "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"non-numeric size":   "%%MatrixMarket matrix coordinate real general\n2 two 1\n1 1 1\n",
+		"entry junk":         "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1 junk\n",
+		"zero index":         "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"missing size":       "%%MatrixMarket matrix coordinate real general\n% only comments\n",
 	}
 	for name, in := range cases {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+// TestReadErrorLineNumbers pins that parse errors name the offending line —
+// the difference between a fixable report and a useless one on a
+// multi-gigabyte SuiteSparse download.
+func TestReadErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name, in, wantLine string
+	}{
+		{
+			"size line",
+			"%%MatrixMarket matrix coordinate real general\n% c\n2 2 1 extra\n1 1 1\n",
+			"line 3",
+		},
+		{
+			"entry line",
+			"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1\n9 1 1\n",
+			"line 4",
+		},
+		{
+			"entry after comment",
+			"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n% c\n2 2 1 junk\n",
+			"line 5",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantLine) {
+			t.Fatalf("%s: error %q does not name %s", tc.name, err, tc.wantLine)
 		}
 	}
 }

@@ -58,6 +58,15 @@ type Engine struct {
 	delivered int
 	// MaxEvents guards against runaway handlers; 0 means the default.
 	MaxEvents int
+	// Opts enables optional instrumentation (event tracing). Zero value:
+	// tracing off, no overhead on the hot paths.
+	Opts Options
+
+	tr *tracer
+	// msgID numbers traced messages. It is deliberately separate from seq:
+	// seq breaks virtual-time ties in the event heap, and tracing must not
+	// perturb that ordering (determinism is pinned by tests).
+	msgID int64
 }
 
 // NewEngine creates a DES over n ranks with the given network model.
@@ -76,6 +85,7 @@ func NewEngine(n int, net Network) *Engine {
 // if the event budget is exhausted.
 func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 	n := len(e.handlers)
+	e.tr = newTracer(n, e.Opts)
 	ctxs := make([]*Ctx, n)
 	for r := 0; r < n; r++ {
 		e.handlers[r] = newHandler(r)
@@ -96,7 +106,21 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		r := ev.msg.Dst
 		if wait := ev.time - e.clocks[r]; wait > 0 {
 			e.timers[r].ByCat[ev.msg.Cat] += wait
+			if e.tr != nil {
+				e.tr.add(r, Event{
+					Kind: EvWait, Cat: ev.msg.Cat, Tag: ev.msg.Tag,
+					Peer: ev.msg.Src, Bytes: ev.msg.Bytes, MsgID: ev.msg.id,
+					Start: e.clocks[r], Dur: wait, Arrive: ev.time,
+				})
+			}
 			e.clocks[r] = ev.time
+		}
+		if e.tr != nil {
+			e.tr.add(r, Event{
+				Kind: EvRecv, Cat: ev.msg.Cat, Tag: ev.msg.Tag,
+				Peer: ev.msg.Src, Bytes: ev.msg.Bytes, MsgID: ev.msg.id,
+				Start: e.clocks[r], Dur: ev.recvOver, Arrive: ev.time,
+			})
 		}
 		if ev.recvOver > 0 {
 			e.timers[r].ByCat[ev.msg.Cat] += ev.recvOver
@@ -114,6 +138,9 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		Timers: make([]Timers, n),
 	}
 	copy(res.Timers, e.timers)
+	if e.tr != nil {
+		res.Trace = e.tr.snapshot()
+	}
 	return res, nil
 }
 
@@ -124,6 +151,14 @@ func (e *Engine) send(src int, m Msg) {
 	over, lat, recvOver := e.net.Cost(src, m.Dst, m.Bytes)
 	e.timers[src].MsgsSent[m.Cat]++
 	e.timers[src].BytesSent[m.Cat] += m.Bytes
+	if e.tr != nil {
+		e.msgID++
+		m.id = e.msgID
+		e.tr.add(src, Event{
+			Kind: EvSend, Cat: m.Cat, Tag: m.Tag, Peer: m.Dst,
+			Bytes: m.Bytes, MsgID: m.id, Start: e.clocks[src], Dur: over,
+		})
+	}
 	e.timers[src].ByCat[m.Cat] += over
 	e.clocks[src] += over
 	e.pushRecv(e.clocks[src]+lat, recvOver, m)
@@ -140,6 +175,16 @@ func (e *Engine) sendAfter(src int, delay float64, m Msg) {
 		e.timers[src].MsgsSent[m.Cat]++
 		e.timers[src].BytesSent[m.Cat] += m.Bytes
 	}
+	if e.tr != nil {
+		// A zero-duration send at schedule time keeps the dependency chain
+		// connected: the modeled put cost shows up as the latency edge.
+		e.msgID++
+		m.id = e.msgID
+		e.tr.add(src, Event{
+			Kind: EvSend, Cat: m.Cat, Tag: m.Tag, Peer: m.Dst,
+			Bytes: m.Bytes, MsgID: m.id, Start: e.clocks[src],
+		})
+	}
 	e.push(e.clocks[src]+delay, m)
 }
 
@@ -147,7 +192,18 @@ func (e *Engine) after(src int, delay float64, tag int, data any) {
 	if delay < 0 {
 		panic("runtime: negative After delay")
 	}
-	e.push(e.clocks[src]+delay, Msg{Src: src, Dst: src, Tag: tag, Cat: CatFP, Data: data})
+	m := Msg{Src: src, Dst: src, Tag: tag, Cat: CatFP, Data: data}
+	if e.tr != nil {
+		// Same trick as sendAfter: the GPU model's task delay becomes a
+		// latency edge from this zero-duration self-send.
+		e.msgID++
+		m.id = e.msgID
+		e.tr.add(src, Event{
+			Kind: EvSend, Cat: m.Cat, Tag: m.Tag, Peer: src,
+			MsgID: m.id, Start: e.clocks[src],
+		})
+	}
+	e.push(e.clocks[src]+delay, m)
 }
 
 func (e *Engine) push(t float64, m Msg) { e.pushRecv(t, 0, m) }
@@ -157,9 +213,15 @@ func (e *Engine) pushRecv(t, recvOver float64, m Msg) {
 	heap.Push(&e.queue, event{time: t, seq: e.seq, recvOver: recvOver, msg: m})
 }
 
-func (e *Engine) compute(rank int, seconds float64, f func()) {
+func (e *Engine) compute(rank, tag int, seconds float64, f func()) {
 	if seconds < 0 {
 		panic("runtime: negative compute time")
+	}
+	if e.tr != nil {
+		e.tr.add(rank, Event{
+			Kind: EvCompute, Cat: CatFP, Tag: tag, Peer: -1,
+			Start: e.clocks[rank], Dur: seconds,
+		})
 	}
 	e.timers[rank].ByCat[CatFP] += seconds
 	e.clocks[rank] += seconds
@@ -172,6 +234,12 @@ func (e *Engine) elapse(rank int, cat Category, seconds float64) {
 	if seconds < 0 {
 		panic("runtime: negative elapse time")
 	}
+	if e.tr != nil {
+		e.tr.add(rank, Event{
+			Kind: EvElapse, Cat: cat, Peer: -1,
+			Start: e.clocks[rank], Dur: seconds,
+		})
+	}
 	e.timers[rank].ByCat[cat] += seconds
 	e.clocks[rank] += seconds
 }
@@ -183,6 +251,9 @@ func (e *Engine) mark(rank int, key string) {
 		e.timers[rank].Marks = make(map[string]float64)
 	}
 	e.timers[rank].Marks[key] = e.clocks[rank]
+	if e.tr != nil {
+		e.tr.add(rank, Event{Kind: EvMark, Peer: -1, Start: e.clocks[rank], Key: key})
+	}
 }
 
 func (e *Engine) isVirtual() bool { return true }

@@ -25,6 +25,9 @@ type Pool struct {
 	// Timeout aborts a run that stops making progress (a handler waiting
 	// for a message that never comes). Zero means 60s.
 	Timeout time.Duration
+	// Opts enables optional instrumentation (event tracing) with the same
+	// schema as the Engine, on the wall clock instead of the virtual one.
+	Opts Options
 }
 
 type inbox struct {
@@ -81,6 +84,10 @@ type poolShared struct {
 	timers   []Timers
 	clocks   []float64
 	panicked atomic.Value // first panic message
+	// tr is nil unless tracing: each rank goroutine writes only its own
+	// ring, so rings need no locking; msgID is shared and atomic.
+	tr    *tracer
+	msgID atomic.Int64
 }
 
 // poolCtx adapts one rank's view of the pool to the backend interface.
@@ -95,6 +102,14 @@ func (p *poolCtx) send(src int, m Msg) {
 	}
 	p.s.timers[src].MsgsSent[m.Cat]++
 	p.s.timers[src].BytesSent[m.Cat] += m.Bytes
+	if p.s.tr != nil {
+		m.id = p.s.msgID.Add(1)
+		m.at = time.Since(p.s.start).Seconds()
+		p.s.tr.add(src, Event{
+			Kind: EvSend, Cat: m.Cat, Tag: m.Tag, Peer: m.Dst,
+			Bytes: m.Bytes, MsgID: m.id, Start: m.at,
+		})
+	}
 	p.s.inboxes[m.Dst].put(m)
 }
 
@@ -106,12 +121,19 @@ func (p *poolCtx) sendAfter(int, float64, Msg) {
 	panic("runtime: Ctx.SendAfter requires the simulation backend (Engine)")
 }
 
-func (p *poolCtx) compute(rank int, _ float64, f func()) {
+func (p *poolCtx) compute(rank, tag int, _ float64, f func()) {
 	t0 := time.Now()
 	if f != nil {
 		f()
 	}
-	p.s.timers[rank].ByCat[CatFP] += time.Since(t0).Seconds()
+	dur := time.Since(t0).Seconds()
+	p.s.timers[rank].ByCat[CatFP] += dur
+	if p.s.tr != nil {
+		p.s.tr.add(rank, Event{
+			Kind: EvCompute, Cat: CatFP, Tag: tag, Peer: -1,
+			Start: t0.Sub(p.s.start).Seconds(), Dur: dur,
+		})
+	}
 }
 
 func (p *poolCtx) elapse(int, Category, float64) {} // real time flows on its own
@@ -122,7 +144,11 @@ func (p *poolCtx) mark(rank int, key string) {
 	if p.s.timers[rank].Marks == nil {
 		p.s.timers[rank].Marks = make(map[string]float64)
 	}
-	p.s.timers[rank].Marks[key] = p.now(rank)
+	now := p.now(rank)
+	p.s.timers[rank].Marks[key] = now
+	if p.s.tr != nil {
+		p.s.tr.add(rank, Event{Kind: EvMark, Peer: -1, Start: now, Key: key})
+	}
 }
 
 func (p *poolCtx) isVirtual() bool { return false }
@@ -141,6 +167,7 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 		inboxes: make([]*inbox, n),
 		timers:  make([]Timers, n),
 		clocks:  make([]float64, n),
+		tr:      newTracer(n, p.Opts),
 	}
 	for i := range s.inboxes {
 		s.inboxes[i] = newInbox()
@@ -172,7 +199,23 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 					}
 					return
 				}
-				s.timers[rank].ByCat[m.Cat] += time.Since(t0).Seconds()
+				wait := time.Since(t0).Seconds()
+				s.timers[rank].ByCat[m.Cat] += wait
+				if s.tr != nil {
+					st := t0.Sub(s.start).Seconds()
+					if wait > 0 {
+						s.tr.add(rank, Event{
+							Kind: EvWait, Cat: m.Cat, Tag: m.Tag,
+							Peer: m.Src, Bytes: m.Bytes, MsgID: m.id,
+							Start: st, Dur: wait, Arrive: m.at,
+						})
+					}
+					s.tr.add(rank, Event{
+						Kind: EvRecv, Cat: m.Cat, Tag: m.Tag,
+						Peer: m.Src, Bytes: m.Bytes, MsgID: m.id,
+						Start: st + wait, Arrive: m.at,
+					})
+				}
 				h.OnMessage(ctx, m)
 			}
 			s.clocks[rank] = time.Since(s.start).Seconds()
@@ -200,5 +243,8 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 		}
 	}
 	res := &Result{Clocks: s.clocks, Timers: s.timers}
+	if s.tr != nil {
+		res.Trace = s.tr.snapshot()
+	}
 	return res, nil
 }

@@ -14,7 +14,10 @@
 // correctness run.
 package runtime
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Category classifies where a rank's time goes, matching the breakdown in
 // the paper's Figs. 5–6 (FP-Operation, XY-Comm, Z-Comm).
@@ -48,6 +51,11 @@ type Msg struct {
 	Cat      Category
 	Data     any
 	Bytes    int
+
+	// id and at are stamped by a tracing backend: id links the send event
+	// to its delivery events, at is the send time (Pool wall clock).
+	id int64
+	at float64
 }
 
 // Handler is one rank's algorithm state machine. Implementations must be
@@ -75,7 +83,7 @@ type backend interface {
 	send(src int, m Msg)
 	sendAfter(src int, delay float64, m Msg)
 	after(src int, delay float64, tag int, data any)
-	compute(rank int, seconds float64, f func())
+	compute(rank, tag int, seconds float64, f func())
 	elapse(rank int, cat Category, seconds float64)
 	now(rank int) float64
 	mark(rank int, key string)
@@ -115,7 +123,15 @@ func (c *Ctx) After(delay float64, tag int, data any) {
 // floating-point time. Under the Engine the charge is the modeled seconds;
 // under the Pool the real execution time is recorded instead.
 func (c *Ctx) Compute(seconds float64, f func()) {
-	c.b.compute(c.rank, seconds, f)
+	c.b.compute(c.rank, 0, seconds, f)
+}
+
+// ComputeT is Compute with a caller-chosen span tag recorded in the trace
+// (see Options.Trace), letting handlers label what each FP span was —
+// diagonal solve, block GEMM, allreduce merge. Timing semantics are
+// identical to Compute.
+func (c *Ctx) ComputeT(tag int, seconds float64, f func()) {
+	c.b.compute(c.rank, tag, seconds, f)
 }
 
 // Elapse advances the rank's clock by the modeled overhead, attributed to
@@ -153,10 +169,13 @@ func (t *Timers) Total() float64 {
 	return s
 }
 
-// Result is the outcome of a run: per-rank finishing clocks and timers.
+// Result is the outcome of a run: per-rank finishing clocks and timers,
+// plus the event trace when the backend ran with Options.Trace.
 type Result struct {
 	Clocks []float64
 	Timers []Timers
+	// Trace is the per-rank event history; nil unless tracing was enabled.
+	Trace *Trace
 }
 
 // MaxClock returns the latest rank clock: the run's makespan, the quantity
@@ -171,17 +190,48 @@ func (r *Result) MaxClock() float64 {
 	return m
 }
 
-// MeanCat returns the mean over ranks of the given category, matching the
-// "averaged over all MPI ranks" breakdown plots.
+// active reports whether the rank did anything at all during the run:
+// attributed time, sent messages, or phase marks.
+func (t *Timers) active() bool {
+	if t.Marks != nil || t.Total() > 0 {
+		return true
+	}
+	for _, c := range t.MsgsSent {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Participants returns the number of ranks that did any work during the
+// run. On replicated grids some ranks can hold no blocks of any supernode
+// and never run a handler step; per-rank means must not be deflated by
+// them.
+func (r *Result) Participants() int {
+	n := 0
+	for i := range r.Timers {
+		if r.Timers[i].active() {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanCat returns the mean over participating ranks of the given category,
+// matching the "averaged over all MPI ranks" breakdown plots (idle ranks
+// that never ran a handler are excluded, so replicated grids don't deflate
+// the mean).
 func (r *Result) MeanCat(cat Category) float64 {
-	if len(r.Timers) == 0 {
+	p := r.Participants()
+	if p == 0 {
 		return 0
 	}
 	s := 0.0
 	for i := range r.Timers {
 		s += r.Timers[i].ByCat[cat]
 	}
-	return s / float64(len(r.Timers))
+	return s / float64(p)
 }
 
 // TotalMsgs sums sent messages over ranks and categories.
@@ -215,18 +265,21 @@ func (r *Result) CatMsgs(cat Category) int {
 	return n
 }
 
-// MarkSpan returns per-rank durations between two marks; missing marks
-// yield 0 for that rank.
+// MarkSpan returns per-rank durations between two marks. A rank missing
+// either mark, or whose marks were recorded out of order (to before from),
+// yields NaN — a span that doesn't exist, not a zero-length one. Callers
+// aggregating spans must skip NaN entries rather than fold them into means.
 func (r *Result) MarkSpan(from, to string) []float64 {
 	out := make([]float64, len(r.Timers))
 	for i := range r.Timers {
+		out[i] = math.NaN()
 		m := r.Timers[i].Marks
 		if m == nil {
 			continue
 		}
 		a, okA := m[from]
 		b, okB := m[to]
-		if okA && okB && b > a {
+		if okA && okB && b >= a {
 			out[i] = b - a
 		}
 	}

@@ -1,0 +1,342 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Options configures optional runtime instrumentation. Both backends accept
+// the same Options, so a traced DES run and a traced goroutine run produce
+// traces with an identical schema — only the clock differs (virtual versus
+// wall seconds).
+type Options struct {
+	// Trace enables per-rank event recording (compute / send / recv / wait
+	// / elapse / mark spans). Off by default: the hot paths stay untouched
+	// when tracing is disabled.
+	Trace bool
+	// TraceCap bounds the number of retained events per rank; once full,
+	// the per-rank ring drops its oldest events (counted in
+	// Trace.Dropped). 0 means DefaultTraceCap.
+	TraceCap int
+}
+
+// DefaultTraceCap is the per-rank event capacity used when
+// Options.TraceCap is 0.
+const DefaultTraceCap = 1 << 16
+
+// EventKind classifies one traced span.
+type EventKind uint8
+
+const (
+	// EvCompute is a floating-point work span (Ctx.Compute / Ctx.ComputeT).
+	EvCompute EventKind = iota
+	// EvSend is the sender-side injection of a message: the network
+	// model's send overhead under the Engine, a zero-duration stamp under
+	// the Pool. Self-scheduled events (Ctx.After / Ctx.SendAfter) record a
+	// zero-duration EvSend at schedule time so the dependency chain stays
+	// connected.
+	EvSend
+	// EvRecv is the receiver-side consumption of a message (the modeled
+	// recv overhead under the Engine; zero-duration under the Pool). One
+	// EvRecv is recorded for every delivery, so message edges are complete
+	// even when the receiver never blocked.
+	EvRecv
+	// EvWait is receiver idle time ended by a message arrival.
+	EvWait
+	// EvElapse is modeled non-FP overhead charged via Ctx.Elapse
+	// (Engine only; the Pool's real overheads ride the wall clock).
+	EvElapse
+	// EvMark is an instantaneous phase mark (Ctx.Mark); Key holds the name.
+	EvMark
+	numEventKinds
+)
+
+// NumEventKinds and NumCategories export the enum sizes for aggregate
+// arrays (e.g. Breakdown.Seconds).
+const (
+	NumEventKinds = int(numEventKinds)
+	NumCategories = int(numCategories)
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvWait:
+		return "wait"
+	case EvElapse:
+		return "elapse"
+	case EvMark:
+		return "mark"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one traced span on one rank. Times are in the backend's clock
+// (virtual seconds under the Engine, wall seconds since run start under the
+// Pool).
+type Event struct {
+	Kind EventKind
+	Cat  Category
+	// Tag is the message tag for send/recv/wait events and the caller's
+	// span tag for ComputeT spans (0 for untagged computes).
+	Tag int
+	// Peer is the destination rank of a send and the source rank of a
+	// recv/wait; -1 when the event has no peer.
+	Peer  int
+	Bytes int
+	// MsgID links the EvSend of a message to its EvRecv/EvWait on the
+	// destination rank; 0 when the event is not part of a message.
+	MsgID int64
+	// Start and Dur delimit the span.
+	Start, Dur float64
+	// Arrive is, for recv/wait events, when the payload became available.
+	// Start − Arrive of an EvRecv is the message's slack: zero when the
+	// receiver was blocked on it, positive when it sat in the queue.
+	Arrive float64
+	// Key is the mark name for EvMark events.
+	Key string
+}
+
+// End returns the span's finishing time.
+func (e *Event) End() float64 { return e.Start + e.Dur }
+
+// Trace is the recorded event history of one run: one chronological slice
+// per rank, plus how many events each rank's ring dropped (oldest first)
+// when TraceCap was exceeded.
+type Trace struct {
+	Ranks   [][]Event
+	Dropped []int
+}
+
+// Complete reports whether no rank dropped events — the precondition for
+// exact critical-path analysis.
+func (t *Trace) Complete() bool {
+	for _, d := range t.Dropped {
+		if d > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Events returns the total retained event count.
+func (t *Trace) Events() int {
+	n := 0
+	for _, evs := range t.Ranks {
+		n += len(evs)
+	}
+	return n
+}
+
+// ---- recording ----
+
+// ring is a bounded per-rank event buffer: it grows by appending until cap
+// events are held, then overwrites the oldest.
+type ring struct {
+	buf     []Event
+	cap     int
+	head    int // index of the oldest event once the ring is full
+	dropped int
+}
+
+func (r *ring) add(e Event) {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % r.cap
+	r.dropped++
+}
+
+func (r *ring) events() []Event {
+	if r.head == 0 {
+		return r.buf
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// tracer holds the per-rank rings of one run. Each rank's ring is written
+// only by that rank's execution (the Engine is single-threaded; under the
+// Pool each rank goroutine touches only its own ring), so no locking is
+// needed.
+type tracer struct {
+	rings []ring
+}
+
+func newTracer(n int, opts Options) *tracer {
+	if !opts.Trace {
+		return nil
+	}
+	cap := opts.TraceCap
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	tr := &tracer{rings: make([]ring, n)}
+	for i := range tr.rings {
+		tr.rings[i].cap = cap
+	}
+	return tr
+}
+
+func (tr *tracer) add(rank int, e Event) { tr.rings[rank].add(e) }
+
+func (tr *tracer) snapshot() *Trace {
+	t := &Trace{
+		Ranks:   make([][]Event, len(tr.rings)),
+		Dropped: make([]int, len(tr.rings)),
+	}
+	for i := range tr.rings {
+		t.Ranks[i] = tr.rings[i].events()
+		t.Dropped[i] = tr.rings[i].dropped
+	}
+	return t
+}
+
+// ---- breakdown metrics ----
+
+// Breakdown aggregates a trace into the paper's Figs. 8/9-style splits:
+// seconds per (event kind, category), averaged over participating ranks
+// (ranks that recorded at least one event), plus total event counts.
+type Breakdown struct {
+	Participants int
+	// Seconds[kind][cat] is the mean seconds per participating rank.
+	Seconds [NumEventKinds][NumCategories]float64
+	// Counts[kind][cat] is the total event count over all ranks.
+	Counts [NumEventKinds][NumCategories]int
+}
+
+// KindSeconds sums one kind's mean seconds over categories.
+func (b *Breakdown) KindSeconds(k EventKind) float64 {
+	s := 0.0
+	for _, v := range b.Seconds[k] {
+		s += v
+	}
+	return s
+}
+
+// TraceBreakdown aggregates the run's trace; it fails when the run was not
+// traced (enable Options.Trace on the backend).
+func (r *Result) TraceBreakdown() (*Breakdown, error) {
+	if r.Trace == nil {
+		return nil, fmt.Errorf("runtime: run was not traced (set Options.Trace)")
+	}
+	b := &Breakdown{}
+	for _, evs := range r.Trace.Ranks {
+		if len(evs) == 0 {
+			continue
+		}
+		b.Participants++
+		for i := range evs {
+			e := &evs[i]
+			b.Seconds[e.Kind][e.Cat] += e.Dur
+			b.Counts[e.Kind][e.Cat]++
+		}
+	}
+	if b.Participants > 0 {
+		inv := 1 / float64(b.Participants)
+		for k := range b.Seconds {
+			for c := range b.Seconds[k] {
+				b.Seconds[k][c] *= inv
+			}
+		}
+	}
+	return b, nil
+}
+
+// ---- Chrome trace_event export ----
+
+// chromeEvent is one entry of the Chrome trace_event JSON array
+// (chrome://tracing and Perfetto both consume it).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteTrace emits the run's trace as Chrome trace_event JSON, one thread
+// per rank, viewable in chrome://tracing or https://ui.perfetto.dev. It
+// fails when the run was not traced.
+func (r *Result) WriteTrace(w io.Writer) error { return r.WriteTraceNamed(w, nil) }
+
+// WriteTraceNamed is WriteTrace with a caller-supplied tag namer (e.g.
+// trsv.TagName) used to label spans; nil falls back to numeric tags.
+func (r *Result) WriteTraceNamed(w io.Writer, tagName func(int) string) error {
+	if r.Trace == nil {
+		return fmt.Errorf("runtime: run was not traced (set Options.Trace)")
+	}
+	name := func(e *Event) string {
+		if e.Kind == EvMark {
+			return e.Key
+		}
+		if tagName != nil {
+			if n := tagName(e.Tag); n != "" {
+				return e.Kind.String() + " " + n
+			}
+		}
+		if e.Tag != 0 {
+			return fmt.Sprintf("%s tag%d", e.Kind, e.Tag)
+		}
+		return e.Kind.String()
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	for rank, evs := range r.Trace.Ranks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+		for i := range evs {
+			e := &evs[i]
+			ce := chromeEvent{
+				Name: name(e),
+				Cat:  e.Cat.String(),
+				Ts:   e.Start * 1e6, // microseconds
+				Pid:  0,
+				Tid:  rank,
+			}
+			if e.Kind == EvMark {
+				ce.Ph, ce.Scope = "i", "t"
+			} else {
+				dur := e.Dur * 1e6
+				ce.Ph, ce.Dur = "X", &dur
+				args := map[string]any{"kind": e.Kind.String(), "tag": e.Tag}
+				if e.Peer >= 0 {
+					args["peer"] = e.Peer
+				}
+				if e.Bytes > 0 {
+					args["bytes"] = e.Bytes
+				}
+				if e.MsgID != 0 {
+					args["msg"] = e.MsgID
+					if e.Kind == EvRecv {
+						args["slack_us"] = (e.Start - e.Arrive) * 1e6
+					}
+				}
+				ce.Args = args
+			}
+			out.TraceEvents = append(out.TraceEvents, ce)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

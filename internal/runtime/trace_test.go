@@ -1,0 +1,442 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tracedPingPong(t *testing.T, cap int) *Result {
+	t.Helper()
+	e := NewEngine(2, constNet{o: 1e-6, alpha: 2e-6, beta: 1e-9})
+	e.Opts = Options{Trace: true, TraceCap: cap}
+	res, err := e.Run(func(r int) Handler {
+		return &pingpong{rank: r, rounds: 5, peer: 1 - r}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func countKind(tr *Trace, k EventKind) int {
+	n := 0
+	for _, evs := range tr.Ranks {
+		for i := range evs {
+			if evs[i].Kind == k {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestEngineTraceEvents(t *testing.T) {
+	res := tracedPingPong(t, 0)
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("traced run has nil Trace")
+	}
+	if !tr.Complete() {
+		t.Fatalf("events dropped: %v", tr.Dropped)
+	}
+	// 10 messages: every send must pair with exactly one recv via MsgID.
+	if s, r := countKind(tr, EvSend), countKind(tr, EvRecv); s != 10 || r != 10 {
+		t.Fatalf("send/recv counts %d/%d, want 10/10", s, r)
+	}
+	sends := map[int64]bool{}
+	for _, evs := range tr.Ranks {
+		for i := range evs {
+			if evs[i].Kind == EvSend {
+				if evs[i].MsgID == 0 || sends[evs[i].MsgID] {
+					t.Fatalf("bad or duplicate send MsgID %d", evs[i].MsgID)
+				}
+				sends[evs[i].MsgID] = true
+			}
+		}
+	}
+	for _, evs := range tr.Ranks {
+		for i := range evs {
+			if evs[i].Kind == EvRecv && !sends[evs[i].MsgID] {
+				t.Fatalf("recv MsgID %d has no send", evs[i].MsgID)
+			}
+		}
+	}
+	// Per-rank events must be chronological with non-overlapping spans.
+	for rank, evs := range tr.Ranks {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End()-1e-15 {
+				t.Fatalf("rank %d events overlap: %v then %v", rank, evs[i-1], evs[i])
+			}
+		}
+	}
+}
+
+func TestUntracedRunHasNoTrace(t *testing.T) {
+	res := runPingPong(t)
+	if res.Trace != nil {
+		t.Fatal("untraced run recorded a trace")
+	}
+	if _, err := res.TraceBreakdown(); err == nil {
+		t.Fatal("TraceBreakdown without a trace must fail")
+	}
+	if _, err := res.CriticalPath(); err == nil {
+		t.Fatal("CriticalPath without a trace must fail")
+	}
+	if err := res.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTrace without a trace must fail")
+	}
+}
+
+func TestTraceRingDrop(t *testing.T) {
+	res := tracedPingPong(t, 4)
+	tr := res.Trace
+	if tr.Complete() {
+		t.Fatal("tiny ring did not drop events")
+	}
+	for _, evs := range tr.Ranks {
+		if len(evs) > 4 {
+			t.Fatalf("ring held %d events, cap 4", len(evs))
+		}
+	}
+	// The retained window must be the newest events, still chronological.
+	for rank, evs := range tr.Ranks {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].Start {
+				t.Fatalf("rank %d retained window out of order", rank)
+			}
+		}
+	}
+	if _, err := res.CriticalPath(); err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("critical path on dropped trace: %v", err)
+	}
+}
+
+func TestTraceBreakdown(t *testing.T) {
+	e := NewEngine(3, ZeroNetwork{})
+	e.Opts = Options{Trace: true}
+	res, err := e.Run(func(r int) Handler {
+		if r == 2 {
+			return &recvN{n: 0} // idle rank: no events at all
+		}
+		return &initOnly{fn: func(ctx *Ctx) {
+			ctx.ComputeT(7, 0.5, nil)
+			ctx.Elapse(CatZ, 0.25)
+		}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.TraceBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Participants != 2 {
+		t.Fatalf("participants %d, want 2 (idle rank excluded)", b.Participants)
+	}
+	if got := b.Seconds[EvCompute][CatFP]; got != 0.5 {
+		t.Fatalf("mean compute %g, want 0.5", got)
+	}
+	if got := b.Seconds[EvElapse][CatZ]; got != 0.25 {
+		t.Fatalf("mean elapse %g, want 0.25", got)
+	}
+	if b.Counts[EvCompute][CatFP] != 2 || b.Counts[EvElapse][CatZ] != 2 {
+		t.Fatalf("counts wrong: %+v", b.Counts)
+	}
+	if got := b.KindSeconds(EvCompute); got != 0.5 {
+		t.Fatalf("KindSeconds %g", got)
+	}
+}
+
+// TestMeanCatParticipants is the regression test for the averaging bugfix:
+// ranks that never ran a handler must not deflate per-rank means.
+func TestMeanCatParticipants(t *testing.T) {
+	res := &Result{
+		Clocks: []float64{4, 4, 0, 0},
+		Timers: make([]Timers, 4),
+	}
+	res.Timers[0].ByCat[CatXY] = 3
+	res.Timers[1].ByCat[CatXY] = 1
+	// Ranks 2 and 3 never did anything.
+	if p := res.Participants(); p != 2 {
+		t.Fatalf("Participants = %d, want 2", p)
+	}
+	if m := res.MeanCat(CatXY); m != 2 {
+		t.Fatalf("MeanCat = %g, want 2 (mean over participants, not all ranks)", m)
+	}
+	// A rank that only sent (zero modeled overhead) still participates.
+	res.Timers[2].MsgsSent[CatZ] = 1
+	if p := res.Participants(); p != 3 {
+		t.Fatalf("Participants = %d, want 3 after a sender appears", p)
+	}
+	// All-idle result keeps MeanCat safe.
+	empty := &Result{Timers: make([]Timers, 2)}
+	if m := empty.MeanCat(CatXY); m != 0 {
+		t.Fatalf("all-idle MeanCat = %g, want 0", m)
+	}
+}
+
+// TestMarkSpanNaN is the regression test for the mark-pair bugfix: missing
+// or inverted pairs yield NaN, not a meaningless 0 or negative span.
+func TestMarkSpanNaN(t *testing.T) {
+	res := &Result{Timers: []Timers{
+		{Marks: map[string]float64{"a": 1, "b": 3}}, // normal
+		{Marks: map[string]float64{"a": 5, "b": 2}}, // inverted
+		{Marks: map[string]float64{"a": 1}},         // missing "b"
+		{},                                          // no marks
+		{Marks: map[string]float64{"a": 2, "b": 2}}, // zero-length, valid
+	}}
+	s := res.MarkSpan("a", "b")
+	if s[0] != 2 {
+		t.Fatalf("span[0] = %g, want 2", s[0])
+	}
+	if !math.IsNaN(s[1]) || !math.IsNaN(s[2]) || !math.IsNaN(s[3]) {
+		t.Fatalf("missing/inverted spans %v, want NaN", s[1:4])
+	}
+	if s[4] != 0 {
+		t.Fatalf("zero-length span = %g, want 0", s[4])
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	res := tracedPingPong(t, 0)
+	var buf bytes.Buffer
+	if err := res.WriteTraceNamed(&buf, func(tag int) string {
+		if tag == 1 {
+			return "ping"
+		}
+		return ""
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", out.DisplayTimeUnit)
+	}
+	meta, spans := 0, 0
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev.Ts < 0 {
+				t.Fatalf("negative timestamp: %+v", ev)
+			}
+			if !strings.Contains(ev.Name, "ping") {
+				t.Fatalf("tag namer not applied: %q", ev.Name)
+			}
+		case "i":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("%d thread_name records, want 2", meta)
+	}
+	if spans == 0 {
+		t.Fatal("no span events")
+	}
+}
+
+func TestCriticalPathSimpleChain(t *testing.T) {
+	// Rank 1 computes 1s then messages idle rank 0: the whole makespan is
+	// on the dependency chain, split as 1s FP work + one message hop.
+	e := NewEngine(2, ZeroNetwork{})
+	e.Opts = Options{Trace: true}
+	res, err := e.Run(func(r int) Handler {
+		if r == 1 {
+			return &initOnly{fn: func(ctx *Ctx) {
+				ctx.Compute(1.0, nil)
+				ctx.Send(Msg{Dst: 0, Tag: 9, Cat: CatZ})
+			}}
+		}
+		return &recvN{n: 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := res.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Makespan != res.MaxClock() {
+		t.Fatalf("makespan %g != %g", cp.Makespan, res.MaxClock())
+	}
+	if math.Abs(cp.Length-1.0) > 1e-12 {
+		t.Fatalf("chain length %g, want 1.0", cp.Length)
+	}
+	if math.Abs(cp.WorkByCat[CatFP]-1.0) > 1e-12 {
+		t.Fatalf("FP work on chain %g, want 1.0", cp.WorkByCat[CatFP])
+	}
+	if cp.MsgHops != 1 {
+		t.Fatalf("MsgHops %d, want 1", cp.MsgHops)
+	}
+	// Chronological and within the run.
+	for i := 1; i < len(cp.Steps); i++ {
+		if cp.Steps[i].Start < cp.Steps[i-1].Start {
+			t.Fatalf("steps not chronological: %+v", cp.Steps)
+		}
+	}
+}
+
+func TestCriticalPathBoundedByMakespan(t *testing.T) {
+	res := tracedPingPong(t, 0)
+	cp, err := res.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Length > cp.Makespan*(1+1e-12) {
+		t.Fatalf("chain %g exceeds makespan %g", cp.Length, cp.Makespan)
+	}
+	// Ping-pong is fully serialized: the chain IS the makespan.
+	if cp.Length < cp.Makespan*0.999 {
+		t.Fatalf("serialized run: chain %g should equal makespan %g", cp.Length, cp.Makespan)
+	}
+	if cp.MsgHops == 0 || cp.LatencySeconds <= 0 {
+		t.Fatalf("chain has no message hops: %+v", cp)
+	}
+}
+
+func TestCriticalPathThroughAfter(t *testing.T) {
+	// Self-scheduled events (Ctx.After) must keep the chain connected: the
+	// task delay appears as a latency edge from a zero-duration send.
+	e := NewEngine(1, ZeroNetwork{})
+	e.Opts = Options{Trace: true}
+	res, err := e.Run(func(int) Handler { return &afterChain{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := res.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Length > cp.Makespan*(1+1e-12) {
+		t.Fatalf("chain %g exceeds makespan %g", cp.Length, cp.Makespan)
+	}
+	if math.Abs(cp.Length-0.3) > 1e-12 {
+		t.Fatalf("chain %g, want 0.3 (the longest After delay)", cp.Length)
+	}
+	if cp.MsgHops != 1 {
+		t.Fatalf("MsgHops %d, want 1 (jump straight to the 0.3s self-send)", cp.MsgHops)
+	}
+}
+
+func TestMessageEdges(t *testing.T) {
+	res := tracedPingPong(t, 0)
+	edges, err := res.MessageEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 10 {
+		t.Fatalf("%d edges, want 10", len(edges))
+	}
+	for _, e := range edges {
+		if e.Consume < e.Arrive-1e-15 {
+			t.Fatalf("edge consumed before arrival: %+v", e)
+		}
+		if e.Slack < -1e-15 {
+			t.Fatalf("negative slack: %+v", e)
+		}
+		// Ping-pong receivers are always blocked: every edge ends a wait.
+		if e.Wait <= 0 {
+			t.Fatalf("serialized edge with no wait: %+v", e)
+		}
+	}
+	top := TopSlack(edges, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopSlack returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Slack < top[i-1].Slack {
+			t.Fatal("TopSlack not ascending")
+		}
+	}
+	tw := TopWait(edges, 3)
+	for i := 1; i < len(tw); i++ {
+		if tw[i].Wait > tw[i-1].Wait {
+			t.Fatal("TopWait not descending")
+		}
+	}
+	if k := len(TopSlack(edges, 100)); k != 10 {
+		t.Fatalf("TopSlack over-asks: %d", k)
+	}
+}
+
+func TestPoolTrace(t *testing.T) {
+	p := &Pool{Timeout: 10 * time.Second, Opts: Options{Trace: true}}
+	res, err := p.Run(2, func(r int) Handler {
+		return &pingpong{rank: r, rounds: 5, peer: 1 - r}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil || !tr.Complete() {
+		t.Fatal("pool trace missing or incomplete")
+	}
+	if s, r := countKind(tr, EvSend), countKind(tr, EvRecv); s != 10 || r != 10 {
+		t.Fatalf("pool send/recv counts %d/%d, want 10/10", s, r)
+	}
+	// Same schema as the Engine: recv events carry peer, msg id, arrival.
+	for _, evs := range tr.Ranks {
+		for i := range evs {
+			e := &evs[i]
+			if e.Kind == EvRecv && (e.MsgID == 0 || e.Peer < 0) {
+				t.Fatalf("pool recv missing linkage: %+v", e)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("pool trace JSON invalid")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		EvCompute: "compute", EvSend: "send", EvRecv: "recv",
+		EvWait: "wait", EvElapse: "elapse", EvMark: "mark",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}
+
+// TestTracingPreservesDeterminism pins that enabling the tracer does not
+// perturb the simulated event order: clocks must be bit-identical with
+// tracing on and off.
+func TestTracingPreservesDeterminism(t *testing.T) {
+	plain := runPingPong(t)
+	traced := tracedPingPong(t, 0)
+	for i := range plain.Clocks {
+		if plain.Clocks[i] != traced.Clocks[i] {
+			t.Fatalf("tracing changed rank %d clock: %g vs %g",
+				i, plain.Clocks[i], traced.Clocks[i])
+		}
+	}
+}

@@ -64,13 +64,17 @@ func (a *arHelper) acceptsBcast() bool {
 // the whole allreduce has finished for this rank.
 func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 	r := a.r
-	for i, k := range b.Ks {
-		yk := r.st.y[k]
-		if yk == nil {
-			panic(fmt.Sprintf("trsv: rank %d allreduce for unsolved y(%d)", r.rank, k))
+	// The merge rides the Z-comm recv in the timing model (zero modeled
+	// seconds), but a tagged span makes it visible in traces.
+	ctx.ComputeT(TagARMerge, 0, func() {
+		for i, k := range b.Ks {
+			yk := r.st.y[k]
+			if yk == nil {
+				panic(fmt.Sprintf("trsv: rank %d allreduce for unsolved y(%d)", r.rank, k))
+			}
+			yk.AddFrom(b.Vs[i])
 		}
-		yk.AddFrom(b.Vs[i])
-	}
+	})
 	a.step++
 	a.advance(ctx)
 	return a.done
@@ -229,9 +233,11 @@ func (a *naiveAR) accepts(m runtime.Msg) bool {
 func (a *naiveAR) onMsg(ctx *runtime.Ctx, m runtime.Msg) bool {
 	r := a.r
 	d := m.Data.(*vecBundle)
-	for i, k := range d.Ks {
-		r.st.y[k].AddFrom(d.Vs[i])
-	}
+	ctx.ComputeT(TagARMerge, 0, func() {
+		for i, k := range d.Ks {
+			r.st.y[k].AddFrom(d.Vs[i])
+		}
+	})
 	a.step++
 	if a.step >= a.steps(a.node) {
 		a.node++

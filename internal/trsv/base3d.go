@@ -163,7 +163,7 @@ func (h *base3dRank) applyYGroup(ctx *runtime.Ctx, k, g int, yk *sparse.Panel) {
 		if h.gp.NodeOf[blk.I] != g {
 			continue
 		}
-		ctx.Compute(h.applyLBlock(blk, k, yk), nil)
+		ctx.ComputeT(TagApplyL, h.applyLBlock(blk, k, yk), nil)
 		if g == h.gp.NodeOf[k] {
 			h.lContribution(ctx, blk.I, h.base().LReduceNode[blk.I])
 		}
@@ -174,7 +174,7 @@ func (h *base3dRank) applyYGroup(ctx *runtime.Ctx, k, g int, yk *sparse.Panel) {
 // per-row-node-group broadcasts (diagSolver, driven by the shared drain).
 func (h *base3dRank) solveY(ctx *runtime.Ctx, k int) {
 	yk, secs := h.diagSolveY(k, h.rhsFor(k, true))
-	ctx.Compute(secs, nil)
+	ctx.ComputeT(TagDiagSolveL, secs, nil)
 	delete(h.st.lsum, k)
 	h.st.y[k] = yk
 	// One broadcast per row-node group (the baseline's extra messages).
@@ -188,7 +188,7 @@ func (h *base3dRank) solveY(ctx *runtime.Ctx, k int) {
 	}
 	// Apply my own blocks across all groups.
 	for _, blk := range h.colL[k] {
-		ctx.Compute(h.applyLBlock(blk, k, yk), nil)
+		ctx.ComputeT(TagApplyL, h.applyLBlock(blk, k, yk), nil)
 		if h.gp.NodeOf[blk.I] == h.gp.NodeOf[k] {
 			h.lContribution(ctx, blk.I, h.base().LReduceNode[blk.I])
 		}
@@ -298,7 +298,7 @@ func (h *base3dRank) rebroadcastX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 		if h.gp.NodeOf[ref.I] > h.s {
 			continue
 		}
-		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+		ctx.ComputeT(TagApplyU, h.applyUBlock(ref, k, xk), nil)
 		h.uContribution(ctx, ref.I, h.base().UReduceFlat[ref.I])
 	}
 }
@@ -308,7 +308,7 @@ func (h *base3dRank) applyXGroup(ctx *runtime.Ctx, k, g int, xk *sparse.Panel) {
 		if h.gp.NodeOf[ref.I] != g {
 			continue
 		}
-		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+		ctx.ComputeT(TagApplyU, h.applyUBlock(ref, k, xk), nil)
 		h.uContribution(ctx, ref.I, h.base().UReduceFlat[ref.I])
 	}
 }
@@ -316,7 +316,7 @@ func (h *base3dRank) applyXGroup(ctx *runtime.Ctx, k, g int, xk *sparse.Panel) {
 // solveX performs one U-phase diagonal solve plus the group broadcasts.
 func (h *base3dRank) solveX(ctx *runtime.Ctx, k int) {
 	xk, secs := h.diagSolveX(k)
-	ctx.Compute(secs, nil)
+	ctx.ComputeT(TagDiagSolveU, secs, nil)
 	h.st.xl[k] = xk
 	if h.gp.OwnerGridOfSn(k) == h.z {
 		h.writeX(k, xk)
@@ -330,7 +330,7 @@ func (h *base3dRank) solveX(ctx *runtime.Ctx, k int) {
 		}
 	}
 	for _, ref := range h.colU[k] {
-		ctx.Compute(h.applyUBlock(ref, k, xk), nil)
+		ctx.ComputeT(TagApplyU, h.applyUBlock(ref, k, xk), nil)
 		h.uContribution(ctx, ref.I, h.base().UReduceFlat[ref.I])
 	}
 }

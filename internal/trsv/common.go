@@ -51,6 +51,66 @@ const (
 	tagNaiveARDown            // naive allreduce ablation: complete y back to a replica
 )
 
+// Compute span tags: labels for Ctx.ComputeT spans in the event trace (see
+// runtime.Options.Trace). They share the tag namespace with the message
+// tags above, so they start well clear of the message range.
+const (
+	TagDiagSolveL = 0x40 + iota // L-phase diagonal solve y(K)
+	TagApplyL                   // L-phase off-diagonal block apply L(I,K)·y(K)
+	TagDiagSolveU               // U-phase diagonal solve x(K)
+	TagApplyU                   // U-phase off-diagonal block apply U(I,K)·x(K)
+	TagARMerge                  // sparse-allreduce partial-sum merge
+	TagGPUTaskL                 // GPU model: one L-phase task
+	TagGPUTaskU                 // GPU model: one U-phase task
+)
+
+// TagName labels message and compute tags for trace export
+// (runtime.Result.WriteTraceNamed). Unknown tags yield "" so the exporter
+// falls back to numeric labels.
+func TagName(tag int) string {
+	switch tag {
+	case tagYBcast:
+		return "y-bcast"
+	case tagLReduce:
+		return "l-reduce"
+	case tagARReduce:
+		return "ar-reduce"
+	case tagARBcast:
+		return "ar-bcast"
+	case tagXBcast:
+		return "x-bcast"
+	case tagUReduce:
+		return "u-reduce"
+	case tagZGatherL:
+		return "z-gather-l"
+	case tagZBcastU:
+		return "z-bcast-u"
+	case tagGPUEvent:
+		return "gpu-event"
+	case tagGPUPut:
+		return "gpu-put"
+	case tagNaiveARUp:
+		return "naive-ar-up"
+	case tagNaiveARDown:
+		return "naive-ar-down"
+	case TagDiagSolveL:
+		return "diag-solve-L"
+	case TagApplyL:
+		return "apply-L"
+	case TagDiagSolveU:
+		return "diag-solve-U"
+	case TagApplyU:
+		return "apply-U"
+	case TagARMerge:
+		return "ar-merge"
+	case TagGPUTaskL:
+		return "gpu-task-L"
+	case TagGPUTaskU:
+		return "gpu-task-U"
+	}
+	return ""
+}
+
 // yMsg carries a solved subvector (y or x) for one supernode. The panel is
 // immutable after sending; receivers only read it.
 type yMsg struct {
@@ -88,15 +148,19 @@ type Backend interface {
 	Run(n int, net runtime.Network, f func(int) runtime.Handler) (*runtime.Result, error)
 }
 
-// SimBackend runs on the discrete-event engine (virtual time).
-type SimBackend struct{}
+// SimBackend runs on the discrete-event engine (virtual time). Opts is
+// forwarded to the engine (e.g. to enable event tracing).
+type SimBackend struct{ Opts runtime.Options }
 
 // Run implements Backend.
-func (SimBackend) Run(n int, net runtime.Network, f func(int) runtime.Handler) (*runtime.Result, error) {
-	return runtime.NewEngine(n, net).Run(f)
+func (s SimBackend) Run(n int, net runtime.Network, f func(int) runtime.Handler) (*runtime.Result, error) {
+	e := runtime.NewEngine(n, net)
+	e.Opts = s.Opts
+	return e.Run(f)
 }
 
-// PoolBackend runs on real goroutines (wall-clock time).
+// PoolBackend runs on real goroutines (wall-clock time). Tracing is enabled
+// via Pool.Opts.
 type PoolBackend struct{ Pool runtime.Pool }
 
 // Run implements Backend.

@@ -151,7 +151,7 @@ func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
 		if !t.isU {
 			flops, bytes, _ := flopsBytesL(&h.rankCore, t.k, true)
 			dur = h.gpu.TaskTime(flops, bytes)
-			ctx.Compute(0, func() {
+			ctx.ComputeT(TagGPUTaskL, 0, func() {
 				keep := h.gp.OwnerGridOfSn(t.k) == h.z
 				yk, _ := h.diagSolveY(t.k, h.rhsFor(t.k, keep))
 				st.y[t.k] = yk
@@ -162,7 +162,7 @@ func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
 		} else {
 			flops, bytes, _ := flopsBytesU(&h.rankCore, t.k, true)
 			dur = h.gpu.TaskTime(flops, bytes)
-			ctx.Compute(0, func() {
+			ctx.ComputeT(TagGPUTaskU, 0, func() {
 				xk, _ := h.diagSolveX(t.k)
 				st.xl[t.k] = xk
 				if h.gp.OwnerGridOfSn(t.k) == h.z {
@@ -382,7 +382,7 @@ func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 			flops, bytes, diagFlops := flopsBytesL(&h.rankCore, t.k, diag)
 			dur = h.gpu.TaskTime(flops, bytes)
 			var yk *sparse.Panel
-			ctx.Compute(0, func() {
+			ctx.ComputeT(TagGPUTaskL, 0, func() {
 				if diag {
 					keep := h.gp.OwnerGridOfSn(t.k) == h.z
 					yk, _ = h.diagSolveY(t.k, h.rhsFor(t.k, keep))
@@ -403,7 +403,7 @@ func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 			flops, bytes, diagFlops := flopsBytesU(&h.rankCore, t.k, diag)
 			dur = h.gpu.TaskTime(flops, bytes)
 			var xk *sparse.Panel
-			ctx.Compute(0, func() {
+			ctx.ComputeT(TagGPUTaskU, 0, func() {
 				if diag {
 					xk, _ = h.diagSolveX(t.k)
 					st.xl[t.k] = xk

@@ -148,7 +148,7 @@ func (h *new3dRank) onY(ctx *runtime.Ctx, k int, yk *sparse.Panel) {
 	}
 	for _, blk := range h.colL[k] {
 		secs := h.applyLBlock(blk, k, yk)
-		ctx.Compute(secs, nil)
+		ctx.ComputeT(TagApplyL, secs, nil)
 		h.lContribution(ctx, blk.I, h.gp.LReduce[blk.I])
 	}
 }
@@ -158,7 +158,7 @@ func (h *new3dRank) onY(ctx *runtime.Ctx, k int, yk *sparse.Panel) {
 func (h *new3dRank) solveY(ctx *runtime.Ctx, k int) {
 	keep := h.gp.OwnerGridOfSn(k) == h.z
 	yk, secs := h.diagSolveY(k, h.rhsFor(k, keep))
-	ctx.Compute(secs, nil)
+	ctx.ComputeT(TagDiagSolveL, secs, nil)
 	h.st.y[k] = yk
 	h.onY(ctx, k, yk)
 }
@@ -206,7 +206,7 @@ func (h *new3dRank) onX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 	}
 	for _, ref := range h.colU[k] {
 		secs := h.applyUBlock(ref, k, xk)
-		ctx.Compute(secs, nil)
+		ctx.ComputeT(TagApplyU, secs, nil)
 		h.uContribution(ctx, ref.I, h.gp.UReduce[ref.I])
 	}
 }
@@ -214,7 +214,7 @@ func (h *new3dRank) onX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 // solveX performs one U-phase diagonal solve and its follow-ups.
 func (h *new3dRank) solveX(ctx *runtime.Ctx, k int) {
 	xk, secs := h.diagSolveX(k)
-	ctx.Compute(secs, nil)
+	ctx.ComputeT(TagDiagSolveU, secs, nil)
 	h.st.xl[k] = xk
 	if h.gp.OwnerGridOfSn(k) == h.z {
 		h.writeX(k, xk)

@@ -1,0 +1,126 @@
+package trsv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+)
+
+// eventCounts tallies send/recv/compute events per (kind, category, tag) —
+// the part of the trace schema that must be identical across backends. Wait
+// events are excluded (the pool only blocks when a message is genuinely
+// late; the simulator waits deterministically) and so are elapse events
+// (pure simulation artifacts with no pool analog).
+func eventCounts(tr *runtime.Trace) map[string]int {
+	out := map[string]int{}
+	for _, evs := range tr.Ranks {
+		for i := range evs {
+			e := &evs[i]
+			switch e.Kind {
+			case runtime.EvSend, runtime.EvRecv, runtime.EvCompute:
+				out[fmt.Sprintf("%s/%s/%d", e.Kind, e.Cat, e.Tag)]++
+			}
+		}
+	}
+	return out
+}
+
+// TestTraceParityAcrossBackends pins that the simulator and the goroutine
+// pool record the same communication and compute events for the same
+// algorithm: every (kind, category, tag) count must match exactly. A drift
+// here means one backend's instrumentation was edited without the other.
+func TestTraceParityAcrossBackends(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(16, 16, 15), 2, 8)
+	model := machine.CoriHaswell()
+	sim := SimBackend{Opts: runtime.Options{Trace: true}}
+	pool := PoolBackend{Pool: runtime.Pool{Timeout: 60 * time.Second, Opts: runtime.Options{Trace: true}}}
+
+	cases := []struct {
+		algo Algorithm
+		kind ctree.Kind
+		lay  grid.Layout
+	}{
+		{Proposed3D, ctree.Binary, grid.Layout{Px: 2, Py: 2, Pz: 4}},
+		{Proposed3D, ctree.Flat, grid.Layout{Px: 2, Py: 1, Pz: 2}},
+		{Baseline3D, ctree.Flat, grid.Layout{Px: 2, Py: 2, Pz: 2}},
+	}
+	for _, c := range cases {
+		resSim := checkSolve(t, pl, c.lay, c.kind, c.algo, sim, model, 1, 48)
+		resPool := checkSolve(t, pl, c.lay, c.kind, c.algo, pool, model, 1, 48)
+		if resSim.Trace == nil || resPool.Trace == nil {
+			t.Fatalf("%v %+v: missing trace", c.algo, c.lay)
+		}
+		if !resSim.Trace.Complete() || !resPool.Trace.Complete() {
+			t.Fatalf("%v %+v: dropped events", c.algo, c.lay)
+		}
+		cs, cp := eventCounts(resSim.Trace), eventCounts(resPool.Trace)
+		for k, n := range cs {
+			if cp[k] != n {
+				t.Errorf("%v %+v: %s count sim=%d pool=%d", c.algo, c.lay, k, n, cp[k])
+			}
+		}
+		for k, n := range cp {
+			if _, ok := cs[k]; !ok {
+				t.Errorf("%v %+v: %s seen only in pool (count %d)", c.algo, c.lay, k, n)
+			}
+		}
+	}
+}
+
+// TestTraceCriticalPathBoundOnSuite is the acceptance check from the
+// paper-repro roadmap: on every suite matrix, a traced DES run of the
+// proposed algorithm yields a critical path no longer than the makespan.
+func TestTraceCriticalPathBoundOnSuite(t *testing.T) {
+	model := machine.CoriHaswell()
+	sim := SimBackend{Opts: runtime.Options{Trace: true}}
+	for _, name := range gen.SuiteNames() {
+		m := gen.Named(name, gen.Small)
+		if m.A.N > 1200 {
+			continue
+		}
+		pl := buildPipeline(t, m.A, 2, 16)
+		res := checkSolve(t, pl, grid.Layout{Px: 2, Py: 2, Pz: 4}, ctree.Auto, Proposed3D, sim, model, 1, 49)
+		cp, err := res.CriticalPath()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cp.Length > cp.Makespan*(1+1e-12) {
+			t.Errorf("%s: critical path %g exceeds makespan %g", name, cp.Length, cp.Makespan)
+		}
+		if cp.Length <= 0 || len(cp.Steps) == 0 {
+			t.Errorf("%s: empty critical path on a real solve", name)
+		}
+	}
+}
+
+// TestTraceTagNames ensures every event recorded during real solves carries
+// a tag the TagName table knows, so traces and edge listings never show
+// bare numbers for first-party traffic.
+func TestTraceTagNames(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(12, 12, 16), 2, 8)
+	sim := SimBackend{Opts: runtime.Options{Trace: true}}
+	for _, algo := range []Algorithm{Proposed3D, Baseline3D} {
+		res := checkSolve(t, pl, grid.Layout{Px: 2, Py: 2, Pz: 2}, ctree.Binary, algo, sim, machine.CoriHaswell(), 1, 50)
+		for rank, evs := range res.Trace.Ranks {
+			for i := range evs {
+				e := &evs[i]
+				switch e.Kind {
+				case runtime.EvSend, runtime.EvRecv:
+					if TagName(e.Tag) == "" {
+						t.Fatalf("%v rank %d: message tag %d has no name", algo, rank, e.Tag)
+					}
+				case runtime.EvCompute:
+					if e.Tag != 0 && TagName(e.Tag) == "" {
+						t.Fatalf("%v rank %d: compute tag %d has no name", algo, rank, e.Tag)
+					}
+				}
+			}
+		}
+	}
+}

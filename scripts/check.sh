@@ -25,6 +25,10 @@ go test -race ./...
 echo "== go test -race -count=2 (tuner + solver concurrency stress) =="
 go test -race -count=2 ./internal/tune ./internal/core
 
+echo "== go test -race -count=2 (tracer under both backends) =="
+go test -race -count=2 -run 'Trace|Parity|CriticalPath|ConcurrentTraced' \
+    ./internal/runtime ./internal/trsv ./internal/core
+
 echo "== quick solve benchmarks =="
 go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .
 
