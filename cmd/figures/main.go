@@ -26,7 +26,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
-	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,autotune,breakdown")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,autotune,breakdown,faults")
 	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
 	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
 	verbose := flag.Bool("v", false, "log progress")
@@ -40,6 +40,7 @@ func main() {
 	if all {
 		want["ablation"] = true
 		want["autotune"] = true
+		want["faults"] = true
 	}
 
 	run := func(name string, f func(cfg bench.Config)) {
@@ -88,4 +89,5 @@ func main() {
 	run("ablation", func(cfg bench.Config) { bench.Ablation(cfg) })
 	run("autotune", func(cfg bench.Config) { bench.Autotune(cfg) })
 	run("breakdown", func(cfg bench.Config) { bench.BreakdownDetail(cfg) })
+	run("faults", func(cfg bench.Config) { bench.FaultSweep(cfg) })
 }

@@ -139,7 +139,7 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 	if err != nil {
 		panic(fmt.Sprintf("bench: solve %s %+v: %v", name, rc.layout, err))
 	}
-	if r := solver.Residual(x, b); r > 1e-6 {
+	if r := solver.Residual(x, b); math.IsNaN(r) || r > 1e-6 {
 		panic(fmt.Sprintf("bench: %s %+v residual %g", name, rc.layout, r))
 	}
 	return rep

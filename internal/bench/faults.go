@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/fault"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/trsv"
+)
+
+// FaultPoint is one entry of the fault-resilience sweep: an algorithm run
+// under a benign injected fault (a straggler rank or link jitter), with the
+// makespan degradation relative to the same configuration's healthy run.
+type FaultPoint struct {
+	Matrix  string
+	Algo    string
+	P, Pz   int
+	Fault   string  // "healthy", "straggler x4", "jitter 10us", ...
+	Seconds float64 // injected makespan
+	// Degradation is Seconds / healthy Seconds for the same configuration
+	// (1 for the healthy row itself).
+	Degradation float64
+}
+
+// FaultSweep measures how the proposed and baseline 3D algorithms absorb
+// benign faults on the Cori model: one straggling rank at increasing
+// slowdown factors, and uniform per-message latency jitter. Every point is
+// still residual-verified (lab.run), so the sweep doubles as a soak test of
+// the injection path: faults may slow the solve but must never corrupt it.
+//
+// The interesting shape is the degradation column: a straggler on the
+// critical path stretches the makespan by up to its slowdown factor, while
+// jitter small against the healthy makespan barely registers. Determinism
+// of the DES makes every number exactly reproducible.
+func FaultSweep(cfg Config) []FaultPoint {
+	l := newLab(cfg)
+	model := machine.CoriHaswell()
+	matrix := "s2d9pt"
+	p, pz := 64, 4
+	if cfg.Quick {
+		p, pz = 16, 2
+	}
+	px, py := grid.Square2D(p / pz)
+	layout := grid.Layout{Px: px, Py: py, Pz: pz}
+
+	type plan struct {
+		name string
+		p    *fault.Plan
+	}
+	plans := []plan{{"healthy", nil}}
+	for _, f := range []float64{2, 4, 8} {
+		plans = append(plans, plan{
+			fmt.Sprintf("straggler x%g", f),
+			&fault.Plan{Seed: 1, Straggler: map[int]float64{0: f}},
+		})
+	}
+	for _, j := range []float64{1e-6, 1e-5} {
+		plans = append(plans, plan{
+			fmt.Sprintf("jitter %gus", j*1e6),
+			&fault.Plan{Seed: 1, Jitter: j},
+		})
+	}
+
+	algos := []struct {
+		name string
+		algo trsv.Algorithm
+	}{
+		{"proposed-3d", trsv.Proposed3D},
+		{"baseline-3d", trsv.Baseline3D},
+	}
+
+	var pts []FaultPoint
+	for _, a := range algos {
+		healthy := 0.0
+		for _, pl := range plans {
+			cfg.logf("faults %s %s P=%d Pz=%d %s", matrix, a.name, p, pz, pl.name)
+			rep := l.run(matrix, runCfg{
+				layout: layout, algo: a.algo, trees: ctree.Binary, model: model, nrhs: 1,
+				backend: trsv.SimBackend{Opts: runtime.Options{Faults: pl.p}},
+			})
+			if pl.name == "healthy" {
+				healthy = rep.Time
+			}
+			pts = append(pts, FaultPoint{
+				Matrix: matrix, Algo: a.name, P: p, Pz: pz, Fault: pl.name,
+				Seconds: rep.Time, Degradation: rep.Time / healthy,
+			})
+		}
+	}
+
+	if cfg.Out != nil {
+		fmt.Fprintln(cfg.Out, "Fault sweep: makespan under benign injected faults (Cori model, DES backend)")
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				pt.Matrix, pt.Algo, fmt.Sprint(pt.P), fmt.Sprint(pt.Pz), pt.Fault,
+				fmt.Sprintf("%.4g", pt.Seconds*1e3),
+				fmt.Sprintf("%.3f", pt.Degradation),
+			})
+		}
+		table(cfg.Out, []string{"matrix", "algorithm", "P", "Pz", "fault", "time [ms]", "degradation"}, cells)
+	}
+	return pts
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepQuick(t *testing.T) {
+	pts := FaultSweep(quickCfg())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	byAlgo := map[string][]FaultPoint{}
+	for _, pt := range pts {
+		if pt.Seconds <= 0 {
+			t.Fatalf("nonpositive time: %+v", pt)
+		}
+		// Benign faults only slow runs down: degradation ≥ 1 up to noise
+		// (the DES is exact, so the only slack needed is float rounding).
+		if pt.Degradation < 1-1e-9 {
+			t.Fatalf("fault sped up the solve: %+v", pt)
+		}
+		byAlgo[pt.Algo] = append(byAlgo[pt.Algo], pt)
+	}
+	if len(byAlgo) != 2 {
+		t.Fatalf("expected both algorithms, got %v", len(byAlgo))
+	}
+	for algo, rows := range byAlgo {
+		// Rows arrive in plan order: healthy, straggler x2, x4, x8, jitter…
+		if rows[0].Fault != "healthy" || rows[0].Degradation != 1 {
+			t.Fatalf("%s: first row not the healthy reference: %+v", algo, rows[0])
+		}
+		var stragglers []FaultPoint
+		for _, r := range rows {
+			if strings.HasPrefix(r.Fault, "straggler") {
+				stragglers = append(stragglers, r)
+			}
+		}
+		if len(stragglers) != 3 {
+			t.Fatalf("%s: expected 3 straggler points, got %d", algo, len(stragglers))
+		}
+		// A worsening straggler cannot make the solve faster.
+		for i := 1; i < len(stragglers); i++ {
+			if stragglers[i].Degradation < stragglers[i-1].Degradation-1e-9 {
+				t.Fatalf("%s: degradation not monotone: %+v then %+v",
+					algo, stragglers[i-1], stragglers[i])
+			}
+		}
+		// The straggling rank does real work in these layouts, so a factor-8
+		// slowdown must visibly stretch the makespan.
+		if last := stragglers[len(stragglers)-1]; last.Degradation < 1.05 {
+			t.Fatalf("%s: straggler x8 degradation %g suspiciously small", algo, last.Degradation)
+		}
+	}
+}

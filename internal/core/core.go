@@ -8,11 +8,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"sptrsv/internal/ctree"
 	"sptrsv/internal/dist"
 	"sptrsv/internal/factor"
+	"sptrsv/internal/fault"
 	"sptrsv/internal/grid"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/order"
@@ -86,6 +88,11 @@ type Config struct {
 	// backend (Report.Raw.Trace, runtime.Result.WriteTrace). Ignored when
 	// Backend is non-nil — set the backend's own Options instead.
 	Trace bool
+	// Faults injects deterministic faults (stragglers, jitter, drops,
+	// crashes — see fault.Plan) into solves on the default simulation
+	// backend. Like Trace, it is ignored when Backend is non-nil: set the
+	// backend's own Options instead.
+	Faults *fault.Plan
 }
 
 // Solver executes distributed triangular solves for one System and Config.
@@ -155,7 +162,7 @@ func NewSolver(sys *System, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	if cfg.Backend == nil {
-		cfg.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: cfg.Trace}}
+		cfg.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: cfg.Trace, Faults: cfg.Faults}}
 	}
 	plan, err := dist.New(sys.SN, sys.Tree, cfg.Layout, cfg.Trees)
 	if err != nil {
@@ -191,12 +198,25 @@ type Report struct {
 // Solve computes x with A·x = b, where b and x are in the original (
 // unpermuted) row ordering. b may have multiple columns (nrhs > 1).
 //
+// Solve never lets a failing solve take the process down: handler panics,
+// stalls, injected faults, and non-finite numbers all come back as typed
+// fault.* errors (fault.IsFault distinguishes them from usage errors such
+// as a wrong-shaped RHS). A non-finite RHS is rejected up front and a
+// non-finite solution on exit is reported as a fault.NumericalError naming
+// the first offending entry. After any error the Solver remains valid: the
+// pooled per-solve state is reclaimed and the next Solve starts clean.
+//
 // Solve is safe to call concurrently from multiple goroutines: every solve
 // draws its own buffers and execution state from pools, and the shared
 // plan is read-only.
 func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 	if b.Rows != s.sys.A.N {
 		return nil, nil, fmt.Errorf("core: rhs has %d rows, matrix has %d", b.Rows, s.sys.A.N)
+	}
+	if row, col, v, ok := b.FindNonFinite(); ok {
+		return nil, nil, &fault.NumericalError{
+			Stage: "rhs", Row: row, Col: col, Value: v, Sn: -1, Rank: -1,
+		}
 	}
 	sb := s.bufs.Get().(*solveBuffers)
 	if sb.bp == nil || sb.bp.Rows != b.Rows || sb.bp.Cols != b.Cols {
@@ -208,6 +228,17 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 	if err != nil {
 		s.bufs.Put(sb)
 		return nil, nil, err
+	}
+	if rp, col, v, ok := sb.xp.FindNonFinite(); ok {
+		// Attribute the bad entry to the supernode whose diagonal solve
+		// produced it and the in-grid rank that ran that solve.
+		k := sort.SearchInts(s.sys.SN.SnBegin, rp+1) - 1
+		nerr := &fault.NumericalError{
+			Stage: "solution", Row: s.inv[rp], Col: col, Value: v,
+			Sn: k, Rank: s.plan.DiagRank2D(k),
+		}
+		s.bufs.Put(sb)
+		return nil, nil, nerr
 	}
 	x := sb.xp.PermuteRows(s.inv)
 	s.bufs.Put(sb)
@@ -242,14 +273,61 @@ func phaseSpans(res *runtime.Result) (l, z, u []float64) {
 	return l, z, u
 }
 
+// BatchError reports which panels of a SolveBatch failed. Errs is indexed
+// like the input batch: Errs[i] is nil exactly when panel i solved
+// successfully. It unwraps to the per-panel errors, so errors.As reaches
+// the underlying fault.* types.
+type BatchError struct {
+	Errs []error
+}
+
+// Failed returns the number of failed panels.
+func (e *BatchError) Failed() int {
+	n := 0
+	for _, err := range e.Errs {
+		if err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *BatchError) Error() string {
+	var first error
+	for _, err := range e.Errs {
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	return fmt.Sprintf("core: %d of %d batch panels failed; first: %v", e.Failed(), len(e.Errs), first)
+}
+
+// Unwrap exposes the non-nil per-panel errors to errors.Is / errors.As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, 0, len(e.Errs))
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
 // SolveBatch solves one independent system per panel in bs, running the
 // solves concurrently (each on its own backend run), and returns the
-// solutions and reports in matching order. The first error, if any, is
-// returned; entries of failed solves are nil.
+// solutions and reports in matching order.
+//
+// Failures are isolated per panel: a panel whose solve fails gets nil
+// xs[i]/reps[i] entries while the other panels complete normally. When any
+// panel failed, the returned error is a *BatchError whose Errs slice maps
+// each panel to its error (nil for successes), so callers can retry or
+// report exactly the failed panels.
 func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, error) {
 	xs := make([]*sparse.Panel, len(bs))
 	reps := make([]*Report, len(bs))
 	errs := make([]error, len(bs))
+	failed := false
 	var wg sync.WaitGroup
 	for i, b := range bs {
 		wg.Add(1)
@@ -261,8 +339,12 @@ func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, err
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return xs, reps, err
+			failed = true
+			break
 		}
+	}
+	if failed {
+		return xs, reps, &BatchError{Errs: errs}
 	}
 	return xs, reps, nil
 }

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Error is the marker interface of the typed fault taxonomy. Every failure
+// the solver can hit at run time — stalls, crashes, recovered panics,
+// protocol violations, non-finite numbers — implements it, so callers can
+// separate "the solve failed in a diagnosed way" from plain usage errors
+// (bad shapes, invalid configs) with IsFault.
+type Error interface {
+	error
+	faultError()
+}
+
+// IsFault reports whether err is (or wraps) a typed fault error.
+func IsFault(err error) bool {
+	var fe Error
+	return errors.As(err, &fe)
+}
+
+// StallError reports a rank that stopped making progress: under the Pool
+// backend the stall watchdog fired (Waited ≥ Deadline with the rank blocked
+// in a receive); under the DES Engine the event queue drained while the
+// rank still expected messages (Virtual is true — a virtual-time deadlock
+// has no waiting duration).
+type StallError struct {
+	Rank int // the stuck rank
+	Peer int // expected sender, -1 when unknown
+	Tag  int // expected message tag, -1 when unknown
+	// Waited is how long the rank had been blocked when the watchdog
+	// fired; Deadline is the configured runtime.Options.StallTimeout.
+	// Both are zero for virtual-time deadlocks.
+	Waited   time.Duration
+	Deadline time.Duration
+	// State is the handler's self-description of what it was waiting for
+	// (see runtime.WaitStater), "" when the handler offers none.
+	State string
+	// Virtual distinguishes a DES quiescence deadlock from a Pool
+	// watchdog abort.
+	Virtual bool
+}
+
+func (e *StallError) faultError() {}
+
+func (e *StallError) Error() string {
+	expect := ""
+	if e.Peer >= 0 {
+		expect = fmt.Sprintf(" (expected tag %d from rank %d)", e.Tag, e.Peer)
+	}
+	state := ""
+	if e.State != "" {
+		state = "; state: " + e.State
+	}
+	if e.Virtual {
+		return fmt.Sprintf("fault: deadlock — rank %d expects more messages at quiescence%s%s",
+			e.Rank, expect, state)
+	}
+	return fmt.Sprintf("fault: stall — rank %d made no progress for %v (watchdog deadline %v)%s%s",
+		e.Rank, e.Waited.Round(time.Millisecond), e.Deadline, expect, state)
+}
+
+// CrashError reports that an injected rank crash prevented the solve from
+// completing.
+type CrashError struct {
+	Rank int
+	At   float64 // seconds since run start (virtual or wall)
+}
+
+func (e *CrashError) faultError() {}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: rank %d crashed at t=%.3gs (injected)", e.Rank, e.At)
+}
+
+// PanicError is a panic recovered inside a rank body, carrying the rank,
+// the original panic value, and the stack captured at the recovery point.
+type PanicError struct {
+	Rank  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) faultError() {}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fault: rank %d panicked: %v", e.Rank, e.Value)
+}
+
+// ProtocolError reports a violated runtime or algorithm invariant — an
+// unexpected tag, a message for an out-of-range rank, a capability the
+// backend lacks. These are raised as panics at the violation site (so the
+// stack points there) and converted by the rank recover into the solve's
+// error return.
+type ProtocolError struct {
+	Rank  int    // offending rank, -1 when filled in by recovery
+	Tag   int    // offending message tag, 0 when not message-related
+	Phase string // algorithm phase ("L-solve", "allreduce", ...), "" when unknown
+	Msg   string
+}
+
+func (e *ProtocolError) faultError() {}
+
+func (e *ProtocolError) Error() string {
+	s := fmt.Sprintf("fault: protocol violation — rank %d: %s", e.Rank, e.Msg)
+	switch {
+	case e.Tag > 0 && e.Phase != "":
+		s += fmt.Sprintf(" (tag %d, phase %s)", e.Tag, e.Phase)
+	case e.Tag > 0:
+		s += fmt.Sprintf(" (tag %d)", e.Tag)
+	case e.Phase != "":
+		s += fmt.Sprintf(" (phase %s)", e.Phase)
+	}
+	return s
+}
+
+// NumericalError reports a non-finite value detected by the solver's
+// numerical guards: in the right-hand side before the solve (Stage "rhs")
+// or in the solution on exit (Stage "solution").
+type NumericalError struct {
+	Stage    string  // "rhs" or "solution"
+	Row, Col int     // first offending entry (row in the caller's ordering)
+	Value    float64 // the offending value (NaN or ±Inf)
+	// Sn is the supernode whose diagonal solve produced the row and Rank
+	// the in-grid diagonal rank that computed it; both are -1 for the RHS
+	// stage, where the bad value came from the caller.
+	Sn   int
+	Rank int
+}
+
+func (e *NumericalError) faultError() {}
+
+func (e *NumericalError) Error() string {
+	s := fmt.Sprintf("fault: non-finite value %v in %s at row %d, column %d",
+		e.Value, e.Stage, e.Row, e.Col)
+	if e.Sn >= 0 {
+		s += fmt.Sprintf(" (supernode %d, diag rank %d)", e.Sn, e.Rank)
+	}
+	return s
+}
+
+// FromPanic converts a value recovered from a rank-body panic into a typed
+// fault error. Already-typed fault errors pass through unchanged (a
+// ProtocolError raised without a rank gets it filled in); anything else
+// becomes a PanicError carrying the stack.
+func FromPanic(rank int, rec any, stack []byte) error {
+	if fe, ok := rec.(Error); ok {
+		if pe, ok := fe.(*ProtocolError); ok && pe.Rank < 0 {
+			pe.Rank = rank
+		}
+		return fe
+	}
+	return &PanicError{Rank: rank, Value: rec, Stack: stack}
+}

@@ -1,0 +1,183 @@
+// Package fault provides deterministic, seeded fault injection for the
+// message runtime, plus the typed error taxonomy every solver failure is
+// reported through.
+//
+// A Plan describes the faults to inject — per-rank straggler slowdowns,
+// per-message latency jitter (which also reorders deliveries), message
+// drops, and rank crashes. Both runtime backends accept a Plan via
+// runtime.Options{Faults: ...}: the discrete-event Engine injects in
+// virtual time, bit-deterministically for a fixed Seed (every PRNG draw
+// happens in global event order), and the goroutine Pool injects in wall
+// time. Injection is strictly a test/chaos facility: a nil Plan leaves the
+// hot paths untouched.
+//
+// The error types (StallError, CrashError, PanicError, ProtocolError,
+// NumericalError) are what the solver returns instead of crashing the
+// process; IsFault distinguishes them from ordinary usage errors.
+package fault
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Wildcard matches any rank or tag in a DropRule.
+const Wildcard = -1
+
+// DropRule selects messages to silently discard (after the sender has paid
+// its injection cost — the receiver simply never sees the payload, like a
+// lost packet on an unreliable fabric).
+type DropRule struct {
+	// Src, Dst, Tag restrict the rule; Wildcard (-1) matches anything.
+	Src, Dst, Tag int
+	// After skips the first After matching messages before dropping starts.
+	After int
+	// Count bounds how many messages the rule drops; 0 means every match.
+	Count int
+}
+
+// Plan describes the faults injected into one run. The zero value injects
+// nothing; a Plan is read-only once handed to a backend and may be shared
+// by concurrent runs (each run draws its own Injector from it).
+type Plan struct {
+	// Seed drives every random draw (jitter). Two DES runs of the same
+	// Plan produce bit-identical clocks.
+	Seed int64
+	// Straggler maps rank → slowdown factor (> 1): the rank's compute and
+	// modeled overheads take factor× as long, the extra time charged to
+	// runtime.CatFault. Factors ≤ 1 are ignored.
+	Straggler map[int]float64
+	// Jitter adds a uniform extra latency in [0, Jitter) seconds to every
+	// message, drawn from Seed. Messages on one link can overtake each
+	// other — the reordering the deferral protocol must absorb.
+	Jitter float64
+	// Drops lists messages to discard.
+	Drops []DropRule
+	// Crash maps rank → time (seconds since run start; virtual under the
+	// Engine, wall under the Pool) after which the rank stops executing,
+	// modeling a node death. In-flight messages it already sent still
+	// deliver; everything addressed to it afterwards is lost.
+	Crash map[int]float64
+}
+
+// Dropped records one message discarded by a DropRule.
+type Dropped struct {
+	Src, Dst, Tag int
+	Time          float64
+}
+
+// Injector is the per-run instantiation of a Plan: it owns the PRNG and
+// the drop bookkeeping, so repeated runs of one Plan are independent and
+// identically seeded. All methods are safe on a nil receiver (returning
+// "no fault"), letting backends call through unconditionally, and safe for
+// concurrent use (the Pool's rank goroutines share one Injector).
+type Injector struct {
+	mu      sync.Mutex
+	plan    *Plan
+	rng     *rand.Rand
+	matched []int
+	dropped []Dropped
+}
+
+// NewInjector instantiates p for one run; a nil plan yields a nil
+// (inactive) Injector.
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	return &Injector{
+		plan:    p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		matched: make([]int, len(p.Drops)),
+	}
+}
+
+// Active reports whether any fault can fire.
+func (in *Injector) Active() bool { return in != nil }
+
+// StragglerFactor returns the slowdown factor for rank (1 when healthy).
+func (in *Injector) StragglerFactor(rank int) float64 {
+	if in == nil {
+		return 1
+	}
+	if f, ok := in.plan.Straggler[rank]; ok && f > 1 {
+		return f
+	}
+	return 1
+}
+
+// Delay returns the next jitter draw in seconds (0 when jitter is off).
+func (in *Injector) Delay() float64 {
+	if in == nil || in.plan.Jitter <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() * in.plan.Jitter
+}
+
+// Drop reports whether the (src, dst, tag) message sent at time now should
+// be discarded, recording it for SuspectFor when so. The first rule that
+// matches and is within its After/Count window wins.
+func (in *Injector) Drop(src, dst, tag int, now float64) bool {
+	if in == nil || len(in.plan.Drops) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.plan.Drops {
+		r := &in.plan.Drops[i]
+		if !match(r.Src, src) || !match(r.Dst, dst) || !match(r.Tag, tag) {
+			continue
+		}
+		in.matched[i]++
+		n := in.matched[i]
+		if n <= r.After {
+			continue
+		}
+		if r.Count > 0 && n > r.After+r.Count {
+			continue
+		}
+		in.dropped = append(in.dropped, Dropped{Src: src, Dst: dst, Tag: tag, Time: now})
+		return true
+	}
+	return false
+}
+
+func match(rule, v int) bool { return rule == Wildcard || rule == v }
+
+// CrashTime returns the injected crash time for rank, if any.
+func (in *Injector) CrashTime(rank int) (float64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	t, ok := in.plan.Crash[rank]
+	return t, ok
+}
+
+// Dropped returns a copy of the messages discarded so far.
+func (in *Injector) Dropped() []Dropped {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Dropped(nil), in.dropped...)
+}
+
+// SuspectFor returns the peer and tag of the first dropped message that
+// was destined to rank — the most likely explanation for why the rank is
+// stalled. ok is false when no dropped message targeted rank.
+func (in *Injector) SuspectFor(rank int) (peer, tag int, ok bool) {
+	if in == nil {
+		return -1, -1, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, d := range in.dropped {
+		if d.Dst == rank {
+			return d.Src, d.Tag, true
+		}
+	}
+	return -1, -1, false
+}

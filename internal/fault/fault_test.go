@@ -1,0 +1,225 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Active() {
+		t.Fatal("nil injector claims active")
+	}
+	if f := in.StragglerFactor(3); f != 1 {
+		t.Fatalf("straggler factor %g", f)
+	}
+	if d := in.Delay(); d != 0 {
+		t.Fatalf("delay %g", d)
+	}
+	if in.Drop(0, 1, 2, 0) {
+		t.Fatal("nil injector dropped a message")
+	}
+	if _, ok := in.CrashTime(0); ok {
+		t.Fatal("nil injector has a crash time")
+	}
+	if got := in.Dropped(); got != nil {
+		t.Fatalf("nil injector recorded drops: %v", got)
+	}
+	if _, _, ok := in.SuspectFor(0); ok {
+		t.Fatal("nil injector has a suspect")
+	}
+	if NewInjector(nil) != nil {
+		t.Fatal("NewInjector(nil) should be nil")
+	}
+}
+
+func TestStragglerFactor(t *testing.T) {
+	in := NewInjector(&Plan{Straggler: map[int]float64{0: 4, 1: 0.5}})
+	if f := in.StragglerFactor(0); f != 4 {
+		t.Fatalf("rank 0 factor %g, want 4", f)
+	}
+	// Factors ≤ 1 (speedups) are ignored: injection only slows ranks down.
+	if f := in.StragglerFactor(1); f != 1 {
+		t.Fatalf("rank 1 factor %g, want 1", f)
+	}
+	if f := in.StragglerFactor(2); f != 1 {
+		t.Fatalf("unlisted rank factor %g, want 1", f)
+	}
+}
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	const jitter = 1e-3
+	a := NewInjector(&Plan{Seed: 42, Jitter: jitter})
+	b := NewInjector(&Plan{Seed: 42, Jitter: jitter})
+	for i := 0; i < 100; i++ {
+		da, db := a.Delay(), b.Delay()
+		if da != db {
+			t.Fatalf("draw %d: %g != %g (same seed must give identical draws)", i, da, db)
+		}
+		if da < 0 || da >= jitter {
+			t.Fatalf("draw %d: %g outside [0, %g)", i, da, jitter)
+		}
+	}
+	c := NewInjector(&Plan{Seed: 43, Jitter: jitter})
+	if a.Delay() == c.Delay() {
+		t.Fatal("different seeds gave the same first draw (suspicious)")
+	}
+}
+
+func TestDropRuleMatching(t *testing.T) {
+	in := NewInjector(&Plan{Drops: []DropRule{{Src: 1, Dst: 2, Tag: 7}}})
+	if in.Drop(0, 2, 7, 0) || in.Drop(1, 0, 7, 0) || in.Drop(1, 2, 8, 0) {
+		t.Fatal("non-matching message dropped")
+	}
+	if !in.Drop(1, 2, 7, 0.5) {
+		t.Fatal("matching message not dropped")
+	}
+	ds := in.Dropped()
+	if len(ds) != 1 || ds[0] != (Dropped{Src: 1, Dst: 2, Tag: 7, Time: 0.5}) {
+		t.Fatalf("dropped record %+v", ds)
+	}
+}
+
+func TestDropWildcards(t *testing.T) {
+	in := NewInjector(&Plan{Drops: []DropRule{{Src: Wildcard, Dst: 3, Tag: Wildcard}}})
+	if !in.Drop(0, 3, 1, 0) || !in.Drop(9, 3, 99, 0) {
+		t.Fatal("wildcard rule missed a match")
+	}
+	if in.Drop(0, 4, 1, 0) {
+		t.Fatal("wildcard rule matched wrong destination")
+	}
+}
+
+func TestDropAfterAndCount(t *testing.T) {
+	in := NewInjector(&Plan{Drops: []DropRule{
+		{Src: Wildcard, Dst: Wildcard, Tag: 5, After: 2, Count: 2},
+	}})
+	var got []bool
+	for i := 0; i < 6; i++ {
+		got = append(got, in.Drop(0, 1, 5, float64(i)))
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d: dropped=%v, want %v (After=2 Count=2)", i, got[i], want[i])
+		}
+	}
+	if n := len(in.Dropped()); n != 2 {
+		t.Fatalf("recorded %d drops, want 2", n)
+	}
+}
+
+func TestDropCountZeroMeansUnlimited(t *testing.T) {
+	in := NewInjector(&Plan{Drops: []DropRule{{Src: Wildcard, Dst: Wildcard, Tag: Wildcard}}})
+	for i := 0; i < 10; i++ {
+		if !in.Drop(0, 1, i, 0) {
+			t.Fatalf("message %d not dropped by unlimited rule", i)
+		}
+	}
+}
+
+func TestSuspectFor(t *testing.T) {
+	in := NewInjector(&Plan{Drops: []DropRule{{Src: Wildcard, Dst: Wildcard, Tag: Wildcard}}})
+	in.Drop(4, 2, 11, 0)
+	in.Drop(5, 2, 12, 1)
+	peer, tag, ok := in.SuspectFor(2)
+	if !ok || peer != 4 || tag != 11 {
+		t.Fatalf("suspect = (%d, %d, %v), want first drop (4, 11, true)", peer, tag, ok)
+	}
+	if _, _, ok := in.SuspectFor(3); ok {
+		t.Fatal("rank with no lost messages has a suspect")
+	}
+}
+
+func TestCrashTime(t *testing.T) {
+	in := NewInjector(&Plan{Crash: map[int]float64{2: 1.5}})
+	if tc, ok := in.CrashTime(2); !ok || tc != 1.5 {
+		t.Fatalf("CrashTime(2) = (%g, %v)", tc, ok)
+	}
+	if _, ok := in.CrashTime(0); ok {
+		t.Fatal("unlisted rank has a crash time")
+	}
+}
+
+func TestIsFaultAndErrorStrings(t *testing.T) {
+	cases := []struct {
+		err  error
+		want []string
+	}{
+		{&StallError{Rank: 3, Peer: 1, Tag: 7, Virtual: true, State: "phase=0"},
+			[]string{"deadlock", "rank 3", "tag 7", "rank 1", "phase=0"}},
+		{&StallError{Rank: 2, Peer: -1, Waited: 300 * time.Millisecond, Deadline: 250 * time.Millisecond},
+			[]string{"stall", "rank 2", "300ms", "250ms"}},
+		{&CrashError{Rank: 1, At: 0.5}, []string{"crashed", "rank 1", "0.5"}},
+		{&PanicError{Rank: 0, Value: "boom"}, []string{"panicked", "rank 0", "boom"}},
+		{&ProtocolError{Rank: 4, Tag: 9, Phase: "U-solve", Msg: "bad"},
+			[]string{"protocol violation", "rank 4", "tag 9", "U-solve"}},
+		{&NumericalError{Stage: "solution", Row: 10, Col: 1, Value: math.NaN(), Sn: 3, Rank: 2},
+			[]string{"non-finite", "solution", "row 10", "supernode 3", "diag rank 2"}},
+		{&NumericalError{Stage: "rhs", Row: 0, Col: 0, Value: math.Inf(1), Sn: -1, Rank: -1},
+			[]string{"non-finite", "rhs", "+Inf"}},
+	}
+	for _, tc := range cases {
+		if !IsFault(tc.err) {
+			t.Errorf("IsFault(%T) = false", tc.err)
+		}
+		msg := tc.err.Error()
+		for _, w := range tc.want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("%T message %q missing %q", tc.err, msg, w)
+			}
+		}
+	}
+	if IsFault(errors.New("plain")) {
+		t.Error("plain error classified as fault")
+	}
+	if IsFault(nil) {
+		t.Error("nil classified as fault")
+	}
+	// Wrapped faults are still recognized.
+	if !IsFault(fmt.Errorf("outer: %w", &CrashError{Rank: 0})) {
+		t.Error("wrapped fault not recognized")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	// Arbitrary panic values become PanicError with the rank and stack.
+	err := FromPanic(3, "boom", []byte("stack"))
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Rank != 3 || pe.Value != "boom" || string(pe.Stack) != "stack" {
+		t.Fatalf("FromPanic wrapped wrong: %#v", err)
+	}
+	// Typed fault errors pass through unchanged.
+	orig := &CrashError{Rank: 1, At: 2}
+	if got := FromPanic(5, orig, nil); got != error(orig) {
+		t.Fatalf("typed fault did not pass through: %v", got)
+	}
+	// A ProtocolError raised without a rank gets it filled in.
+	proto := &ProtocolError{Rank: -1, Msg: "x"}
+	if got := FromPanic(7, proto, nil); got != error(proto) || proto.Rank != 7 {
+		t.Fatalf("ProtocolError rank not filled: %v (rank %d)", got, proto.Rank)
+	}
+	// A ProtocolError that already names a rank keeps it.
+	proto2 := &ProtocolError{Rank: 2, Msg: "y"}
+	FromPanic(7, proto2, nil)
+	if proto2.Rank != 2 {
+		t.Fatalf("ProtocolError rank overwritten: %d", proto2.Rank)
+	}
+}
+
+func TestInjectorsIndependentPerRun(t *testing.T) {
+	p := &Plan{Seed: 9, Jitter: 1, Drops: []DropRule{{Src: Wildcard, Dst: Wildcard, Tag: Wildcard, Count: 1}}}
+	a, b := NewInjector(p), NewInjector(p)
+	if a.Delay() != b.Delay() {
+		t.Fatal("two injectors from one plan diverged on the first draw")
+	}
+	a.Drop(0, 1, 2, 0)
+	// a has exhausted the rule; b must still have its budget.
+	if !b.Drop(0, 1, 2, 0) {
+		t.Fatal("drop bookkeeping leaked between injectors")
+	}
+}

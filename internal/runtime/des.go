@@ -3,6 +3,9 @@ package runtime
 import (
 	"container/heap"
 	"fmt"
+	"runtime/debug"
+
+	"sptrsv/internal/fault"
 )
 
 // Network models the cost of one point-to-point message.
@@ -47,7 +50,8 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 
 // Engine is the discrete-event backend. Events are delivered in global
 // virtual-time order with a deterministic sequence tie-break, so two runs of
-// the same deterministic handlers produce identical clocks.
+// the same deterministic handlers produce identical clocks — including under
+// fault injection, whose PRNG draws happen in that same global order.
 type Engine struct {
 	net       Network
 	handlers  []Handler
@@ -58,8 +62,8 @@ type Engine struct {
 	delivered int
 	// MaxEvents guards against runaway handlers; 0 means the default.
 	MaxEvents int
-	// Opts enables optional instrumentation (event tracing). Zero value:
-	// tracing off, no overhead on the hot paths.
+	// Opts enables optional instrumentation (event tracing) and fault
+	// injection. Zero value: everything off, no overhead on the hot paths.
 	Opts Options
 
 	tr *tracer
@@ -67,6 +71,12 @@ type Engine struct {
 	// seq breaks virtual-time ties in the event heap, and tracing must not
 	// perturb that ordering (determinism is pinned by tests).
 	msgID int64
+
+	inj     *fault.Injector
+	crashed []bool
+	// firstCrash records the earliest injected crash that fired; the run
+	// reports it as a fault.CrashError.
+	firstCrash *fault.CrashError
 }
 
 // NewEngine creates a DES over n ranks with the given network model.
@@ -79,20 +89,59 @@ func NewEngine(n int, net Network) *Engine {
 	}
 }
 
+// step runs one handler entry (Init or OnMessage) panic-safely: a panic in
+// the handler — or in the backend invariants it trips — surfaces as a typed
+// error from Run instead of crashing the process.
+func (e *Engine) step(rank int, f func()) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fault.FromPanic(rank, rec, debug.Stack())
+		}
+	}()
+	f()
+	return nil
+}
+
+// noteCrash kills rank at virtual time t: it executes nothing further and
+// every message addressed to it is discarded.
+func (e *Engine) noteCrash(rank int, t float64) {
+	e.crashed[rank] = true
+	if e.firstCrash == nil || t < e.firstCrash.At {
+		e.firstCrash = &fault.CrashError{Rank: rank, At: t}
+	}
+	if e.tr != nil {
+		at := e.clocks[rank]
+		if t > at {
+			at = t
+		}
+		e.tr.add(rank, Event{Kind: EvFault, Cat: CatFault, Peer: -1, Start: at, Key: "crash"})
+	}
+}
+
 // Run installs one handler per rank, drives the simulation to quiescence,
-// and returns per-rank clocks and timers. It fails if any handler is not
-// Done at quiescence (a deadlock: the algorithm expected more messages) or
-// if the event budget is exhausted.
+// and returns per-rank clocks and timers. It fails with a typed fault error
+// if a handler panics, an injected crash prevents completion, or any rank
+// is not Done at quiescence (a deadlock — the algorithm expected more
+// messages), and with a plain error if the event budget is exhausted.
 func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 	n := len(e.handlers)
 	e.tr = newTracer(n, e.Opts)
+	e.inj = fault.NewInjector(e.Opts.Faults)
+	e.crashed = make([]bool, n)
+	e.firstCrash = nil
 	ctxs := make([]*Ctx, n)
 	for r := 0; r < n; r++ {
 		e.handlers[r] = newHandler(r)
 		ctxs[r] = &Ctx{rank: r, b: e}
 	}
 	for r := 0; r < n; r++ {
-		e.handlers[r].Init(ctxs[r])
+		if t, ok := e.inj.CrashTime(r); ok && t <= 0 {
+			e.noteCrash(r, t)
+			continue
+		}
+		if err := e.step(r, func() { e.handlers[r].Init(ctxs[r]) }); err != nil {
+			return nil, err
+		}
 	}
 	maxEvents := e.MaxEvents
 	if maxEvents == 0 {
@@ -104,6 +153,13 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		}
 		ev := heap.Pop(&e.queue).(event)
 		r := ev.msg.Dst
+		if e.crashed[r] {
+			continue // the payload is lost with the rank
+		}
+		if t, ok := e.inj.CrashTime(r); ok && ev.time >= t {
+			e.noteCrash(r, t)
+			continue
+		}
 		if wait := ev.time - e.clocks[r]; wait > 0 {
 			e.timers[r].ByCat[ev.msg.Cat] += wait
 			if e.tr != nil {
@@ -126,11 +182,21 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 			e.timers[r].ByCat[ev.msg.Cat] += ev.recvOver
 			e.clocks[r] += ev.recvOver
 		}
-		e.handlers[r].OnMessage(ctxs[r], ev.msg)
+		if err := e.step(r, func() { e.handlers[r].OnMessage(ctxs[r], ev.msg) }); err != nil {
+			return nil, err
+		}
 	}
-	for r := 0; r < n; r++ {
-		if !e.handlers[r].Done() {
-			return nil, fmt.Errorf("runtime: deadlock — rank %d expects more messages at quiescence", r)
+	if e.firstCrash != nil {
+		return nil, e.firstCrash
+	}
+	if stuck := e.stuckRank(); stuck >= 0 {
+		peer, tag, ok := e.inj.SuspectFor(stuck)
+		if !ok {
+			peer, tag = -1, -1
+		}
+		return nil, &fault.StallError{
+			Rank: stuck, Peer: peer, Tag: tag,
+			State: waitState(e.handlers[stuck]), Virtual: true,
 		}
 	}
 	res := &Result{
@@ -144,9 +210,28 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 	return res, nil
 }
 
+// stuckRank returns a rank that is not Done at quiescence, preferring one
+// whose stall a dropped message explains; -1 when every rank finished.
+func (e *Engine) stuckRank() int {
+	stuck := -1
+	for r := range e.handlers {
+		if e.crashed[r] || e.handlers[r].Done() {
+			continue
+		}
+		if stuck < 0 {
+			stuck = r
+		}
+		if _, _, ok := e.inj.SuspectFor(r); ok {
+			return r
+		}
+	}
+	return stuck
+}
+
 func (e *Engine) send(src int, m Msg) {
 	if m.Dst < 0 || m.Dst >= len(e.handlers) {
-		panic(fmt.Sprintf("runtime: send to rank %d of %d", m.Dst, len(e.handlers)))
+		panic(&fault.ProtocolError{Rank: src, Tag: m.Tag,
+			Msg: fmt.Sprintf("send to rank %d of %d", m.Dst, len(e.handlers))})
 	}
 	over, lat, recvOver := e.net.Cost(src, m.Dst, m.Bytes)
 	e.timers[src].MsgsSent[m.Cat]++
@@ -161,15 +246,37 @@ func (e *Engine) send(src int, m Msg) {
 	}
 	e.timers[src].ByCat[m.Cat] += over
 	e.clocks[src] += over
+	if e.inj.Drop(src, m.Dst, m.Tag, e.clocks[src]) {
+		if e.tr != nil {
+			e.tr.add(src, Event{
+				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
+				MsgID: m.id, Start: e.clocks[src], Key: "drop",
+			})
+		}
+		return
+	}
+	if d := e.inj.Delay(); d > 0 {
+		lat += d
+		if e.tr != nil {
+			// Zero-duration stamp: the extra latency rides the message edge
+			// (visible as slack/latency in the analysis), not the sender's
+			// clock. Arrive holds the injected extra seconds.
+			e.tr.add(src, Event{
+				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
+				MsgID: m.id, Start: e.clocks[src], Arrive: d, Key: "delay",
+			})
+		}
+	}
 	e.pushRecv(e.clocks[src]+lat, recvOver, m)
 }
 
 func (e *Engine) sendAfter(src int, delay float64, m Msg) {
 	if m.Dst < 0 || m.Dst >= len(e.handlers) {
-		panic(fmt.Sprintf("runtime: sendAfter to rank %d of %d", m.Dst, len(e.handlers)))
+		panic(&fault.ProtocolError{Rank: src, Tag: m.Tag,
+			Msg: fmt.Sprintf("sendAfter to rank %d of %d", m.Dst, len(e.handlers))})
 	}
 	if delay < 0 {
-		panic("runtime: negative sendAfter delay")
+		panic(&fault.ProtocolError{Rank: src, Tag: m.Tag, Msg: "negative sendAfter delay"})
 	}
 	if m.Dst != src {
 		e.timers[src].MsgsSent[m.Cat]++
@@ -185,12 +292,37 @@ func (e *Engine) sendAfter(src int, delay float64, m Msg) {
 			Bytes: m.Bytes, MsgID: m.id, Start: e.clocks[src],
 		})
 	}
+	if m.Dst != src && e.inj.Drop(src, m.Dst, m.Tag, e.clocks[src]) {
+		if e.tr != nil {
+			e.tr.add(src, Event{
+				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
+				MsgID: m.id, Start: e.clocks[src], Key: "drop",
+			})
+		}
+		return
+	}
+	if m.Dst != src {
+		if d := e.inj.Delay(); d > 0 {
+			delay += d
+			if e.tr != nil {
+				e.tr.add(src, Event{
+					Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
+					MsgID: m.id, Start: e.clocks[src], Arrive: d, Key: "delay",
+				})
+			}
+		}
+	}
 	e.push(e.clocks[src]+delay, m)
 }
 
 func (e *Engine) after(src int, delay float64, tag int, data any) {
 	if delay < 0 {
-		panic("runtime: negative After delay")
+		panic(&fault.ProtocolError{Rank: src, Tag: tag, Msg: "negative After delay"})
+	}
+	// A straggling rank's self-scheduled work (the GPU model's task
+	// completions) finishes late too.
+	if f := e.inj.StragglerFactor(src); f > 1 {
+		delay *= f
 	}
 	m := Msg{Src: src, Dst: src, Tag: tag, Cat: CatFP, Data: data}
 	if e.tr != nil {
@@ -215,7 +347,7 @@ func (e *Engine) pushRecv(t, recvOver float64, m Msg) {
 
 func (e *Engine) compute(rank, tag int, seconds float64, f func()) {
 	if seconds < 0 {
-		panic("runtime: negative compute time")
+		panic(&fault.ProtocolError{Rank: rank, Tag: tag, Msg: "negative compute time"})
 	}
 	if e.tr != nil {
 		e.tr.add(rank, Event{
@@ -225,14 +357,34 @@ func (e *Engine) compute(rank, tag int, seconds float64, f func()) {
 	}
 	e.timers[rank].ByCat[CatFP] += seconds
 	e.clocks[rank] += seconds
+	e.straggle(rank, seconds)
 	if f != nil {
 		f()
 	}
 }
 
+// straggle charges the injected slowdown of a straggler rank after a span
+// of modeled seconds: the extra time is attributed to CatFault so the
+// breakdowns show exactly what the fault cost.
+func (e *Engine) straggle(rank int, seconds float64) {
+	f := e.inj.StragglerFactor(rank)
+	if f <= 1 || seconds <= 0 {
+		return
+	}
+	extra := seconds * (f - 1)
+	if e.tr != nil {
+		e.tr.add(rank, Event{
+			Kind: EvFault, Cat: CatFault, Peer: -1,
+			Start: e.clocks[rank], Dur: extra, Key: "straggle",
+		})
+	}
+	e.timers[rank].ByCat[CatFault] += extra
+	e.clocks[rank] += extra
+}
+
 func (e *Engine) elapse(rank int, cat Category, seconds float64) {
 	if seconds < 0 {
-		panic("runtime: negative elapse time")
+		panic(&fault.ProtocolError{Rank: rank, Msg: "negative elapse time"})
 	}
 	if e.tr != nil {
 		e.tr.add(rank, Event{
@@ -242,6 +394,7 @@ func (e *Engine) elapse(rank int, cat Category, seconds float64) {
 	}
 	e.timers[rank].ByCat[cat] += seconds
 	e.clocks[rank] += seconds
+	e.straggle(rank, seconds)
 }
 
 func (e *Engine) now(rank int) float64 { return e.clocks[rank] }

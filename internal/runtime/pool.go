@@ -2,9 +2,12 @@ package runtime
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sptrsv/internal/fault"
 )
 
 // Pool is the real-parallelism backend: one goroutine per rank, unbounded
@@ -23,10 +26,12 @@ import (
 // concurrent Run calls on one Pool are independent.
 type Pool struct {
 	// Timeout aborts a run that stops making progress (a handler waiting
-	// for a message that never comes). Zero means 60s.
+	// for a message that never comes). Zero means 60s. Options.StallTimeout
+	// arms the finer-grained per-rank stall watchdog on top of it.
 	Timeout time.Duration
 	// Opts enables optional instrumentation (event tracing) with the same
-	// schema as the Engine, on the wall clock instead of the virtual one.
+	// schema as the Engine, on the wall clock instead of the virtual one,
+	// plus fault injection and the stall watchdog.
 	Opts Options
 }
 
@@ -43,14 +48,22 @@ func newInbox() *inbox {
 	return b
 }
 
+// put enqueues m; once the inbox is closed (the run aborted) messages are
+// dropped, so late senders — including injected-delay timers firing after
+// an abort — cannot resurrect a dead run.
 func (b *inbox) put(m Msg) {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
 	b.queue = append(b.queue, m)
 	b.mu.Unlock()
 	b.cond.Signal()
 }
 
-// get blocks until a message arrives or the inbox is closed.
+// get blocks until a message arrives or the inbox is closed; after a close
+// the remaining queue still drains, so ranks finish cleanly when they can.
 func (b *inbox) get() (Msg, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -78,16 +91,154 @@ func (b *inbox) pending() int {
 	return len(b.queue)
 }
 
+// stallReport is one rank's account of being stuck: either the watchdog's
+// observation or the rank's own after it was woken by the abort.
+type stallReport struct {
+	rank   int
+	waited time.Duration
+	state  string
+}
+
 type poolShared struct {
-	start    time.Time
-	inboxes  []*inbox
-	timers   []Timers
-	clocks   []float64
-	panicked atomic.Value // first panic message
+	start   time.Time
+	inboxes []*inbox
+	timers  []Timers
+	clocks  []float64
 	// tr is nil unless tracing: each rank goroutine writes only its own
 	// ring, so rings need no locking; msgID is shared and atomic.
 	tr    *tracer
 	msgID atomic.Int64
+
+	inj *fault.Injector
+
+	// failMu guards failErr, the first failure of the run (recovered panic
+	// or protocol violation); later failures are consequences of the abort
+	// it triggers and are discarded.
+	failMu  sync.Mutex
+	failErr error
+	// aborted is set before the inboxes are closed, letting woken ranks
+	// tell an abort (expected: record a stall report) from a spontaneous
+	// close (a protocol bug).
+	aborted atomic.Bool
+
+	// blockedSince[r] is the UnixNano instant rank r entered a blocking
+	// receive (0 while running); rankDone[r] is set when r's handler
+	// reported Done. The watchdog reads only these atomics — it never
+	// touches handler state across goroutines.
+	blockedSince []atomic.Int64
+	rankDone     []atomic.Bool
+	stallFired   atomic.Bool
+
+	stallMu sync.Mutex
+	wd      *stallReport // the watchdog's observation when it fired
+	stalls  []stallReport
+
+	crashMu sync.Mutex
+	crashes []fault.CrashError
+}
+
+// fail records the run's first failure and aborts everyone else.
+func (s *poolShared) fail(err error) {
+	s.failMu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.failMu.Unlock()
+	s.abort()
+}
+
+func (s *poolShared) failure() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failErr
+}
+
+// abort wakes every rank by closing the inboxes; queued messages still
+// drain, new ones are dropped.
+func (s *poolShared) abort() {
+	s.aborted.Store(true)
+	for _, b := range s.inboxes {
+		b.close()
+	}
+}
+
+func (s *poolShared) noteCrash(rank int, at float64) {
+	s.crashMu.Lock()
+	s.crashes = append(s.crashes, fault.CrashError{Rank: rank, At: at})
+	s.crashMu.Unlock()
+	if s.tr != nil {
+		s.tr.add(rank, Event{
+			Kind: EvFault, Cat: CatFault, Peer: -1,
+			Start: time.Since(s.start).Seconds(), Key: "crash",
+		})
+	}
+}
+
+func (s *poolShared) noteStall(rep stallReport) {
+	s.stallMu.Lock()
+	s.stalls = append(s.stalls, rep)
+	s.stallMu.Unlock()
+}
+
+// crashError returns the earliest injected crash, nil when none fired.
+func (s *poolShared) crashError() error {
+	s.crashMu.Lock()
+	defer s.crashMu.Unlock()
+	if len(s.crashes) == 0 {
+		return nil
+	}
+	first := s.crashes[0]
+	for _, c := range s.crashes[1:] {
+		if c.At < first.At {
+			first = c
+		}
+	}
+	return &first
+}
+
+// stallError builds the StallError reported after the watchdog fired,
+// preferring the stalled rank a dropped message explains, then the rank the
+// watchdog observed (whose self-report carries the handler state), then the
+// longest-waiting self-reporter.
+func (s *poolShared) stallError(deadline time.Duration) error {
+	s.stallMu.Lock()
+	defer s.stallMu.Unlock()
+	var best *stallReport
+	for i := range s.stalls {
+		if _, _, ok := s.inj.SuspectFor(s.stalls[i].rank); ok {
+			best = &s.stalls[i]
+			break
+		}
+	}
+	if best == nil && s.wd != nil {
+		for i := range s.stalls {
+			if s.stalls[i].rank == s.wd.rank {
+				best = &s.stalls[i]
+				break
+			}
+		}
+	}
+	if best == nil {
+		for i := range s.stalls {
+			if best == nil || s.stalls[i].waited > best.waited {
+				best = &s.stalls[i]
+			}
+		}
+	}
+	if best == nil {
+		best = s.wd
+	}
+	if best == nil {
+		best = &stallReport{rank: -1}
+	}
+	peer, tag, ok := s.inj.SuspectFor(best.rank)
+	if !ok {
+		peer, tag = -1, -1
+	}
+	return &fault.StallError{
+		Rank: best.rank, Peer: peer, Tag: tag,
+		Waited: best.waited, Deadline: deadline, State: best.state,
+	}
 }
 
 // poolCtx adapts one rank's view of the pool to the backend interface.
@@ -98,7 +249,8 @@ type poolCtx struct {
 
 func (p *poolCtx) send(src int, m Msg) {
 	if m.Dst < 0 || m.Dst >= len(p.s.inboxes) {
-		panic(fmt.Sprintf("runtime: send to rank %d of %d", m.Dst, len(p.s.inboxes)))
+		panic(&fault.ProtocolError{Rank: src, Tag: m.Tag,
+			Msg: fmt.Sprintf("send to rank %d of %d", m.Dst, len(p.s.inboxes))})
 	}
 	p.s.timers[src].MsgsSent[m.Cat]++
 	p.s.timers[src].BytesSent[m.Cat] += m.Bytes
@@ -110,15 +262,40 @@ func (p *poolCtx) send(src int, m Msg) {
 			Bytes: m.Bytes, MsgID: m.id, Start: m.at,
 		})
 	}
+	now := time.Since(p.s.start).Seconds()
+	if p.s.inj.Drop(src, m.Dst, m.Tag, now) {
+		if p.s.tr != nil {
+			p.s.tr.add(src, Event{
+				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
+				MsgID: m.id, Start: now, Key: "drop",
+			})
+		}
+		return
+	}
+	if d := p.s.inj.Delay(); d > 0 {
+		if p.s.tr != nil {
+			// Traced on the sender at send time: the timer goroutine below
+			// must not touch the sender's ring (rings are single-writer).
+			p.s.tr.add(src, Event{
+				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
+				MsgID: m.id, Start: now, Arrive: d, Key: "delay",
+			})
+		}
+		dst := p.s.inboxes[m.Dst]
+		time.AfterFunc(time.Duration(d*float64(time.Second)), func() { dst.put(m) })
+		return
+	}
 	p.s.inboxes[m.Dst].put(m)
 }
 
 func (p *poolCtx) after(int, float64, int, any) {
-	panic("runtime: Ctx.After requires the simulation backend (Engine)")
+	panic(&fault.ProtocolError{Rank: p.rank,
+		Msg: "Ctx.After requires the simulation backend (Engine)"})
 }
 
 func (p *poolCtx) sendAfter(int, float64, Msg) {
-	panic("runtime: Ctx.SendAfter requires the simulation backend (Engine)")
+	panic(&fault.ProtocolError{Rank: p.rank,
+		Msg: "Ctx.SendAfter requires the simulation backend (Engine)"})
 }
 
 func (p *poolCtx) compute(rank, tag int, _ float64, f func()) {
@@ -133,6 +310,19 @@ func (p *poolCtx) compute(rank, tag int, _ float64, f func()) {
 			Kind: EvCompute, Cat: CatFP, Tag: tag, Peer: -1,
 			Start: t0.Sub(p.s.start).Seconds(), Dur: dur,
 		})
+	}
+	// A straggler rank really sleeps off its slowdown, so downstream ranks
+	// observe the late arrivals on the wall clock.
+	if fac := p.s.inj.StragglerFactor(rank); fac > 1 && dur > 0 {
+		extra := dur * (fac - 1)
+		if p.s.tr != nil {
+			p.s.tr.add(rank, Event{
+				Kind: EvFault, Cat: CatFault, Peer: -1,
+				Start: time.Since(p.s.start).Seconds(), Dur: extra, Key: "straggle",
+			})
+		}
+		p.s.timers[rank].ByCat[CatFault] += extra
+		time.Sleep(time.Duration(extra * float64(time.Second)))
 	}
 }
 
@@ -154,20 +344,28 @@ func (p *poolCtx) mark(rank int, key string) {
 func (p *poolCtx) isVirtual() bool { return false }
 
 // Run executes one handler per rank until every handler reports Done. It
-// returns an error on timeout (suspected deadlock), on a handler panic, or
-// if messages remain queued for ranks that finished early (a protocol bug:
-// the algorithms know their exact message counts).
+// returns typed fault errors for failures the robustness layer diagnoses —
+// a recovered handler panic (fault.PanicError / fault.ProtocolError), an
+// injected rank crash (fault.CrashError), a stall caught by the watchdog
+// (fault.StallError when Options.StallTimeout is set) — and plain errors
+// for a whole-run timeout or messages left queued for finished ranks (a
+// protocol bug: the algorithms know their exact message counts; the check
+// is skipped under fault injection, where drops legitimately strand
+// messages).
 func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 	timeout := p.Timeout
 	if timeout == 0 {
 		timeout = 60 * time.Second
 	}
 	s := &poolShared{
-		start:   time.Now(),
-		inboxes: make([]*inbox, n),
-		timers:  make([]Timers, n),
-		clocks:  make([]float64, n),
-		tr:      newTracer(n, p.Opts),
+		start:        time.Now(),
+		inboxes:      make([]*inbox, n),
+		timers:       make([]Timers, n),
+		clocks:       make([]float64, n),
+		tr:           newTracer(n, p.Opts),
+		inj:          fault.NewInjector(p.Opts.Faults),
+		blockedSince: make([]atomic.Int64, n),
+		rankDone:     make([]atomic.Bool, n),
 	}
 	for i := range s.inboxes {
 		s.inboxes[i] = newInbox()
@@ -180,23 +378,35 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					s.panicked.CompareAndSwap(nil, fmt.Sprintf("rank %d: %v", rank, rec))
-					// Unblock everyone so the run can fail fast.
-					for _, b := range s.inboxes {
-						b.close()
-					}
+					s.fail(fault.FromPanic(rank, rec, debug.Stack()))
 				}
 			}()
+			crashT, hasCrash := s.inj.CrashTime(rank)
+			if hasCrash && crashT <= 0 {
+				s.noteCrash(rank, crashT)
+				return
+			}
 			h := newHandler(rank)
 			ctx := &Ctx{rank: rank, b: &poolCtx{s: s, rank: rank}}
 			h.Init(ctx)
 			for !h.Done() {
 				t0 := time.Now()
+				s.blockedSince[rank].Store(t0.UnixNano())
 				m, ok := s.inboxes[rank].get()
+				s.blockedSince[rank].Store(0)
 				if !ok {
-					if s.panicked.Load() == nil && !h.Done() {
-						s.panicked.CompareAndSwap(nil, fmt.Sprintf("rank %d: inbox closed while expecting messages", rank))
+					if s.aborted.Load() {
+						s.noteStall(stallReport{
+							rank: rank, waited: time.Since(t0), state: waitState(h),
+						})
+					} else {
+						s.fail(&fault.ProtocolError{Rank: rank,
+							Msg: "inbox closed while expecting messages"})
 					}
+					return
+				}
+				if hasCrash && time.Since(s.start).Seconds() >= crashT {
+					s.noteCrash(rank, crashT)
 					return
 				}
 				wait := time.Since(t0).Seconds()
@@ -218,8 +428,14 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 				}
 				h.OnMessage(ctx, m)
 			}
+			s.rankDone[rank].Store(true)
 			s.clocks[rank] = time.Since(s.start).Seconds()
 		}(r)
+	}
+	if deadline := p.Opts.StallTimeout; deadline > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go s.watchdog(deadline, stop)
 	}
 	go func() {
 		wg.Wait()
@@ -228,18 +444,31 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 	select {
 	case <-done:
 	case <-time.After(timeout):
-		for _, b := range s.inboxes {
-			b.close()
-		}
+		s.abort()
 		<-done
+		if err := s.failure(); err != nil {
+			return nil, err
+		}
+		if err := s.crashError(); err != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("runtime: pool run timed out after %v (deadlock?)", timeout)
 	}
-	if msg := s.panicked.Load(); msg != nil {
-		return nil, fmt.Errorf("runtime: %v", msg)
+	if err := s.failure(); err != nil {
+		return nil, err
 	}
-	for r, b := range s.inboxes {
-		if pend := b.pending(); pend != 0 {
-			return nil, fmt.Errorf("runtime: %d stray messages for finished rank %d", pend, r)
+	if err := s.crashError(); err != nil {
+		return nil, err
+	}
+	if s.stallFired.Load() {
+		deadline := p.Opts.StallTimeout
+		return nil, s.stallError(deadline)
+	}
+	if !s.inj.Active() {
+		for r, b := range s.inboxes {
+			if pend := b.pending(); pend != 0 {
+				return nil, fmt.Errorf("runtime: %d stray messages for finished rank %d", pend, r)
+			}
 		}
 	}
 	res := &Result{Clocks: s.clocks, Timers: s.timers}
@@ -247,4 +476,41 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 		res.Trace = s.tr.snapshot()
 	}
 	return res, nil
+}
+
+// watchdog periodically scans the per-rank blocked timestamps and aborts
+// the run when any rank has been stuck in a receive past the deadline. It
+// reads only atomics, so it races with nothing; the stalled ranks describe
+// themselves (noteStall) after the abort wakes them.
+func (s *poolShared) watchdog(deadline time.Duration, stop <-chan struct{}) {
+	period := deadline / 8
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			now := time.Now().UnixNano()
+			for r := range s.blockedSince {
+				since := s.blockedSince[r].Load()
+				if since == 0 || s.rankDone[r].Load() {
+					continue
+				}
+				waited := time.Duration(now - since)
+				if waited < deadline {
+					continue
+				}
+				s.stallMu.Lock()
+				s.wd = &stallReport{rank: r, waited: waited}
+				s.stallMu.Unlock()
+				s.stallFired.Store(true)
+				s.abort()
+				return
+			}
+		}
+	}
 }

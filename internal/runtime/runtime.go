@@ -24,9 +24,10 @@ import (
 type Category int
 
 const (
-	CatFP Category = iota // floating-point block operations
-	CatXY                 // intra-grid communication
-	CatZ                  // inter-grid communication
+	CatFP    Category = iota // floating-point block operations
+	CatXY                    // intra-grid communication
+	CatZ                     // inter-grid communication
+	CatFault                 // injected fault time (straggler slowdown, jitter)
 	numCategories
 )
 
@@ -38,6 +39,8 @@ func (c Category) String() string {
 		return "XY-Comm"
 	case CatZ:
 		return "Z-Comm"
+	case CatFault:
+		return "Fault"
 	}
 	return fmt.Sprintf("Category(%d)", int(c))
 }
@@ -70,6 +73,22 @@ type Handler interface {
 	// Done reports that the rank expects no further messages. The run
 	// finishes when every rank is done and no messages are in flight.
 	Done() bool
+}
+
+// WaitStater is optionally implemented by handlers to describe what they
+// are waiting for — phase, outstanding receive counters, queue depths.
+// Stall and deadlock diagnostics (fault.StallError.State) embed it so a
+// stuck solve reports the algorithm's own view of the hang.
+type WaitStater interface {
+	WaitState() string
+}
+
+// waitState returns h's self-description, or "" when it offers none.
+func waitState(h Handler) string {
+	if ws, ok := h.(WaitStater); ok {
+		return ws.WaitState()
+	}
+	return ""
 }
 
 // Ctx is the per-rank facade handlers use to interact with the backend.

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
+
+	"sptrsv/internal/fault"
 )
 
 // Options configures optional runtime instrumentation. Both backends accept
@@ -19,6 +22,18 @@ type Options struct {
 	// the per-rank ring drops its oldest events (counted in
 	// Trace.Dropped). 0 means DefaultTraceCap.
 	TraceCap int
+	// Faults injects the described faults into the run (see fault.Plan).
+	// nil — the default — injects nothing and leaves the hot paths
+	// untouched. Under the Engine injection is bit-deterministic for a
+	// fixed Plan.Seed; under the Pool it perturbs real wall time.
+	Faults *fault.Plan
+	// StallTimeout arms the Pool backend's stall watchdog: a rank blocked
+	// in a receive for longer than this aborts the run with a
+	// fault.StallError naming the stuck rank (and the expected peer when a
+	// dropped message explains the stall). 0 disables the watchdog. The
+	// Engine ignores it — virtual-time deadlocks are detected exactly at
+	// quiescence.
+	StallTimeout time.Duration
 }
 
 // DefaultTraceCap is the per-rank event capacity used when
@@ -49,6 +64,11 @@ const (
 	EvElapse
 	// EvMark is an instantaneous phase mark (Ctx.Mark); Key holds the name.
 	EvMark
+	// EvFault is an injected fault (Options.Faults): Key names it ("drop",
+	// "delay", "straggle", "crash"). Drops and crashes are zero-duration
+	// stamps; delays and straggler extensions carry the injected extra
+	// seconds in Dur, charged to CatFault.
+	EvFault
 	numEventKinds
 )
 
@@ -73,6 +93,8 @@ func (k EventKind) String() string {
 		return "elapse"
 	case EvMark:
 		return "mark"
+	case EvFault:
+		return "fault"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -288,6 +310,9 @@ func (r *Result) WriteTraceNamed(w io.Writer, tagName func(int) string) error {
 	name := func(e *Event) string {
 		if e.Kind == EvMark {
 			return e.Key
+		}
+		if e.Kind == EvFault {
+			return "fault " + e.Key
 		}
 		if tagName != nil {
 			if n := tagName(e.Tag); n != "" {

@@ -64,6 +64,18 @@ func (p *Panel) MaxAbsDiff(q *Panel) float64 {
 	return m
 }
 
+// FindNonFinite scans the panel for the first NaN or Inf element in
+// column-major order and returns its position and value. ok is false when
+// every element is finite.
+func (p *Panel) FindNonFinite() (row, col int, v float64, ok bool) {
+	for i, x := range p.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return i % p.Rows, i / p.Rows, x, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
 // PermuteRows returns the panel with row i of the result taken from row
 // old(i); perm maps original index to permuted index (scatter), matching
 // CSR.Permute: result.Row(perm[i]) = p.Row(i).
@@ -110,13 +122,19 @@ func VecNormInf(v []float64) float64 {
 }
 
 // ResidualInf computes ‖A·x − b‖∞ column-wise and returns the largest value,
-// the standard acceptance check in the integration tests.
+// the standard acceptance check in the integration tests. A NaN anywhere in
+// the difference makes the result NaN (rather than being silently skipped by
+// the max comparison), so corrupted solutions cannot pass a threshold check.
 func ResidualInf(a *CSR, x, b *Panel) float64 {
 	ax := NewPanel(x.Rows, x.Cols)
 	a.MatPanel(x, ax)
 	worst := 0.0
 	for i := range ax.Data {
-		if d := math.Abs(ax.Data[i] - b.Data[i]); d > worst {
+		d := math.Abs(ax.Data[i] - b.Data[i])
+		if math.IsNaN(d) {
+			return math.NaN()
+		}
+		if d > worst {
 			worst = d
 		}
 	}

@@ -1,0 +1,70 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFindNonFinite(t *testing.T) {
+	p := NewPanel(4, 3)
+	if _, _, _, ok := p.FindNonFinite(); ok {
+		t.Fatal("zero panel reported non-finite")
+	}
+	p.Set(2, 1, math.NaN())
+	row, col, v, ok := p.FindNonFinite()
+	if !ok || row != 2 || col != 1 || !math.IsNaN(v) {
+		t.Fatalf("FindNonFinite = (%d, %d, %v, %v), want (2, 1, NaN, true)", row, col, v, ok)
+	}
+	// Infinities are caught too, and the scan is column-major: an Inf in an
+	// earlier column wins over the later NaN.
+	p.Set(3, 0, math.Inf(-1))
+	row, col, v, ok = p.FindNonFinite()
+	if !ok || row != 3 || col != 0 || !math.IsInf(v, -1) {
+		t.Fatalf("FindNonFinite = (%d, %d, %v, %v), want (3, 0, -Inf, true)", row, col, v, ok)
+	}
+	p.Set(3, 0, 1)
+	p.Set(2, 1, 1)
+	if _, _, _, ok := p.FindNonFinite(); ok {
+		t.Fatal("repaired panel still reported non-finite")
+	}
+}
+
+// TestResidualInfNaN pins satellite (d): a NaN anywhere in the computed
+// residual must make ResidualInf return NaN, never a finite number a
+// threshold check could silently accept.
+func TestResidualInfNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomCSR(rng, 10, 0.2)
+	x := NewPanel(10, 2)
+	b := NewPanel(10, 2)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	a.MatPanel(x, b) // exact: residual 0
+	if r := ResidualInf(a, x, b); r != 0 {
+		t.Fatalf("exact residual %g, want 0", r)
+	}
+
+	// NaN in the solution: the comparison d > worst is false for NaN, so a
+	// naive max would skip it — the result must be NaN regardless.
+	xb := x.Clone()
+	xb.Set(5, 1, math.NaN())
+	if r := ResidualInf(a, xb, b); !math.IsNaN(r) {
+		t.Fatalf("NaN solution gave residual %g, want NaN", r)
+	}
+
+	// NaN in the RHS likewise.
+	bb := b.Clone()
+	bb.Set(0, 0, math.NaN())
+	if r := ResidualInf(a, x, bb); !math.IsNaN(r) {
+		t.Fatalf("NaN rhs gave residual %g, want NaN", r)
+	}
+
+	// Inf propagates through the max naturally.
+	xi := x.Clone()
+	xi.Set(3, 0, math.Inf(1))
+	if r := ResidualInf(a, xi, b); !math.IsInf(r, 1) && !math.IsNaN(r) {
+		t.Fatalf("Inf solution gave finite residual %g", r)
+	}
+}

@@ -3,6 +3,7 @@ package trsv
 import (
 	"fmt"
 
+	"sptrsv/internal/fault"
 	"sptrsv/internal/runtime"
 )
 
@@ -70,7 +71,8 @@ func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 		for i, k := range b.Ks {
 			yk := r.st.y[k]
 			if yk == nil {
-				panic(fmt.Sprintf("trsv: rank %d allreduce for unsolved y(%d)", r.rank, k))
+				panic(&fault.ProtocolError{Rank: r.rank, Phase: "allreduce",
+					Msg: fmt.Sprintf("allreduce merge for unsolved y(%d)", k)})
 			}
 			yk.AddFrom(b.Vs[i])
 		}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sptrsv/internal/dist"
+	"sptrsv/internal/fault"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
@@ -38,7 +39,10 @@ type groupMsg struct {
 // dist.Plan.BuildBaseline must have run (Solve does it).
 func NewBaseline3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
 	if err := p.BuildBaseline(); err != nil {
-		panic(err)
+		// Unreachable from SolveInto, which builds the baseline plan (with an
+		// error return) before constructing the factory.
+		panic(&fault.ProtocolError{Rank: -1, Phase: "plan",
+			Msg: fmt.Sprintf("baseline plan build failed: %v", err)})
 	}
 	return func(rank int) runtime.Handler {
 		h := &base3dRank{}
@@ -90,7 +94,8 @@ func (h *base3dRank) accepts(m runtime.Msg) bool {
 	case tagXBcast, tagUReduce:
 		return st.phase == 2
 	}
-	panic(fmt.Sprintf("trsv: baseline rank %d unexpected tag %d", h.rank, m.Tag))
+	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: baselinePhase(h.st.phase),
+		Msg: fmt.Sprintf("baseline received unexpected tag %d from rank %d", m.Tag, m.Src)})
 }
 
 func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {

@@ -29,6 +29,7 @@ import (
 
 	"sptrsv/internal/ctree"
 	"sptrsv/internal/dist"
+	"sptrsv/internal/fault"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
 	"sptrsv/internal/snode"
@@ -386,6 +387,50 @@ func (c *rankCore) releaseState() {
 	}
 }
 
+// proposedPhase names the proposed algorithm's phases (shared by the GPU
+// variants) for diagnostics.
+func proposedPhase(p int) string {
+	switch p {
+	case 0:
+		return "L-solve"
+	case 1:
+		return "allreduce"
+	case 2:
+		return "U-solve"
+	case 3:
+		return "done"
+	}
+	return fmt.Sprintf("phase-%d", p)
+}
+
+// baselinePhase names the baseline algorithm's phases for diagnostics.
+func baselinePhase(p int) string {
+	switch p {
+	case 0:
+		return "L-solve"
+	case 1:
+		return "Z-exchange"
+	case 2:
+		return "U-solve"
+	case 3:
+		return "done"
+	}
+	return fmt.Sprintf("phase-%d", p)
+}
+
+// WaitState implements runtime.WaitStater: when a solve stalls or
+// deadlocks, the diagnostics embed this snapshot of the rank's progress —
+// phase, outstanding receive counters, queued work — so the error says what
+// the algorithm was waiting for, not just that it waited.
+func (c *rankCore) WaitState() string {
+	st := c.st
+	if st == nil {
+		return "state released"
+	}
+	return fmt.Sprintf("phase=%d lRecvLeft=%d uRecvLeft=%d readyY=%d readyX=%d deferred=%d",
+		st.phase, st.lRecvLeft, st.uRecvLeft, len(st.readyY), len(st.readyX), len(st.deferred))
+}
+
 // dispatch implements the deferral protocol shared by every handler:
 // process the message if the current phase admits it, otherwise buffer it;
 // then drain whatever buffered messages the processing unlocked.
@@ -573,7 +618,8 @@ func (c *rankCore) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64)
 func (c *rankCore) diagSolveX(k int) (*sparse.Panel, float64) {
 	yk := c.st.y[k]
 	if yk == nil {
-		panic(fmt.Sprintf("trsv: rank %d solving x(%d) without y", c.rank, k))
+		panic(&fault.ProtocolError{Rank: c.rank, Phase: "U-solve",
+			Msg: fmt.Sprintf("solving x(%d) without y(%d)", k, k)})
 	}
 	w := c.snWidth(k)
 	rhs := c.st.scratchPanel(w, c.st.nrhs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sptrsv/internal/dist"
+	"sptrsv/internal/fault"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
@@ -88,7 +89,8 @@ func (h *gpuSingleRank) Done() bool { return h.st.phase == 3 }
 
 func (h *gpuSingleRank) Init(ctx *runtime.Ctx) {
 	if !ctx.Virtual() {
-		panic("trsv: GPU algorithms require the simulation backend")
+		panic(&fault.ProtocolError{Rank: h.rank, Phase: "init",
+			Msg: "GPU algorithms require the simulation backend (Engine)"})
 	}
 	h.ar = newARHelper(&h.rankCore)
 	st := h.st
@@ -120,7 +122,8 @@ func (h *gpuSingleRank) accepts(m runtime.Msg) bool {
 	case tagARBcast:
 		return h.st.phase == 1 && h.ar.acceptsBcast()
 	}
-	panic(fmt.Sprintf("trsv: gpu rank %d unexpected tag %d", h.rank, m.Tag))
+	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: proposedPhase(h.st.phase),
+		Msg: fmt.Sprintf("gpu handler received unexpected tag %d from rank %d", m.Tag, m.Src)})
 }
 
 func (h *gpuSingleRank) process(ctx *runtime.Ctx, m runtime.Msg) {
@@ -282,7 +285,8 @@ func (h *gpuMultiRank) taskCountU() int {
 
 func (h *gpuMultiRank) Init(ctx *runtime.Ctx) {
 	if !ctx.Virtual() {
-		panic("trsv: GPU algorithms require the simulation backend")
+		panic(&fault.ProtocolError{Rank: h.rank, Phase: "init",
+			Msg: "GPU algorithms require the simulation backend (Engine)"})
 	}
 	h.ar = newARHelper(&h.rankCore)
 	st := h.st
@@ -322,7 +326,8 @@ func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
 	case tagARBcast:
 		return h.st.phase == 1 && h.ar.acceptsBcast()
 	}
-	panic(fmt.Sprintf("trsv: gpu rank %d unexpected tag %d", h.rank, m.Tag))
+	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: proposedPhase(h.st.phase),
+		Msg: fmt.Sprintf("gpu handler received unexpected tag %d from rank %d", m.Tag, m.Src)})
 }
 
 // gpuPut is a one-sided delivery of a solved subvector (the ready_y / flag

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sptrsv/internal/dist"
+	"sptrsv/internal/fault"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
@@ -89,7 +90,8 @@ func (h *new3dRank) accepts(m runtime.Msg) bool {
 	case tagXBcast, tagUReduce:
 		return h.st.phase == 2
 	}
-	panic(fmt.Sprintf("trsv: rank %d unexpected tag %d", h.rank, m.Tag))
+	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: proposedPhase(h.st.phase),
+		Msg: fmt.Sprintf("received unexpected tag %d from rank %d", m.Tag, m.Src)})
 }
 
 func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {

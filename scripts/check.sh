@@ -29,6 +29,10 @@ echo "== go test -race -count=2 (tracer under both backends) =="
 go test -race -count=2 -run 'Trace|Parity|CriticalPath|ConcurrentTraced' \
     ./internal/runtime ./internal/trsv ./internal/core
 
+echo "== go test -race -count=2 (chaos / fault-injection stress) =="
+go test -race -count=2 -run 'Chaos|Fault|Stall|Watchdog|Crash|Robust|NonFinite' \
+    ./internal/fault ./internal/runtime ./internal/core ./internal/sparse
+
 echo "== quick solve benchmarks =="
 go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .
 

@@ -53,6 +53,7 @@ import (
 
 	"sptrsv/internal/core"
 	"sptrsv/internal/ctree"
+	"sptrsv/internal/fault"
 	"sptrsv/internal/gen"
 	"sptrsv/internal/grid"
 	"sptrsv/internal/machine"
@@ -206,6 +207,41 @@ type (
 
 // GoroutinePool returns a PoolBackend with default settings.
 func GoroutinePool() PoolBackend { return PoolBackend{Pool: runtime.Pool{}} }
+
+// Fault injection and the typed failure taxonomy. A FaultPlan passed via
+// Config.Faults (or a backend's runtime.Options) injects deterministic
+// faults — straggler ranks, message latency jitter, message drops, rank
+// crashes — into solves; see DESIGN.md §9. Every runtime failure a solve
+// can hit (injected or not) comes back as one of the typed errors below
+// rather than crashing the process.
+type (
+	// FaultPlan describes the faults to inject into a run; the zero value
+	// injects nothing, and a plan is reusable across concurrent solves.
+	FaultPlan = fault.Plan
+	// DropRule selects messages for a FaultPlan to discard.
+	DropRule = fault.DropRule
+	// StallError: a rank stopped making progress (pool watchdog fired, or
+	// the simulator reached quiescence with messages still expected).
+	StallError = fault.StallError
+	// CrashError: an injected rank crash prevented completion.
+	CrashError = fault.CrashError
+	// PanicError: a panic recovered inside a rank body.
+	PanicError = fault.PanicError
+	// ProtocolError: a violated runtime or algorithm invariant.
+	ProtocolError = fault.ProtocolError
+	// NumericalError: a non-finite value in the RHS or the solution.
+	NumericalError = fault.NumericalError
+	// BatchError maps each SolveBatch panel to its error (nil = success).
+	BatchError = core.BatchError
+)
+
+// FaultWildcard matches any rank or tag in a DropRule.
+const FaultWildcard = fault.Wildcard
+
+// IsFault reports whether err is (or wraps) one of the typed fault errors —
+// a diagnosed runtime failure, as opposed to a usage error such as a
+// wrong-shaped right-hand side.
+func IsFault(err error) bool { return fault.IsFault(err) }
 
 // Generators for the paper's six matrix analogs (see internal/gen for the
 // substitution rationale) plus scale-parameterized suite access.
