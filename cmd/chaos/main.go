@@ -29,8 +29,8 @@ import (
 	"strings"
 	"time"
 
+	"sptrsv/internal/cliutil"
 	"sptrsv/internal/core"
-	"sptrsv/internal/ctree"
 	"sptrsv/internal/fault"
 	"sptrsv/internal/gen"
 	"sptrsv/internal/grid"
@@ -42,6 +42,7 @@ import (
 
 func main() {
 	matrix := flag.String("matrix", "s2d9pt", "matrix analog: s2d9pt, nlpkkt, ldoor, dielfilter, gaas, s1mat")
+	mtxPath := flag.String("mtx", "", "stress a Matrix Market file instead of a generated analog")
 	scale := flag.String("scale", "small", "matrix scale: small, medium, large")
 	px := flag.Int("px", 2, "process rows per 2D grid")
 	py := flag.Int("py", 2, "process columns per 2D grid")
@@ -59,39 +60,27 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "pool backend coarse run timeout")
 	flag.Parse()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "chaos:", err)
-		os.Exit(1)
+	fail := func(err error) { cliutil.Fail("chaos", err) }
+
+	algo, err := cliutil.ParseAlgorithm(*algoName)
+	if err != nil {
+		fail(err)
+	}
+	trees, err := cliutil.ParseTrees(*treeName)
+	if err != nil {
+		fail(err)
 	}
 
-	var algo trsv.Algorithm
-	switch *algoName {
-	case "proposed":
-		algo = trsv.Proposed3D
-	case "baseline":
-		algo = trsv.Baseline3D
-	case "gpu-single":
-		algo = trsv.GPUSingle
-	case "gpu-multi":
-		algo = trsv.GPUMulti
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	var a *sparse.CSR
+	if *mtxPath != "" {
+		a = cliutil.LoadMTX("chaos", *mtxPath)
+		fmt.Printf("matrix %s: n=%d, nnz=%d\n", *mtxPath, a.N, a.NNZ())
+	} else {
+		m := gen.Named(*matrix, gen.ParseScale(*scale))
+		a = m.A
+		fmt.Printf("matrix %s: n=%d, nnz=%d\n", m.Name, a.N, a.NNZ())
 	}
-	var trees ctree.Kind
-	switch *treeName {
-	case "flat":
-		trees = ctree.Flat
-	case "binary":
-		trees = ctree.Binary
-	case "auto":
-		trees = ctree.Auto
-	default:
-		fail(fmt.Errorf("unknown tree kind %q", *treeName))
-	}
-
-	m := gen.Named(*matrix, gen.ParseScale(*scale))
-	fmt.Printf("matrix %s: n=%d, nnz=%d\n", m.Name, m.A.N, m.A.NNZ())
-	sys, err := core.Factorize(m.A, core.FactorOptions{})
+	sys, err := core.Factorize(a, core.FactorOptions{})
 	if err != nil {
 		fail(err)
 	}
@@ -109,7 +98,7 @@ func main() {
 		fail(fmt.Errorf("-drop: %w", err))
 	}
 
-	b := sparse.NewPanel(m.A.N, 1)
+	b := sparse.NewPanel(a.N, 1)
 	for i := range b.Data {
 		b.Data[i] = 1 + float64(i%7)/7
 	}

@@ -9,6 +9,16 @@
 // The full medium-scale sweep takes tens of minutes (every point is a full
 // discrete-event simulation doing the real numeric solve); -quick shrinks
 // each sweep to a smoke-test size.
+//
+// Two extra experiments drive the machine-readable benchmark pipeline and
+// never run as part of "all":
+//
+//	figures -only bench   -scale small   # (re)write the BENCH_SPTRSV.json summary
+//	figures -only regress -scale small   # compare a fresh run against the baseline
+//
+// regress exits 1 on a fatal regression (latency beyond -latency-tol, any
+// message-count increase, a vanished record) and 2 when the -baseline file
+// is missing or unreadable. scripts/bench_regress wraps the second form.
 package main
 
 import (
@@ -21,14 +31,17 @@ import (
 	"time"
 
 	"sptrsv/internal/bench"
+	"sptrsv/internal/cliutil"
 	"sptrsv/internal/gen"
 )
 
 func main() {
 	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
-	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,autotune,breakdown,faults")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,autotune,breakdown,faults,bench,regress")
 	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
 	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
+	baseline := flag.String("baseline", "BENCH_SPTRSV.json", "benchmark summary file: written by -only bench, compared by -only regress")
+	latencyTol := flag.Float64("latency-tol", 0.05, "fractional per-record latency slowdown -only regress tolerates")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
 
@@ -51,14 +64,12 @@ func main() {
 		var file *os.File
 		if *outdir != "" {
 			if err := os.MkdirAll(*outdir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cliutil.Fail("figures", err)
 			}
 			var err error
 			file, err = os.Create(filepath.Join(*outdir, name+".txt"))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cliutil.Fail("figures", err)
 			}
 			w = io.MultiWriter(os.Stdout, file)
 		}
@@ -90,4 +101,65 @@ func main() {
 	run("autotune", func(cfg bench.Config) { bench.Autotune(cfg) })
 	run("breakdown", func(cfg bench.Config) { bench.BreakdownDetail(cfg) })
 	run("faults", func(cfg bench.Config) { bench.FaultSweep(cfg) })
+
+	// bench and regress are explicit-only: "all" must neither overwrite the
+	// committed baseline nor fail on a checkout that does not carry one.
+	benchCfg := bench.Config{Scale: gen.ParseScale(*scale), Verbose: *verbose, Out: os.Stdout}
+	if want["bench"] {
+		t0 := time.Now()
+		fmt.Printf("== bench (scale=%s) ==\n", *scale)
+		sum := bench.BuildSummary(benchCfg)
+		f, err := os.Create(*baseline)
+		if err != nil {
+			cliutil.Fail("figures", err)
+		}
+		if err := sum.WriteJSON(f); err != nil {
+			f.Close()
+			cliutil.Fail("figures", err)
+		}
+		if err := f.Close(); err != nil {
+			cliutil.Fail("figures", err)
+		}
+		printSummary(sum)
+		fmt.Printf("wrote %s (%d records)\n", *baseline, len(sum.Records))
+		fmt.Printf("== bench done in %v ==\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if want["regress"] {
+		t0 := time.Now()
+		fmt.Printf("== regress (scale=%s, baseline=%s) ==\n", *scale, *baseline)
+		base, err := bench.ReadSummary(*baseline)
+		if err != nil {
+			cliutil.FailInput("figures", *baseline, err)
+		}
+		cur := bench.BuildSummary(benchCfg)
+		regs, err := bench.CompareSummaries(cur, base, *latencyTol)
+		if err != nil {
+			cliutil.Fail("figures", err)
+		}
+		fatal := 0
+		for _, r := range regs {
+			fmt.Println(r)
+			if r.Fatal {
+				fatal++
+			}
+		}
+		fmt.Printf("%d records compared, %d regression(s), %d fatal\n",
+			len(base.Records), len(regs), fatal)
+		fmt.Printf("== regress done in %v ==\n\n", time.Since(t0).Round(time.Millisecond))
+		if fatal > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+// printSummary echoes the summary records as an aligned table so a human
+// can eyeball what just went into the JSON.
+func printSummary(sum *bench.Summary) {
+	fmt.Printf("%-9s %-10s %-28s %-8s %-15s %12s %9s %10s %9s\n",
+		"figure", "matrix", "algorithm", "layout", "machine", "seconds", "messages", "bytes", "allocs/op")
+	for _, r := range sum.Records {
+		fmt.Printf("%-9s %-10s %-28s %-8s %-15s %12.6g %9d %10d %9.0f\n",
+			r.Figure, r.Matrix, r.Algorithm, r.Layout, r.Machine,
+			r.Seconds, r.Messages, r.Bytes, r.AllocsPerOp)
+	}
 }

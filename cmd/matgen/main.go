@@ -14,6 +14,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"sptrsv/internal/cliutil"
 	"sptrsv/internal/core"
 	"sptrsv/internal/gen"
 )
@@ -36,8 +37,7 @@ func main() {
 		if *factored {
 			sys, err := core.Factorize(m.A, core.FactorOptions{})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "matgen:", err)
-				os.Exit(1)
+				cliutil.Fail("matgen", err)
 			}
 			nnzLU = sys.NNZFactors()
 			snCount = sys.SN.SnCount

@@ -1,0 +1,155 @@
+// Command serve runs repeated distributed triangular solves while exposing
+// the process over HTTP: /metrics serves the OpenMetrics exposition of the
+// solver stack's registry (solve latency histograms, message counts, wait
+// time, allreduce rounds, pool hit rates), and /debug/pprof/ serves the
+// standard Go profiler endpoints. It is the observability companion to
+// cmd/sptrsv — point a Prometheus scraper or `go tool pprof` at a workload
+// that is actually solving.
+//
+// Usage:
+//
+//	serve -matrix s2d9pt -scale small -px 2 -py 2 -pz 4 -algo proposed \
+//	      -machine cori-haswell -addr 127.0.0.1:8080 -interval 100ms
+//
+//	curl -s http://127.0.0.1:8080/metrics
+//	go tool pprof http://127.0.0.1:8080/debug/pprof/profile?seconds=5
+//
+// With -n 0 (the default) it solves until interrupted; -n K exits after K
+// solves (the CI smoke test uses this). Every -check-th solve verifies the
+// residual, feeding the sptrsv_core_residual gauge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sptrsv/internal/cliutil"
+	"sptrsv/internal/core"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+func main() {
+	matrix := flag.String("matrix", "s2d9pt", "matrix analog: s2d9pt, nlpkkt, ldoor, dielfilter, gaas, s1mat")
+	mtxPath := flag.String("mtx", "", "serve solves of a Matrix Market file instead of a generated analog")
+	scale := flag.String("scale", "small", "matrix scale: small, medium, large")
+	px := flag.Int("px", 2, "process rows per 2D grid")
+	py := flag.Int("py", 2, "process columns per 2D grid")
+	pz := flag.Int("pz", 2, "number of replicated 2D grids (power of two)")
+	algoName := flag.String("algo", "proposed", "algorithm: proposed, baseline, gpu-single, gpu-multi, naive-allreduce")
+	treeName := flag.String("trees", "auto", "communication trees: flat, binary, auto")
+	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
+	backendName := flag.String("backend", "sim", "backend: sim (modeled time) or pool (wall clock)")
+	nrhs := flag.Int("nrhs", 1, "number of right-hand sides per solve")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address for /metrics and /debug/pprof")
+	interval := flag.Duration("interval", 100*time.Millisecond, "pause between solves (0 = back to back)")
+	count := flag.Int("n", 0, "stop after this many solves (0 = run until interrupted)")
+	check := flag.Int("check", 10, "verify the residual every check-th solve (0 = never)")
+	flag.Parse()
+
+	fail := func(err error) { cliutil.Fail("serve", err) }
+
+	var a *sparse.CSR
+	if *mtxPath != "" {
+		a = cliutil.LoadMTX("serve", *mtxPath)
+		fmt.Printf("matrix %s: n=%d, nnz=%d\n", *mtxPath, a.N, a.NNZ())
+	} else {
+		m := gen.Named(*matrix, gen.ParseScale(*scale))
+		a = m.A
+		fmt.Printf("matrix %s (analog of %s): n=%d, nnz=%d\n", m.Name, m.PaperName, a.N, a.NNZ())
+	}
+	sys, err := core.Factorize(a, core.FactorOptions{})
+	if err != nil {
+		fail(err)
+	}
+
+	algo, err := cliutil.ParseAlgorithm(*algoName)
+	if err != nil {
+		fail(err)
+	}
+	trees, err := cliutil.ParseTrees(*treeName)
+	if err != nil {
+		fail(err)
+	}
+	var backend trsv.Backend = trsv.SimBackend{}
+	if *backendName == "pool" {
+		backend = trsv.PoolBackend{Pool: runtime.Pool{}}
+	}
+	solver, err := core.NewSolver(sys, core.Config{
+		Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
+		Algorithm: algo,
+		Trees:     trees,
+		Machine:   machine.ByName(*machineName),
+		Backend:   backend,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	// Serve /metrics and the pprof endpoints on an explicit mux — nothing
+	// rides the default mux, so nothing else in the process can leak
+	// handlers onto this port.
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler(metrics.Default()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+	fmt.Printf("serving http://%s/metrics and http://%s/debug/pprof/\n", ln.Addr(), ln.Addr())
+	fmt.Printf("solving %s %dx%dx%d on %s every %v — ctrl-c to stop\n",
+		*algoName, *px, *py, *pz, *machineName, *interval)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	b := sparse.NewPanel(a.N, *nrhs)
+	for i := range b.Data {
+		b.Data[i] = 1 + float64(i%7)/7
+	}
+	solves, failures := 0, 0
+	for *count == 0 || solves < *count {
+		x, rep, err := solver.Solve(b)
+		solves++
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "serve: solve %d failed: %v\n", solves, err)
+		} else if *check > 0 && solves%*check == 0 {
+			fmt.Printf("solve %d: %.6g s, residual %.3g\n", solves, rep.Time, solver.Residual(x, b))
+		}
+		select {
+		case <-stop:
+			fmt.Printf("interrupted after %d solves (%d failed)\n", solves, failures)
+			srv.Close()
+			return
+		case <-time.After(*interval):
+		}
+	}
+	fmt.Printf("done: %d solves (%d failed)\n", solves, failures)
+	srv.Close()
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -13,16 +13,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"sptrsv/internal/cliutil"
 	"sptrsv/internal/core"
-	"sptrsv/internal/ctree"
 	"sptrsv/internal/gen"
 	"sptrsv/internal/grid"
 	"sptrsv/internal/machine"
-	"sptrsv/internal/mtx"
 	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/trsv"
@@ -43,18 +43,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this path (see also cmd/trace)")
 	flag.Parse()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "sptrsv:", err)
-		os.Exit(1)
-	}
+	fail := func(err error) { cliutil.Fail("sptrsv", err) }
 
 	var a *sparse.CSR
 	if *mtxPath != "" {
-		var err error
-		if a, err = mtx.ReadFile(*mtxPath); err != nil {
-			fail(err)
-		}
-		a = a.SymmetrizePattern()
+		a = cliutil.LoadMTX("sptrsv", *mtxPath)
 		fmt.Printf("matrix %s: n=%d, nnz=%d\n", *mtxPath, a.N, a.NNZ())
 	} else {
 		m := gen.Named(*matrix, gen.ParseScale(*scale))
@@ -68,29 +61,13 @@ func main() {
 	}
 	fmt.Printf("factors: nnz(LU)=%d, %d supernodes\n", sys.NNZFactors(), sys.SN.SnCount)
 
-	var algo trsv.Algorithm
-	switch *algoName {
-	case "proposed":
-		algo = trsv.Proposed3D
-	case "baseline":
-		algo = trsv.Baseline3D
-	case "gpu-single":
-		algo = trsv.GPUSingle
-	case "gpu-multi":
-		algo = trsv.GPUMulti
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	algo, err := cliutil.ParseAlgorithm(*algoName)
+	if err != nil {
+		fail(err)
 	}
-	var trees ctree.Kind
-	switch *treeName {
-	case "flat":
-		trees = ctree.Flat
-	case "binary":
-		trees = ctree.Binary
-	case "auto":
-		trees = ctree.Auto
-	default:
-		fail(fmt.Errorf("unknown tree kind %q", *treeName))
+	trees, err := cliutil.ParseTrees(*treeName)
+	if err != nil {
+		fail(err)
 	}
 	tracing := *tracePath != ""
 	var backend trsv.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: tracing}}
@@ -138,8 +115,13 @@ func main() {
 			fail(err)
 		}
 		if err := rep.Raw.WriteTraceNamed(f, trsv.TagName); err != nil {
-			f.Close()
-			fail(err)
+			// A truncated-but-valid trace is worth keeping; warn and go on.
+			var dropped *runtime.DroppedEventsError
+			if !errors.As(err, &dropped) {
+				f.Close()
+				fail(err)
+			}
+			fmt.Fprintln(os.Stderr, "sptrsv: warning:", err)
 		}
 		if err := f.Close(); err != nil {
 			fail(err)

@@ -15,12 +15,13 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"sptrsv/internal/cliutil"
 	"sptrsv/internal/core"
-	"sptrsv/internal/ctree"
 	"sptrsv/internal/gen"
 	"sptrsv/internal/grid"
 	"sptrsv/internal/machine"
@@ -31,6 +32,7 @@ import (
 
 func main() {
 	matrix := flag.String("matrix", "s2d9pt", "matrix analog: s2d9pt, nlpkkt, ldoor, dielfilter, gaas, s1mat")
+	mtxPath := flag.String("mtx", "", "trace a Matrix Market file instead of a generated analog")
 	scale := flag.String("scale", "small", "matrix scale: small, medium, large")
 	px := flag.Int("px", 2, "process rows per 2D grid")
 	py := flag.Int("py", 2, "process columns per 2D grid")
@@ -43,41 +45,29 @@ func main() {
 	top := flag.Int("top", 5, "how many top-slack and top-wait message edges to print")
 	flag.Parse()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "trace:", err)
-		os.Exit(1)
-	}
+	fail := func(err error) { cliutil.Fail("trace", err) }
 
-	m := gen.Named(*matrix, gen.ParseScale(*scale))
-	fmt.Printf("matrix %s (analog of %s): n=%d, nnz=%d\n", m.Name, m.PaperName, m.A.N, m.A.NNZ())
-	sys, err := core.Factorize(m.A, core.FactorOptions{})
+	var a *sparse.CSR
+	if *mtxPath != "" {
+		a = cliutil.LoadMTX("trace", *mtxPath)
+		fmt.Printf("matrix %s: n=%d, nnz=%d\n", *mtxPath, a.N, a.NNZ())
+	} else {
+		m := gen.Named(*matrix, gen.ParseScale(*scale))
+		a = m.A
+		fmt.Printf("matrix %s (analog of %s): n=%d, nnz=%d\n", m.Name, m.PaperName, a.N, a.NNZ())
+	}
+	sys, err := core.Factorize(a, core.FactorOptions{})
 	if err != nil {
 		fail(err)
 	}
 
-	var algo trsv.Algorithm
-	switch *algoName {
-	case "proposed":
-		algo = trsv.Proposed3D
-	case "baseline":
-		algo = trsv.Baseline3D
-	case "gpu-single":
-		algo = trsv.GPUSingle
-	case "gpu-multi":
-		algo = trsv.GPUMulti
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	algo, err := cliutil.ParseAlgorithm(*algoName)
+	if err != nil {
+		fail(err)
 	}
-	var trees ctree.Kind
-	switch *treeName {
-	case "flat":
-		trees = ctree.Flat
-	case "binary":
-		trees = ctree.Binary
-	case "auto":
-		trees = ctree.Auto
-	default:
-		fail(fmt.Errorf("unknown tree kind %q", *treeName))
+	trees, err := cliutil.ParseTrees(*treeName)
+	if err != nil {
+		fail(err)
 	}
 
 	solver, err := core.NewSolver(sys, core.Config{
@@ -91,7 +81,7 @@ func main() {
 		fail(err)
 	}
 
-	b := sparse.NewPanel(m.A.N, *nrhs)
+	b := sparse.NewPanel(a.N, *nrhs)
 	for i := range b.Data {
 		b.Data[i] = 1
 	}
@@ -108,7 +98,12 @@ func main() {
 	}
 	w := bufio.NewWriter(f)
 	if err := rep.Raw.WriteTraceNamed(w, trsv.TagName); err != nil {
-		fail(err)
+		// A truncated-but-valid trace is worth keeping; warn and go on.
+		var dropped *runtime.DroppedEventsError
+		if !errors.As(err, &dropped) {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "trace: warning:", err)
 	}
 	if err := w.Flush(); err != nil {
 		fail(err)

@@ -15,12 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"sptrsv/internal/cliutil"
 	"sptrsv/internal/core"
 	"sptrsv/internal/gen"
 	"sptrsv/internal/machine"
-	"sptrsv/internal/mtx"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/tune"
 )
@@ -38,18 +37,11 @@ func main() {
 	verbose := flag.Bool("v", false, "also list every probed candidate")
 	flag.Parse()
 
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "tune:", err)
-		os.Exit(1)
-	}
+	fail := func(err error) { cliutil.Fail("tune", err) }
 
 	var a *sparse.CSR
 	if *mtxPath != "" {
-		var err error
-		if a, err = mtx.ReadFile(*mtxPath); err != nil {
-			fail(err)
-		}
-		a = a.SymmetrizePattern()
+		a = cliutil.LoadMTX("tune", *mtxPath)
 		fmt.Printf("matrix %s: n=%d, nnz=%d\n", *mtxPath, a.N, a.NNZ())
 	} else {
 		m := gen.Named(*matrix, gen.ParseScale(*scale))

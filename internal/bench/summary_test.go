@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sptrsv/internal/gen"
+)
+
+func smallSummary(t *testing.T) *Summary {
+	t.Helper()
+	return BuildSummary(Config{Scale: gen.Small})
+}
+
+// TestSummaryDeterminism: the summary's modeled quantities come from the
+// discrete-event backend, so two builds must agree exactly — this is what
+// makes the >0%-message-count regression gate usable at all. AllocsPerOp
+// is excluded: it measures the Go heap, not the model.
+func TestSummaryDeterminism(t *testing.T) {
+	a, b := smallSummary(t), smallSummary(t)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if ra.ID != rb.ID {
+			t.Fatalf("record %d: id %q vs %q", i, ra.ID, rb.ID)
+		}
+		if ra.Seconds != rb.Seconds || ra.Messages != rb.Messages || ra.Bytes != rb.Bytes {
+			t.Errorf("%s: (%v s, %d msgs, %d B) vs (%v s, %d msgs, %d B)",
+				ra.ID, ra.Seconds, ra.Messages, ra.Bytes, rb.Seconds, rb.Messages, rb.Bytes)
+		}
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	sum := smallSummary(t)
+	path := filepath.Join(t.TempDir(), "BENCH_SPTRSV.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, got) {
+		t.Fatalf("round trip changed the summary:\nwrote %+v\nread  %+v", sum, got)
+	}
+}
+
+func TestReadSummaryRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "scale": "small"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSummary(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSummary(path); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	base := &Summary{Schema: SummarySchema, Scale: "small", Records: []SummaryRecord{
+		{ID: "a", Seconds: 1.0, Messages: 100, Bytes: 1000, AllocsPerOp: 50},
+		{ID: "b", Seconds: 2.0, Messages: 200, Bytes: 2000, AllocsPerOp: 60},
+		{ID: "gone", Seconds: 3.0, Messages: 300, Bytes: 3000, AllocsPerOp: 70},
+	}}
+	cur := &Summary{Schema: SummarySchema, Scale: "small", Records: []SummaryRecord{
+		// a: 10% slower (fatal at 5% tolerance), one extra message (fatal),
+		// more bytes (warn), >1% more allocs (warn).
+		{ID: "a", Seconds: 1.1, Messages: 101, Bytes: 1100, AllocsPerOp: 52},
+		// b: faster and leaner — improvements are silent.
+		{ID: "b", Seconds: 1.5, Messages: 150, Bytes: 1500, AllocsPerOp: 55},
+		// new: not in the baseline (warn).
+		{ID: "new", Seconds: 1.0, Messages: 10, Bytes: 100, AllocsPerOp: 5},
+	}}
+	regs, err := CompareSummaries(cur, base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fatal, warn := 0, 0
+	for _, r := range regs {
+		if r.Fatal {
+			fatal++
+		} else {
+			warn++
+		}
+		if r.ID == "b" {
+			t.Errorf("improvement flagged: %v", r)
+		}
+	}
+	// a: latency + messages fatal; "gone" missing fatal. a: bytes + allocs
+	// warn; "new" unknown-record warn.
+	if fatal != 3 || warn != 3 {
+		t.Fatalf("fatal=%d warn=%d, want 3 and 3; regressions: %v", fatal, warn, regs)
+	}
+	for i := 1; i < len(regs); i++ {
+		if regs[i].Fatal && !regs[i-1].Fatal {
+			t.Fatal("fatal regressions must sort first")
+		}
+	}
+	// Within tolerance: 4% slower, equal messages → clean.
+	okCur := &Summary{Schema: SummarySchema, Scale: "small", Records: []SummaryRecord{
+		{ID: "a", Seconds: 1.04, Messages: 100, Bytes: 1000, AllocsPerOp: 50},
+		{ID: "b", Seconds: 2.0, Messages: 200, Bytes: 2000, AllocsPerOp: 60},
+		{ID: "gone", Seconds: 3.0, Messages: 300, Bytes: 3000, AllocsPerOp: 70},
+	}}
+	if regs, err := CompareSummaries(okCur, base, 0.05); err != nil || len(regs) != 0 {
+		t.Fatalf("clean comparison reported %v, %v", regs, err)
+	}
+	if _, err := CompareSummaries(&Summary{Schema: SummarySchema, Scale: "medium"}, base, 0.05); err == nil {
+		t.Fatal("scale mismatch must be an error")
+	}
+}

@@ -110,9 +110,11 @@ type Solver struct {
 	bufs sync.Pool
 }
 
-// solveBuffers holds one solve's rank-private permutation panels.
+// solveBuffers holds one solve's rank-private permutation panels. fresh
+// marks a pair straight from the pool's New — a pool miss for the metrics.
 type solveBuffers struct {
 	bp, xp *sparse.Panel
+	fresh  bool
 }
 
 // ValidateConfig checks that cfg is a runnable algorithm × layout ×
@@ -174,7 +176,7 @@ func NewSolver(sys *System, cfg Config) (*Solver, error) {
 		}
 	}
 	s := &Solver{sys: sys, cfg: cfg, plan: plan, inv: sparse.InversePerm(sys.Perm)}
-	s.bufs.New = func() any { return &solveBuffers{} }
+	s.bufs.New = func() any { return &solveBuffers{fresh: true} }
 	return s, nil
 }
 
@@ -219,6 +221,15 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 		}
 	}
 	sb := s.bufs.Get().(*solveBuffers)
+	switch {
+	case sb.fresh:
+		mBufPool.With("miss").Inc()
+		sb.fresh = false
+	case sb.bp.Rows != b.Rows || sb.bp.Cols != b.Cols:
+		mBufPool.With("resize").Inc()
+	default:
+		mBufPool.With("hit").Inc()
+	}
 	if sb.bp == nil || sb.bp.Rows != b.Rows || sb.bp.Cols != b.Cols {
 		sb.bp = sparse.NewPanel(b.Rows, b.Cols)
 		sb.xp = sparse.NewPanel(b.Rows, b.Cols)
@@ -250,6 +261,8 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 		Raw:    res,
 	}
 	rep.LSpan, rep.ZSpan, rep.USpan = phaseSpans(res)
+	mSolveSeconds.With(s.cfg.Algorithm.String(), backendName(s.cfg.Backend),
+		s.cfg.Machine.Name, s.sys.Fingerprint()).Observe(rep.Time)
 	return x, rep, nil
 }
 
@@ -337,19 +350,26 @@ func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, err
 		}(i, b)
 	}
 	wg.Wait()
+	bad := 0
 	for _, err := range errs {
 		if err != nil {
-			failed = true
-			break
+			bad++
 		}
 	}
+	failed = bad > 0
+	mBatchPanels.With("ok").Add(float64(len(bs) - bad))
+	mBatchPanels.With("error").Add(float64(bad))
 	if failed {
 		return xs, reps, &BatchError{Errs: errs}
 	}
 	return xs, reps, nil
 }
 
-// Residual returns ‖A·x − b‖∞ in the original ordering.
+// Residual returns ‖A·x − b‖∞ in the original ordering. The value is also
+// exported as a gauge, so a scrape of a serving process shows the accuracy
+// of its most recent checked solve.
 func (s *Solver) Residual(x, b *sparse.Panel) float64 {
-	return sparse.ResidualInf(s.sys.A, x, b)
+	r := sparse.ResidualInf(s.sys.A, x, b)
+	mResidual.With(s.cfg.Algorithm.String(), s.cfg.Machine.Name, s.sys.Fingerprint()).Set(r)
+	return r
 }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+)
+
+// scrapeSeries renders the default registry and returns every series line
+// as key (name + labelset, including _bucket/_count/_total suffixes) →
+// value, parsed back from the exposition text.
+func scrapeSeries(t *testing.T) map[string]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := metrics.Default().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// seriesDelta subtracts the counter snapshot before a solve from the one
+// after it: the exact amounts one solve published.
+func seriesDelta(after, before map[string]float64) map[string]float64 {
+	d := map[string]float64{}
+	for k, v := range after {
+		if dv := v - before[k]; dv != 0 {
+			d[k] = dv
+		}
+	}
+	return d
+}
+
+// TestMetricsConcurrentSolvesAndScrapes races concurrent solves against
+// /metrics scrapes: the registry must stay consistent (every response a
+// complete, parseable exposition) while publishers hammer it. Run under
+// -race by scripts/check.sh.
+func TestMetricsConcurrentSolvesAndScrapes(t *testing.T) {
+	sys := testSystem(t)
+	s, err := NewSolver(sys, Config{
+		Layout:    grid.Layout{Px: 2, Py: 2, Pz: 2},
+		Algorithm: trsv.Proposed3D,
+		Machine:   machine.CoriHaswell(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sparse.NewPanel(sys.A.N, 1)
+	for i := range b.Data {
+		b.Data[i] = 1
+	}
+	srv := httptest.NewServer(metrics.Handler(metrics.Default()))
+	defer srv.Close()
+
+	const solvers, solvesEach, scrapes = 4, 8, 16
+	var wg sync.WaitGroup
+	errc := make(chan error, solvers+1)
+	for g := 0; g < solvers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < solvesEach; i++ {
+				if _, _, err := s.Solve(b); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scrapes; i++ {
+			resp, err := http.Get(srv.URL)
+			if err != nil {
+				errc <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK || !bytes.HasSuffix(body, []byte("# EOF\n")) {
+				errc <- fmt.Errorf("scrape %d: status %d, terminated=%v",
+					i, resp.StatusCode, bytes.HasSuffix(body, []byte("# EOF\n")))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestMetricsDeterministicAcrossRuns is the acceptance check for the
+// publish-at-run-boundary design: two solves of the same system on the
+// deterministic discrete-event backend must publish bit-identical
+// increments for every integral family (runs, messages, bytes, waits,
+// kernel phase ops, allreduce rounds, histogram bucket counts). Float-sum
+// families (seconds) are only required to move; their increments are sums
+// recomputed per run, and counter accumulation may round differently.
+func TestMetricsDeterministicAcrossRuns(t *testing.T) {
+	sys := testSystem(t)
+	s, err := NewSolver(sys, Config{
+		Layout:    grid.Layout{Px: 2, Py: 2, Pz: 4},
+		Algorithm: trsv.Proposed3D,
+		Machine:   machine.CoriHaswell(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sparse.NewPanel(sys.A.N, 1)
+	for i := range b.Data {
+		b.Data[i] = 1 + float64(i%5)/5
+	}
+	solve := func() map[string]float64 {
+		before := scrapeSeries(t)
+		if _, _, err := s.Solve(b); err != nil {
+			t.Fatal(err)
+		}
+		return seriesDelta(scrapeSeries(t), before)
+	}
+	solve() // warm the buffer pool: the first solve is a one-off "miss"
+	d1 := solve()
+	d2 := solve()
+
+	integral := func(k string) bool {
+		switch {
+		// The buffer pool is sync.Pool-backed: the GC may evict between
+		// any two solves, so hit/miss is a property of the Go heap, not
+		// of the deterministic model.
+		case strings.HasPrefix(k, "sptrsv_core_solve_buffers"):
+			return false
+		case strings.Contains(k, "_seconds"):
+			return strings.HasSuffix(strings.SplitN(k, "{", 2)[0], "_bucket") ||
+				strings.HasSuffix(strings.SplitN(k, "{", 2)[0], "_count")
+		default:
+			return true
+		}
+	}
+	for k, v := range d1 {
+		if !integral(k) {
+			continue
+		}
+		if d2[k] != v {
+			t.Errorf("series %s: first solve +%v, second solve +%v", k, v, d2[k])
+		}
+	}
+	for k := range d2 {
+		if integral(k) {
+			if _, ok := d1[k]; !ok {
+				t.Errorf("series %s moved only on the second solve (+%v)", k, d2[k])
+			}
+		}
+	}
+	// Spot-check the families the instrumentation promises to move.
+	for _, want := range []string{
+		"sptrsv_runtime_runs_total",
+		"sptrsv_runtime_messages_sent_total",
+		"sptrsv_trsv_solves_total",
+		"sptrsv_trsv_phase_ops_total",
+		"sptrsv_core_solve_seconds_count",
+	} {
+		found := false
+		for k := range d1 {
+			if strings.HasPrefix(k, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %s series moved during a solve", want)
+		}
+	}
+}

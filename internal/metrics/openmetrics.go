@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the OpenMetrics v1 media type served by Handler.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders the registry in OpenMetrics v1 text exposition
+// format, ending with the mandatory "# EOF" line. Families are sorted by
+// name and children by label values, so two registries holding the same
+// values render byte-identical text — the determinism tests compare
+// expositions directly.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		f.write(bw)
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the registry's OpenMetrics
+// exposition — mount it at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteOpenMetrics(w)
+	})
+}
+
+// write renders one family: the TYPE/HELP metadata, then every child's
+// samples in sorted label order.
+func (f *family) write(w *bufio.Writer) {
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+
+	f.mu.RLock()
+	keys := append([]string(nil), f.keyList...)
+	kids := make([]any, len(keys))
+	for i, k := range keys {
+		kids[i] = f.kids[k]
+	}
+	f.mu.RUnlock()
+	sort.Sort(&byKey{keys, kids})
+
+	for i, k := range keys {
+		var values []string
+		if k != "" || len(f.labels) > 0 {
+			values = strings.Split(k, "\x1f")
+		}
+		switch m := kids[i].(type) {
+		case *Counter:
+			f.sample(w, "_total", values, nil, formatValue(m.Value()))
+		case *Gauge:
+			f.sample(w, "", values, nil, formatValue(m.Value()))
+		case *Histogram:
+			cum, total := m.cumulative()
+			for bi, b := range m.bounds {
+				f.sample(w, "_bucket", values, []string{"le", formatValue(b)},
+					strconv.FormatUint(cum[bi], 10))
+			}
+			f.sample(w, "_bucket", values, []string{"le", "+Inf"},
+				strconv.FormatUint(total, 10))
+			f.sample(w, "_count", values, nil, strconv.FormatUint(total, 10))
+			f.sample(w, "_sum", values, nil, formatValue(m.Sum()))
+		}
+	}
+}
+
+// byKey sorts the parallel (keys, kids) slices by key.
+type byKey struct {
+	keys []string
+	kids []any
+}
+
+func (s *byKey) Len() int           { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.kids[i], s.kids[j] = s.kids[j], s.kids[i]
+}
+
+// sample writes one exposition line: name+suffix{labels,extra} value.
+func (f *family) sample(w *bufio.Writer, suffix string, values, extra []string, val string) {
+	w.WriteString(f.name)
+	w.WriteString(suffix)
+	if len(values) > 0 || len(extra) > 0 {
+		w.WriteByte('{')
+		first := true
+		for i, l := range f.labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		for i := 0; i+1 < len(extra); i += 2 {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(extra[i])
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(extra[i+1]))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(val)
+	w.WriteByte('\n')
+}
+
+// formatValue renders a float the way OpenMetrics expects: shortest
+// round-trip representation, so equal values always render equal text.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

@@ -77,6 +77,9 @@ type Engine struct {
 	// firstCrash records the earliest injected crash that fired; the run
 	// reports it as a fault.CrashError.
 	firstCrash *fault.CrashError
+	// faults tallies the injected faults that fired this run, published to
+	// the metrics registry when the run ends.
+	faults faultTally
 }
 
 // NewEngine creates a DES over n ranks with the given network model.
@@ -106,6 +109,7 @@ func (e *Engine) step(rank int, f func()) (err error) {
 // every message addressed to it is discarded.
 func (e *Engine) noteCrash(rank int, t float64) {
 	e.crashed[rank] = true
+	e.faults.crashes++
 	if e.firstCrash == nil || t < e.firstCrash.At {
 		e.firstCrash = &fault.CrashError{Rank: rank, At: t}
 	}
@@ -129,6 +133,9 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 	e.inj = fault.NewInjector(e.Opts.Faults)
 	e.crashed = make([]bool, n)
 	e.firstCrash = nil
+	e.faults = faultTally{}
+	failed, stalled := true, false
+	defer func() { publishRun("des", e.timers, e.tr, e.faults, failed, stalled) }()
 	ctxs := make([]*Ctx, n)
 	for r := 0; r < n; r++ {
 		e.handlers[r] = newHandler(r)
@@ -162,6 +169,8 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		}
 		if wait := ev.time - e.clocks[r]; wait > 0 {
 			e.timers[r].ByCat[ev.msg.Cat] += wait
+			e.timers[r].Waits++
+			e.timers[r].WaitSeconds += wait
 			if e.tr != nil {
 				e.tr.add(r, Event{
 					Kind: EvWait, Cat: ev.msg.Cat, Tag: ev.msg.Tag,
@@ -190,6 +199,7 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		return nil, e.firstCrash
 	}
 	if stuck := e.stuckRank(); stuck >= 0 {
+		stalled = true
 		peer, tag, ok := e.inj.SuspectFor(stuck)
 		if !ok {
 			peer, tag = -1, -1
@@ -199,6 +209,7 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 			State: waitState(e.handlers[stuck]), Virtual: true,
 		}
 	}
+	failed = false
 	res := &Result{
 		Clocks: append([]float64(nil), e.clocks...),
 		Timers: make([]Timers, n),
@@ -247,6 +258,7 @@ func (e *Engine) send(src int, m Msg) {
 	e.timers[src].ByCat[m.Cat] += over
 	e.clocks[src] += over
 	if e.inj.Drop(src, m.Dst, m.Tag, e.clocks[src]) {
+		e.faults.drops++
 		if e.tr != nil {
 			e.tr.add(src, Event{
 				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
@@ -256,6 +268,7 @@ func (e *Engine) send(src int, m Msg) {
 		return
 	}
 	if d := e.inj.Delay(); d > 0 {
+		e.faults.delays++
 		lat += d
 		if e.tr != nil {
 			// Zero-duration stamp: the extra latency rides the message edge
@@ -293,6 +306,7 @@ func (e *Engine) sendAfter(src int, delay float64, m Msg) {
 		})
 	}
 	if m.Dst != src && e.inj.Drop(src, m.Dst, m.Tag, e.clocks[src]) {
+		e.faults.drops++
 		if e.tr != nil {
 			e.tr.add(src, Event{
 				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
@@ -303,6 +317,7 @@ func (e *Engine) sendAfter(src int, delay float64, m Msg) {
 	}
 	if m.Dst != src {
 		if d := e.inj.Delay(); d > 0 {
+			e.faults.delays++
 			delay += d
 			if e.tr != nil {
 				e.tr.add(src, Event{
@@ -372,6 +387,7 @@ func (e *Engine) straggle(rank int, seconds float64) {
 		return
 	}
 	extra := seconds * (f - 1)
+	e.faults.straggles++
 	if e.tr != nil {
 		e.tr.add(rank, Event{
 			Kind: EvFault, Cat: CatFault, Peer: -1,

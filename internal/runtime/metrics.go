@@ -1,0 +1,102 @@
+package runtime
+
+import "sptrsv/internal/metrics"
+
+// Runtime metrics, published to the process-wide registry once per run —
+// at completion, from the per-rank timers the backends already keep — so
+// the hot paths gain no metric updates and the discrete-event schedule is
+// untouched (repeated DES runs of one seed add bit-identical values).
+var (
+	mRuns = metrics.Default().Counter("sptrsv_runtime_runs",
+		"Completed backend runs by backend and outcome.", "backend", "status")
+	mMsgs = metrics.Default().Counter("sptrsv_runtime_messages_sent",
+		"Point-to-point messages sent, by backend and traffic category.", "backend", "category")
+	mBytes = metrics.Default().Counter("sptrsv_runtime_bytes_sent",
+		"Modeled wire bytes sent, by backend and traffic category.", "backend", "category")
+	mRankSeconds = metrics.Default().Counter("sptrsv_runtime_rank_seconds",
+		"Per-rank attributed seconds (virtual under des, wall under pool) summed over ranks, by category.", "backend", "category")
+	mWaits = metrics.Default().Counter("sptrsv_runtime_waits",
+		"Blocking receives that idled a rank.", "backend")
+	mWaitSeconds = metrics.Default().Counter("sptrsv_runtime_wait_seconds",
+		"Seconds ranks spent blocked in receives.", "backend")
+	mFaults = metrics.Default().Counter("sptrsv_runtime_faults_injected",
+		"Injected faults that fired, by kind (drop, delay, straggle, crash).", "backend", "kind")
+	mStalls = metrics.Default().Counter("sptrsv_runtime_stalls",
+		"Runs aborted by the stall watchdog or ended deadlocked at quiescence.", "backend")
+	mTraceDropped = metrics.Default().Counter("sptrsv_runtime_trace_dropped_events",
+		"Trace ring-buffer events dropped because TraceCap was exceeded.", "backend")
+)
+
+// faultTally counts the injected faults that actually fired during one
+// run. The engine keeps one per run; the pool accumulates per rank into a
+// shared tally under the injector's existing synchronization points.
+type faultTally struct {
+	drops, delays, straggles, crashes int
+}
+
+func (t *faultTally) addTo(backend string) {
+	if t.drops > 0 {
+		mFaults.With(backend, "drop").Add(float64(t.drops))
+	}
+	if t.delays > 0 {
+		mFaults.With(backend, "delay").Add(float64(t.delays))
+	}
+	if t.straggles > 0 {
+		mFaults.With(backend, "straggle").Add(float64(t.straggles))
+	}
+	if t.crashes > 0 {
+		mFaults.With(backend, "crash").Add(float64(t.crashes))
+	}
+}
+
+// publishRun aggregates one run's per-rank timers into the registry.
+// stalled marks runs that ended in a stall/deadlock diagnosis; tr (may be
+// nil) contributes the trace drop count.
+func publishRun(backend string, timers []Timers, tr *tracer, ft faultTally, failed, stalled bool) {
+	status := "ok"
+	if failed {
+		status = "error"
+	}
+	mRuns.With(backend, status).Inc()
+	var msgs, bytes [numCategories]int
+	var secs [numCategories]float64
+	waits, waitSecs := 0, 0.0
+	for i := range timers {
+		t := &timers[i]
+		for c := 0; c < int(numCategories); c++ {
+			msgs[c] += t.MsgsSent[c]
+			bytes[c] += t.BytesSent[c]
+			secs[c] += t.ByCat[c]
+		}
+		waits += t.Waits
+		waitSecs += t.WaitSeconds
+	}
+	for c := Category(0); c < numCategories; c++ {
+		if msgs[c] > 0 {
+			mMsgs.With(backend, c.String()).Add(float64(msgs[c]))
+		}
+		if bytes[c] > 0 {
+			mBytes.With(backend, c.String()).Add(float64(bytes[c]))
+		}
+		if secs[c] > 0 {
+			mRankSeconds.With(backend, c.String()).Add(secs[c])
+		}
+	}
+	if waits > 0 {
+		mWaits.With(backend).Add(float64(waits))
+		mWaitSeconds.With(backend).Add(waitSecs)
+	}
+	ft.addTo(backend)
+	if stalled {
+		mStalls.With(backend).Inc()
+	}
+	if tr != nil {
+		dropped := 0
+		for i := range tr.rings {
+			dropped += tr.rings[i].dropped
+		}
+		if dropped > 0 {
+			mTraceDropped.With(backend).Add(float64(dropped))
+		}
+	}
+}

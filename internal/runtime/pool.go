@@ -135,6 +135,19 @@ type poolShared struct {
 
 	crashMu sync.Mutex
 	crashes []fault.CrashError
+
+	// Injected-fault tallies; atomics because rank goroutines fire them
+	// concurrently. Folded into a faultTally when the run is published.
+	ftDrops, ftDelays, ftStraggles, ftCrashes atomic.Int64
+}
+
+func (s *poolShared) tally() faultTally {
+	return faultTally{
+		drops:     int(s.ftDrops.Load()),
+		delays:    int(s.ftDelays.Load()),
+		straggles: int(s.ftStraggles.Load()),
+		crashes:   int(s.ftCrashes.Load()),
+	}
 }
 
 // fail records the run's first failure and aborts everyone else.
@@ -163,6 +176,7 @@ func (s *poolShared) abort() {
 }
 
 func (s *poolShared) noteCrash(rank int, at float64) {
+	s.ftCrashes.Add(1)
 	s.crashMu.Lock()
 	s.crashes = append(s.crashes, fault.CrashError{Rank: rank, At: at})
 	s.crashMu.Unlock()
@@ -264,6 +278,7 @@ func (p *poolCtx) send(src int, m Msg) {
 	}
 	now := time.Since(p.s.start).Seconds()
 	if p.s.inj.Drop(src, m.Dst, m.Tag, now) {
+		p.s.ftDrops.Add(1)
 		if p.s.tr != nil {
 			p.s.tr.add(src, Event{
 				Kind: EvFault, Cat: CatFault, Tag: m.Tag, Peer: m.Dst,
@@ -273,6 +288,7 @@ func (p *poolCtx) send(src int, m Msg) {
 		return
 	}
 	if d := p.s.inj.Delay(); d > 0 {
+		p.s.ftDelays.Add(1)
 		if p.s.tr != nil {
 			// Traced on the sender at send time: the timer goroutine below
 			// must not touch the sender's ring (rings are single-writer).
@@ -315,6 +331,7 @@ func (p *poolCtx) compute(rank, tag int, _ float64, f func()) {
 	// observe the late arrivals on the wall clock.
 	if fac := p.s.inj.StragglerFactor(rank); fac > 1 && dur > 0 {
 		extra := dur * (fac - 1)
+		p.s.ftStraggles.Add(1)
 		if p.s.tr != nil {
 			p.s.tr.add(rank, Event{
 				Kind: EvFault, Cat: CatFault, Peer: -1,
@@ -370,6 +387,10 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 	for i := range s.inboxes {
 		s.inboxes[i] = newInbox()
 	}
+	// Published once the run settles; every return path below is reached
+	// only after all rank goroutines have exited, so the timers are quiet.
+	failed, stalled := true, false
+	defer func() { publishRun("pool", s.timers, s.tr, s.tally(), failed, stalled) }()
 	var wg sync.WaitGroup
 	done := make(chan struct{})
 	for r := 0; r < n; r++ {
@@ -411,6 +432,8 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 				}
 				wait := time.Since(t0).Seconds()
 				s.timers[rank].ByCat[m.Cat] += wait
+				s.timers[rank].Waits++
+				s.timers[rank].WaitSeconds += wait
 				if s.tr != nil {
 					st := t0.Sub(s.start).Seconds()
 					if wait > 0 {
@@ -461,6 +484,7 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 		return nil, err
 	}
 	if s.stallFired.Load() {
+		stalled = true
 		deadline := p.Opts.StallTimeout
 		return nil, s.stallError(deadline)
 	}
@@ -471,6 +495,7 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 			}
 		}
 	}
+	failed = false
 	res := &Result{Clocks: s.clocks, Timers: s.timers}
 	if s.tr != nil {
 		res.Trace = s.tr.snapshot()

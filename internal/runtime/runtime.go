@@ -177,6 +177,12 @@ type Timers struct {
 	// behind the paper's tree-communication argument.
 	MsgsSent  [numCategories]int
 	BytesSent [numCategories]int
+	// Waits and WaitSeconds count the blocking receives that idled this
+	// rank and the total time it spent blocked. The seconds are already
+	// included in ByCat (charged to the category of the message that ended
+	// each wait); these fields separate "idle waiting" from "processing".
+	Waits       int
+	WaitSeconds float64
 }
 
 // Total returns the sum across categories.

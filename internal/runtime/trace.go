@@ -296,9 +296,45 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// DroppedEventsError reports that a trace export was written but is
+// incomplete: TraceCap made the per-rank rings overwrite their oldest
+// events. The JSON emitted before the error is valid and viewable — callers
+// that can live with a truncated trace check for this type and continue;
+// callers that need a complete one re-run with a larger Options.TraceCap.
+type DroppedEventsError struct {
+	// Dropped is the total number of events lost across ranks.
+	Dropped int
+	// Ranks is how many ranks lost at least one event.
+	Ranks int
+}
+
+func (e *DroppedEventsError) Error() string {
+	return fmt.Sprintf("runtime: trace incomplete: %d events dropped on %d ranks (raise Options.TraceCap)",
+		e.Dropped, e.Ranks)
+}
+
+// droppedError builds the DroppedEventsError for t, nil when complete.
+func (t *Trace) droppedError() error {
+	total, ranks := 0, 0
+	for _, d := range t.Dropped {
+		if d > 0 {
+			total += d
+			ranks++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	return &DroppedEventsError{Dropped: total, Ranks: ranks}
+}
+
 // WriteTrace emits the run's trace as Chrome trace_event JSON, one thread
 // per rank, viewable in chrome://tracing or https://ui.perfetto.dev. It
-// fails when the run was not traced.
+// fails when the run was not traced. When the rings dropped events
+// (TraceCap exceeded) the truncated trace is still written in full, and the
+// returned error is a *DroppedEventsError — silent truncation would let a
+// critical-path reading of the file miss the very spans that made the run
+// long.
 func (r *Result) WriteTrace(w io.Writer) error { return r.WriteTraceNamed(w, nil) }
 
 // WriteTraceNamed is WriteTrace with a caller-supplied tag namer (e.g.
@@ -363,5 +399,8 @@ func (r *Result) WriteTraceNamed(w io.Writer, tagName func(int) string) error {
 		}
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return r.Trace.droppedError()
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -198,6 +199,37 @@ func TestMarkSpanNaN(t *testing.T) {
 	}
 	if s[4] != 0 {
 		t.Fatalf("zero-length span = %g, want 0", s[4])
+	}
+}
+
+// TestWriteTraceDropped pins the truncation contract: when the rings
+// overflowed, WriteTrace still writes the whole retained trace as valid
+// JSON and then reports the loss as a *DroppedEventsError.
+func TestWriteTraceDropped(t *testing.T) {
+	res := tracedPingPong(t, 4)
+	var buf bytes.Buffer
+	err := res.WriteTrace(&buf)
+	if err == nil {
+		t.Fatal("overflowed trace exported without an error")
+	}
+	var dropped *DroppedEventsError
+	if !errors.As(err, &dropped) {
+		t.Fatalf("error %T %v, want *DroppedEventsError", err, err)
+	}
+	if dropped.Dropped <= 0 || dropped.Ranks <= 0 {
+		t.Fatalf("empty drop report: %+v", dropped)
+	}
+	if !strings.Contains(err.Error(), "TraceCap") {
+		t.Fatalf("error %q does not tell the user which knob to raise", err)
+	}
+	var out struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("truncated trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("truncated trace carries no events")
 	}
 }
 

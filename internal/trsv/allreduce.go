@@ -65,6 +65,7 @@ func (a *arHelper) acceptsBcast() bool {
 // the whole allreduce has finished for this rank.
 func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 	r := a.r
+	r.st.counts.arReduce++
 	// The merge rides the Z-comm recv in the timing model (zero modeled
 	// seconds), but a tagged span makes it visible in traces.
 	ctx.ComputeT(TagARMerge, 0, func() {
@@ -86,6 +87,7 @@ func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 // returns true (the broadcast receipt always completes the allreduce).
 func (a *arHelper) onBcast(ctx *runtime.Ctx, b *vecBundle) bool {
 	r := a.r
+	r.st.counts.arBcast++
 	for i, k := range b.Ks {
 		r.st.y[k] = b.Vs[i]
 	}
@@ -234,6 +236,7 @@ func (a *naiveAR) accepts(m runtime.Msg) bool {
 // true when the whole reduction has finished.
 func (a *naiveAR) onMsg(ctx *runtime.Ctx, m runtime.Msg) bool {
 	r := a.r
+	r.st.counts.naiveRounds++
 	d := m.Data.(*vecBundle)
 	ctx.ComputeT(TagARMerge, 0, func() {
 		for i, k := range d.Ks {

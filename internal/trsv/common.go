@@ -224,6 +224,10 @@ type solveState struct {
 
 	// scratch backs the short-lived block products of scratchPanel.
 	scratch sparse.Panel
+
+	// counts tallies kernel and exchange activity for the metrics registry;
+	// summed across ranks and published by SolveInto.
+	counts solveCounts
 }
 
 func newSolveState() *solveState {
@@ -274,6 +278,7 @@ func (st *solveState) release() {
 	st.lRecvLeft, st.uRecvLeft = 0, 0
 	st.lStage, st.uStage, st.lAwaitMerge = 0, 0, false
 	st.smFree, st.tasksLeft = 0, 0
+	st.counts = solveCounts{}
 	statePool.Put(st)
 }
 
@@ -569,6 +574,7 @@ func (c *rankCore) rhsFor(k int, keep bool) *sparse.Panel {
 // applyLBlock computes prod = L(I,K)·y(K) and accumulates it into lsum(I),
 // returning the modeled FP seconds of the operation.
 func (c *rankCore) applyLBlock(blk *snode.LBlock, k int, yk *sparse.Panel) float64 {
+	c.st.counts.lBlocks++
 	w := c.snWidth(k)
 	prod := c.st.scratchPanel(len(blk.Rows), c.st.nrhs)
 	sparse.GemmAdd(blk.Val, yk, prod)
@@ -587,6 +593,7 @@ func (c *rankCore) applyLBlock(blk *snode.LBlock, k int, yk *sparse.Panel) float
 // applyUBlock accumulates U(I,K)·x(K) into usum(I) and returns the modeled
 // FP seconds.
 func (c *rankCore) applyUBlock(ref dist.UBlockRef, k int, xk *sparse.Panel) float64 {
+	c.st.counts.uBlocks++
 	blk := ref.Blk
 	base := c.p.M.SnBegin[k]
 	sub := c.st.scratchPanel(len(blk.Cols), c.st.nrhs)
@@ -603,6 +610,7 @@ func (c *rankCore) applyUBlock(ref dist.UBlockRef, k int, xk *sparse.Panel) floa
 
 // diagSolveY computes y(K) = inv(L(K,K))·(rhs − lsum(K)); rhs is consumed.
 func (c *rankCore) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64) {
+	c.st.counts.diagY++
 	if s := c.st.lsum[k]; s != nil {
 		for i, v := range s.Data {
 			rhs.Data[i] -= v
@@ -616,6 +624,7 @@ func (c *rankCore) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64)
 
 // diagSolveX computes x(K) = inv(U(K,K))·(y(K) − usum(K)).
 func (c *rankCore) diagSolveX(k int) (*sparse.Panel, float64) {
+	c.st.counts.diagX++
 	yk := c.st.y[k]
 	if yk == nil {
 		panic(&fault.ProtocolError{Rank: c.rank, Phase: "U-solve",

@@ -1,0 +1,82 @@
+package trsv
+
+import "sptrsv/internal/metrics"
+
+// Solve metrics, published once per solve by SolveInto after the backend
+// run has quiesced. The kernels bump plain integers on the per-rank solve
+// state (single-writer during a run), so the hot paths never touch the
+// registry and the discrete-event schedule is unperturbed.
+var (
+	mSolves = metrics.Default().Counter("sptrsv_trsv_solves",
+		"Distributed triangular solves, by algorithm and outcome.", "algorithm", "status")
+	mPhaseOps = metrics.Default().Counter("sptrsv_trsv_phase_ops",
+		"Numeric kernel invocations summed over ranks, by solve phase: diagonal solves (diag_y, diag_x) and off-diagonal block applications (l_block, u_block).",
+		"algorithm", "phase")
+	mARRounds = metrics.Default().Counter("sptrsv_trsv_allreduce_rounds",
+		"Inter-grid exchange rounds summed over ranks: sparse-allreduce reduce/bcast bundles, or the naive per-node butterfly exchanges.",
+		"algorithm", "kind")
+)
+
+// solveCounts tallies one rank's kernel and exchange activity during a
+// single solve. It lives on solveState, is reset by release, and is summed
+// across ranks before publication.
+type solveCounts struct {
+	diagY, diagX     int // diagonal panel solves (L phase, U phase)
+	lBlocks, uBlocks int // off-diagonal block products applied
+	arReduce         int // sparse-allreduce reduce bundles merged
+	arBcast          int // sparse-allreduce broadcast bundles installed
+	naiveRounds      int // strawman butterfly exchanges merged
+}
+
+func (a *solveCounts) accumulate(b solveCounts) {
+	a.diagY += b.diagY
+	a.diagX += b.diagX
+	a.lBlocks += b.lBlocks
+	a.uBlocks += b.uBlocks
+	a.arReduce += b.arReduce
+	a.arBcast += b.arBcast
+	a.naiveRounds += b.naiveRounds
+}
+
+// countsReporter exposes a handler's per-solve tallies; rankCore implements
+// it, so every algorithm reports through the same hook SolveInto already
+// uses for state release.
+type countsReporter interface{ solveCounts() solveCounts }
+
+func (c *rankCore) solveCounts() solveCounts {
+	if c.st == nil {
+		return solveCounts{}
+	}
+	return c.st.counts
+}
+
+// publishSolve records one solve's aggregate tallies under the algorithm
+// label.
+func publishSolve(algo Algorithm, total solveCounts, failed bool) {
+	a := algo.String()
+	status := "ok"
+	if failed {
+		status = "error"
+	}
+	mSolves.With(a, status).Inc()
+	type pc struct {
+		phase string
+		n     int
+	}
+	for _, p := range []pc{
+		{"diag_y", total.diagY}, {"diag_x", total.diagX},
+		{"l_block", total.lBlocks}, {"u_block", total.uBlocks},
+	} {
+		if p.n > 0 {
+			mPhaseOps.With(a, p.phase).Add(float64(p.n))
+		}
+	}
+	for _, p := range []pc{
+		{"reduce", total.arReduce}, {"bcast", total.arBcast},
+		{"naive", total.naiveRounds},
+	} {
+		if p.n > 0 {
+			mARRounds.With(a, p.phase).Add(float64(p.n))
+		}
+	}
+}

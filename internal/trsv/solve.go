@@ -123,11 +123,18 @@ func SolveInto(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend,
 		return h
 	}
 	res, err := back.Run(p.Layout.Size(), model.Net(), wrapped)
+	// Collect each rank's kernel tallies before the states go back to the
+	// pool (release zeroes them), then publish the solve once.
+	var total solveCounts
 	for _, h := range handlers {
+		if cr, ok := h.(countsReporter); ok {
+			total.accumulate(cr.solveCounts())
+		}
 		if r, ok := h.(stateReleaser); ok {
 			r.releaseState()
 		}
 	}
+	publishSolve(algo, total, err != nil)
 	if err != nil {
 		return nil, err
 	}

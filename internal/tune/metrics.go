@@ -1,0 +1,12 @@
+package tune
+
+import "sptrsv/internal/metrics"
+
+// Tuner metrics: cache effectiveness and probe effort per tuning run,
+// labeled by machine model so mixed-fleet tuning is distinguishable.
+var (
+	mTuneRuns = metrics.Default().Counter("sptrsv_tune_runs",
+		"Tuning runs, by machine and cache outcome (hit = zero probe solves).", "machine", "cache")
+	mTuneProbes = metrics.Default().Counter("sptrsv_tune_probe_solves",
+		"DES probe solves performed by the tuner.", "machine")
+)

@@ -107,6 +107,7 @@ func Run(sys *core.System, m *machine.Model, p int, opt Options) (*Result, error
 	if opt.Cache != nil {
 		if e, ok := opt.Cache.Get(key); ok {
 			if cfg, err := e.Config(m); err == nil && core.ValidateConfig(sys, cfg) == nil {
+				mTuneRuns.With(m.Name, "hit").Inc()
 				def := DefaultConfig(m, p)
 				return &Result{
 					Config: cfg, Makespan: e.Makespan,
@@ -181,6 +182,8 @@ func Run(sys *core.System, m *machine.Model, p int, opt Options) (*Result, error
 			best = i
 		}
 	}
+	mTuneRuns.With(m.Name, "miss").Inc()
+	mTuneProbes.With(m.Name).Add(float64(len(scored)))
 	res := &Result{
 		Config: scored[best].Config, Makespan: scored[best].Makespan,
 		Default: def, DefaultMakespan: scored[defIdx].Makespan,

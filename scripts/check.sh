@@ -33,6 +33,13 @@ echo "== go test -race -count=2 (chaos / fault-injection stress) =="
 go test -race -count=2 -run 'Chaos|Fault|Stall|Watchdog|Crash|Robust|NonFinite' \
     ./internal/fault ./internal/runtime ./internal/core ./internal/sparse
 
+echo "== go test -race -count=2 (concurrent solves scraping /metrics) =="
+go test -race -count=2 -run 'Metrics|OpenMetrics|Histogram' \
+    ./internal/metrics ./internal/core
+
+echo "== benchmark regression gate =="
+scripts/bench_regress
+
 echo "== quick solve benchmarks =="
 go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .
 
