@@ -51,6 +51,8 @@ func main() {
 	treeName := flag.String("trees", "binary", "communication trees: flat, binary, auto")
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
 	backendName := flag.String("backend", "sim", "backend: sim (virtual time) or pool (goroutines, wall clock)")
+	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
+	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
 	seeds := flag.Int("seeds", 3, "number of seeds to sweep (1..n)")
 	stragglerSpec := flag.String("straggler", "", "rank:factor[,...] — slow ranks down")
 	jitter := flag.Float64("jitter", 0, "uniform extra message latency in [0, jitter) seconds")
@@ -67,6 +69,10 @@ func main() {
 		fail(err)
 	}
 	trees, err := cliutil.ParseTrees(*treeName)
+	if err != nil {
+		fail(err)
+	}
+	exec, err := cliutil.ParseExec(*execName)
 	if err != nil {
 		fail(err)
 	}
@@ -103,18 +109,20 @@ func main() {
 		b.Data[i] = 1 + float64(i%7)/7
 	}
 
-	fmt.Printf("plan: straggler=%v jitter=%g drops=%v crash=%v, %d seed(s), %s backend\n",
-		straggler, *jitter, drops, crash, *seeds, *backendName)
+	fmt.Printf("plan: straggler=%v jitter=%g drops=%v crash=%v, %d seed(s), %s backend, %s exec\n",
+		straggler, *jitter, drops, crash, *seeds, *backendName, exec.Resolve())
 	bad := 0
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		plan := &fault.Plan{
 			Seed: seed, Straggler: straggler, Jitter: *jitter, Drops: drops, Crash: crash,
 		}
 		cfg := core.Config{
-			Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
-			Algorithm: algo,
-			Trees:     trees,
-			Machine:   machine.ByName(*machineName),
+			Layout:     grid.Layout{Px: *px, Py: *py, Pz: *pz},
+			Algorithm:  algo,
+			Trees:      trees,
+			Machine:    machine.ByName(*machineName),
+			Exec:       exec,
+			LevelChunk: *levelChunk,
 		}
 		switch *backendName {
 		case "sim":

@@ -37,7 +37,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
-	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,autotune,breakdown,faults,bench,regress")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,autotune,breakdown,faults,bench,regress")
 	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
 	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
 	baseline := flag.String("baseline", "BENCH_SPTRSV.json", "benchmark summary file: written by -only bench, compared by -only regress")
@@ -54,6 +54,7 @@ func main() {
 		want["ablation"] = true
 		want["autotune"] = true
 		want["faults"] = true
+		want["sched"] = true
 	}
 
 	run := func(name string, f func(cfg bench.Config)) {
@@ -98,6 +99,7 @@ func main() {
 	run("fig10", func(cfg bench.Config) { bench.GPUScaling(cfg, "perlmutter") })
 	run("fig11", func(cfg bench.Config) { bench.Fig11(cfg) })
 	run("ablation", func(cfg bench.Config) { bench.Ablation(cfg) })
+	run("sched", func(cfg bench.Config) { bench.SchedComparison(cfg) })
 	run("autotune", func(cfg bench.Config) { bench.Autotune(cfg) })
 	run("breakdown", func(cfg bench.Config) { bench.BreakdownDetail(cfg) })
 	run("faults", func(cfg bench.Config) { bench.FaultSweep(cfg) })

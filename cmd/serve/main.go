@@ -52,6 +52,8 @@ func main() {
 	treeName := flag.String("trees", "auto", "communication trees: flat, binary, auto")
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
 	backendName := flag.String("backend", "sim", "backend: sim (modeled time) or pool (wall clock)")
+	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
+	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides per solve")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address for /metrics and /debug/pprof")
 	interval := flag.Duration("interval", 100*time.Millisecond, "pause between solves (0 = back to back)")
@@ -83,16 +85,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	exec, err := cliutil.ParseExec(*execName)
+	if err != nil {
+		fail(err)
+	}
 	var backend trsv.Backend = trsv.SimBackend{}
 	if *backendName == "pool" {
 		backend = trsv.PoolBackend{Pool: runtime.Pool{}}
 	}
 	solver, err := core.NewSolver(sys, core.Config{
-		Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
-		Algorithm: algo,
-		Trees:     trees,
-		Machine:   machine.ByName(*machineName),
-		Backend:   backend,
+		Layout:     grid.Layout{Px: *px, Py: *py, Pz: *pz},
+		Algorithm:  algo,
+		Trees:      trees,
+		Machine:    machine.ByName(*machineName),
+		Backend:    backend,
+		Exec:       exec,
+		LevelChunk: *levelChunk,
 	})
 	if err != nil {
 		fail(err)
@@ -119,8 +127,8 @@ func main() {
 		}
 	}()
 	fmt.Printf("serving http://%s/metrics and http://%s/debug/pprof/\n", ln.Addr(), ln.Addr())
-	fmt.Printf("solving %s %dx%dx%d on %s every %v — ctrl-c to stop\n",
-		*algoName, *px, *py, *pz, *machineName, *interval)
+	fmt.Printf("solving %s %dx%dx%d on %s (%s exec) every %v — ctrl-c to stop\n",
+		*algoName, *px, *py, *pz, *machineName, exec.Resolve(), *interval)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -40,6 +40,8 @@ func main() {
 	algoName := flag.String("algo", "proposed", "algorithm: proposed, baseline, gpu-single, gpu-multi")
 	treeName := flag.String("trees", "auto", "communication trees: flat, binary, auto")
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
+	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
+	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
 	out := flag.String("o", "trace.json", "output path for the Chrome trace_event JSON")
 	top := flag.Int("top", 5, "how many top-slack and top-wait message edges to print")
@@ -69,13 +71,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	exec, err := cliutil.ParseExec(*execName)
+	if err != nil {
+		fail(err)
+	}
 
 	solver, err := core.NewSolver(sys, core.Config{
-		Layout:    grid.Layout{Px: *px, Py: *py, Pz: *pz},
-		Algorithm: algo,
-		Trees:     trees,
-		Machine:   machine.ByName(*machineName),
-		Trace:     true,
+		Layout:     grid.Layout{Px: *px, Py: *py, Pz: *pz},
+		Algorithm:  algo,
+		Trees:      trees,
+		Machine:    machine.ByName(*machineName),
+		Trace:      true,
+		Exec:       exec,
+		LevelChunk: *levelChunk,
 	})
 	if err != nil {
 		fail(err)
@@ -124,6 +132,11 @@ func main() {
 	}
 	fmt.Printf("  wait-XY  %.4g\n", bd.Seconds[runtime.EvWait][runtime.CatXY])
 	fmt.Printf("  wait-Z   %.4g\n", bd.Seconds[runtime.EvWait][runtime.CatZ])
+
+	if ss, err := rep.Raw.LevelSweeps(); err == nil && ss.Sweeps > 0 {
+		fmt.Printf("\nlevel sweeps (%s exec): %d sweeps covering %d tasks, mean %.1f tasks/sweep, widest %d\n",
+			exec.Resolve(), ss.Sweeps, ss.Tasks, ss.MeanTasks(), ss.MaxTasks)
+	}
 
 	cp, err := rep.Raw.CriticalPath()
 	if err != nil {

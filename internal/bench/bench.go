@@ -105,6 +105,9 @@ type runCfg struct {
 	model   *machine.Model
 	nrhs    int
 	backend trsv.Backend
+	// exec selects the execution engine; the zero value (auto) resolves to
+	// the scheduled engine, matching core.Config.
+	exec trsv.ExecMode
 }
 
 // run solves once and returns the report, verifying the residual: every
@@ -118,7 +121,7 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 	}
 	// The backend is part of the key: a traced and an untraced solver for
 	// the same configuration must not share a cache slot.
-	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend)
+	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v/%v", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend, rc.exec)
 	solver := l.solvers[key]
 	if solver == nil {
 		var err error
@@ -128,6 +131,7 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 			Trees:     rc.trees,
 			Machine:   rc.model,
 			Backend:   rc.backend,
+			Exec:      rc.exec,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("bench: solver %s %+v: %v", name, rc.layout, err))

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/trsv"
+)
+
+// SchedPoint is one configuration of the scheduled-vs-handler comparison:
+// the same solve run under both execution engines, with the modeled
+// quantities (which must agree bit-for-bit — the engines are bit-exact)
+// and the steady-state allocations per solve (where the scheduled engine's
+// arena and dense counter templates win).
+type SchedPoint struct {
+	Figure, Matrix, Algorithm, Layout, Machine string
+
+	// HandlerSeconds/SchedSeconds are median modeled makespans; Match
+	// reports whether makespan and message totals agreed exactly.
+	HandlerSeconds, SchedSeconds float64
+	Messages                     int
+	Match                        bool
+
+	// HandlerAllocs/SchedAllocs are steady-state allocs per solve;
+	// AllocsDelta = 1 − sched/handler (positive = scheduled is leaner).
+	HandlerAllocs, SchedAllocs float64
+}
+
+// AllocsDelta returns the fractional allocs/op reduction of the scheduled
+// engine over the handler oracle (0 when the oracle made no allocations).
+func (p SchedPoint) AllocsDelta() float64 {
+	if p.HandlerAllocs == 0 {
+		return 0
+	}
+	return 1 - p.SchedAllocs/p.HandlerAllocs
+}
+
+// SchedComparison runs the summary's fixed point set under both execution
+// engines and renders the before/after table, then appends the critical
+// path and level-sweep profile of one traced scheduled solve. This is the
+// artifact behind results/sched.txt: identical modeled columns prove the
+// refactor changed the execution engine and not the algorithm, and the
+// allocs/op column is the scheduled engine's measured win.
+func SchedComparison(cfg Config) []SchedPoint {
+	l := newLab(cfg)
+	var pts []SchedPoint
+	for _, pt := range summaryPoints() {
+		if pt.rc.exec.Resolve() == trsv.ExecHandler {
+			continue // both engines are driven below; skip the oracle twins
+		}
+		cfg.logf("sched-vs-handler %s %s %s", pt.figure, pt.matrix, pt.rc.algo)
+		measure := func(exec trsv.ExecMode) (secs float64, msgs int, allocs float64) {
+			rc := pt.rc
+			rc.exec = exec
+			var ss []float64
+			allocs = testing.AllocsPerRun(summaryRepeats, func() {
+				rep := l.run(pt.matrix, rc)
+				ss = append(ss, rep.Time)
+				msgs = 0
+				for _, t := range rep.Raw.Timers {
+					for _, c := range t.MsgsSent {
+						msgs += c
+					}
+				}
+			})
+			return median(ss), msgs, allocs
+		}
+		hs, hm, ha := measure(trsv.ExecHandler)
+		ss, sm, sa := measure(trsv.ExecSched)
+		pts = append(pts, SchedPoint{
+			Figure: pt.figure, Matrix: pt.matrix, Algorithm: pt.rc.algo.String(),
+			Layout:         fmt.Sprintf("%dx%dx%d", pt.rc.layout.Px, pt.rc.layout.Py, pt.rc.layout.Pz),
+			Machine:        pt.rc.model.Name,
+			HandlerSeconds: hs, SchedSeconds: ss, Messages: sm,
+			Match:         hs == ss && hm == sm,
+			HandlerAllocs: ha, SchedAllocs: sa,
+		})
+	}
+
+	if cfg.Out != nil {
+		fmt.Fprintln(cfg.Out, "scheduled engine vs handler oracle (modeled columns must match bit-for-bit)")
+		var cells [][]string
+		for _, p := range pts {
+			match := "yes"
+			if !p.Match {
+				match = "DIFF"
+			}
+			cells = append(cells, []string{
+				p.Figure, p.Matrix, p.Algorithm, p.Layout, p.Machine,
+				fmt.Sprintf("%.6g", p.HandlerSeconds*1e3),
+				fmt.Sprintf("%.6g", p.SchedSeconds*1e3),
+				fmt.Sprint(p.Messages),
+				match,
+				fmt.Sprintf("%.0f", p.HandlerAllocs),
+				fmt.Sprintf("%.0f", p.SchedAllocs),
+				fmt.Sprintf("%+.1f%%", -100*p.AllocsDelta()),
+			})
+		}
+		table(cfg.Out, []string{"figure", "matrix", "algorithm", "layout", "machine",
+			"handler ms", "sched ms", "msgs", "match", "handler allocs", "sched allocs", "Δallocs"}, cells)
+		schedProfile(cfg, l)
+	}
+	return pts
+}
+
+// schedProfile traces one scheduled solve and prints its level-sweep
+// profile and critical path — the analyzer view of what the level
+// schedule did to the execution shape.
+func schedProfile(cfg Config, l *lab) {
+	rc := runCfg{
+		layout: grid.Layout{Px: 4, Py: 4, Pz: 4},
+		algo:   trsv.Proposed3D, trees: ctree.Binary,
+		model: machine.CoriHaswell(), nrhs: 1,
+		backend: trsv.SimBackend{Opts: runtime.Options{Trace: true}},
+	}
+	rep := l.run("s2d9pt", rc)
+	fmt.Fprintf(cfg.Out, "\ntraced scheduled solve: s2d9pt proposed-3d 4x4x4 binary on cori-haswell\n")
+	if ss, err := rep.Raw.LevelSweeps(); err == nil {
+		fmt.Fprintf(cfg.Out, "level sweeps: %d sweeps covering %d tasks, mean %.1f tasks/sweep, widest %d\n",
+			ss.Sweeps, ss.Tasks, ss.MeanTasks(), ss.MaxTasks)
+	}
+	cp, err := rep.Raw.CriticalPath()
+	if err != nil {
+		fmt.Fprintf(cfg.Out, "critical path unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintf(cfg.Out, "critical path: %.6g s = %.0f%% of the %.6g s makespan (%d steps, %d message hops, %.4g s latency)\n",
+		cp.Length, 100*cp.Length/cp.Makespan, cp.Makespan, len(cp.Steps), cp.MsgHops, cp.LatencySeconds)
+	for c := runtime.Category(0); int(c) < runtime.NumCategories; c++ {
+		if w := cp.WorkByCat[c]; w > 0 {
+			fmt.Fprintf(cfg.Out, "  work on chain (%s): %.4g s\n", c, w)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sptrsv/internal/gen"
+)
+
+// TestSchedComparison is the engine refactor's acceptance check: on every
+// summary point the scheduled engine reproduces the handler oracle's
+// modeled makespan and message totals exactly, and on the GPU fig9 point
+// (and the fig4 CPU points) it cuts steady-state allocs/op by more
+// than 10%.
+func TestSchedComparison(t *testing.T) {
+	var out strings.Builder
+	pts := SchedComparison(Config{Scale: gen.Small, Out: &out})
+	if len(pts) == 0 {
+		t.Fatal("no comparison points")
+	}
+	var fig9Checked, fig4Leaner bool
+	for _, p := range pts {
+		if !p.Match {
+			t.Errorf("%s/%s/%s %s: modeled quantities differ between engines (handler %.9g s, sched %.9g s)",
+				p.Figure, p.Matrix, p.Algorithm, p.Layout, p.HandlerSeconds, p.SchedSeconds)
+		}
+		if p.Figure == "fig9" {
+			fig9Checked = true
+			if p.AllocsDelta() < 0.10 {
+				t.Errorf("fig9 %s/%s: sched saves only %.1f%% allocs/op (handler %.0f, sched %.0f), want >10%%",
+					p.Matrix, p.Layout, 100*p.AllocsDelta(), p.HandlerAllocs, p.SchedAllocs)
+			}
+		}
+		if p.Figure == "fig4" && p.AllocsDelta() > 0.10 {
+			fig4Leaner = true
+		}
+	}
+	if !fig9Checked {
+		t.Error("no fig9 point in the comparison")
+	}
+	if !fig4Leaner {
+		t.Error("no fig4 CPU point shows a >10% allocs/op reduction")
+	}
+	if !strings.Contains(out.String(), "level sweeps") {
+		t.Error("profile output missing the level-sweep line")
+	}
+}

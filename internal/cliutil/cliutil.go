@@ -80,6 +80,19 @@ func ParseAlgorithm(name string) (trsv.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q (want proposed, baseline, gpu-single, gpu-multi, naive-allreduce)", name)
 }
 
+// ParseExec maps the shared -exec flag vocabulary to an execution mode.
+func ParseExec(name string) (trsv.ExecMode, error) {
+	switch name {
+	case "auto":
+		return trsv.ExecAuto, nil
+	case "sched":
+		return trsv.ExecSched, nil
+	case "handler":
+		return trsv.ExecHandler, nil
+	}
+	return 0, fmt.Errorf("unknown execution mode %q (want auto, sched, handler)", name)
+}
+
 // ParseTrees maps the shared -trees flag vocabulary to a tree kind.
 func ParseTrees(name string) (ctree.Kind, error) {
 	switch name {

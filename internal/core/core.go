@@ -19,6 +19,7 @@ import (
 	"sptrsv/internal/machine"
 	"sptrsv/internal/order"
 	"sptrsv/internal/runtime"
+	"sptrsv/internal/sched"
 	"sptrsv/internal/snode"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/symbolic"
@@ -93,6 +94,14 @@ type Config struct {
 	// backend. Like Trace, it is ignored when Backend is non-nil: set the
 	// backend's own Options instead.
 	Faults *fault.Plan
+	// Exec selects the execution engine: trsv.ExecSched (the default,
+	// level-scheduled sweeps over the precomputed plan schedule) or
+	// trsv.ExecHandler (the original per-message handler path, kept as the
+	// bit-exact oracle).
+	Exec trsv.ExecMode
+	// LevelChunk overrides the scheduled executor's cache-blocking chunk
+	// size; 0 means the built-in default. Ignored under ExecHandler.
+	LevelChunk int
 }
 
 // Solver executes distributed triangular solves for one System and Config.
@@ -155,6 +164,12 @@ func ValidateConfig(sys *System, cfg Config) error {
 	default:
 		return fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
 	}
+	if !cfg.Exec.Valid() {
+		return fmt.Errorf("core: unknown execution mode %v", cfg.Exec)
+	}
+	if cfg.LevelChunk < 0 {
+		return fmt.Errorf("core: Config.LevelChunk must be non-negative, got %d", cfg.LevelChunk)
+	}
 	return nil
 }
 
@@ -172,6 +187,14 @@ func NewSolver(sys *System, cfg Config) (*Solver, error) {
 	}
 	if cfg.Algorithm == trsv.Baseline3D {
 		if err := plan.BuildBaseline(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Exec.Resolve() == trsv.ExecSched {
+		// Build (and cache on the plan) the level schedule now, so a
+		// schedule-construction failure surfaces at solver construction
+		// rather than on the first solve.
+		if _, err := sched.Of(plan); err != nil {
 			return nil, err
 		}
 	}
@@ -235,7 +258,8 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 		sb.xp = sparse.NewPanel(b.Rows, b.Cols)
 	}
 	b.PermuteRowsInto(s.sys.Perm, sb.bp)
-	res, err := trsv.SolveInto(s.plan, s.cfg.Machine, s.cfg.Algorithm, s.cfg.Backend, sb.bp, sb.xp)
+	res, err := trsv.SolveIntoOpts(s.plan, s.cfg.Machine, s.cfg.Algorithm, s.cfg.Backend, sb.bp, sb.xp,
+		trsv.SolveOpts{Exec: s.cfg.Exec, LevelChunk: s.cfg.LevelChunk})
 	if err != nil {
 		s.bufs.Put(sb)
 		return nil, nil, err

@@ -99,6 +99,26 @@ type Plan struct {
 	// concurrent solves by the once. baseErr caches the build outcome.
 	baseOnce sync.Once
 	baseErr  error
+
+	// schedOnce guards the lazy one-time construction of the level/DAG
+	// execution schedule (see internal/sched). The schedule lives here as
+	// an opaque value so dist does not import its builder; CachedSchedule
+	// hands the cast back to the caller.
+	schedOnce sync.Once
+	sched     any
+	schedErr  error
+}
+
+// CachedSchedule returns the plan's execution schedule, building it with
+// build on the first call — the same lazy sync.Once pattern as
+// BuildBaseline, so concurrent solves share one immutable schedule. The
+// value is opaque to dist; internal/sched owns its type and performs the
+// cast.
+func (p *Plan) CachedSchedule(build func(*Plan) (any, error)) (any, error) {
+	p.schedOnce.Do(func() {
+		p.sched, p.schedErr = build(p)
+	})
+	return p.sched, p.schedErr
 }
 
 // Rank2D converts 2D coordinates to the grid-local rank id used by trees.

@@ -113,6 +113,16 @@ func (r *Result) CriticalPath() (*CriticalPath, error) {
 			rank, idx = s.rank, s.idx
 			continue
 		}
+		if e.Kind == EvSweep {
+			// Sweep annotations cover the per-task compute spans that
+			// already advanced the clock; counting both would double the
+			// chain. Skip the annotation and keep walking the real spans.
+			if idx == 0 {
+				break
+			}
+			idx--
+			continue
+		}
 		if e.Dur > 0 || e.Kind == EvSend {
 			steps = append(steps, PathStep{
 				Rank: rank, Kind: e.Kind.String(), Cat: e.Cat, Tag: e.Tag,
@@ -132,6 +142,58 @@ func (r *Result) CriticalPath() (*CriticalPath, error) {
 	}
 	cp.Steps = steps
 	return cp, nil
+}
+
+// SweepStats summarizes the level-sweep annotations of a traced run — the
+// scheduled execution path records one EvSweep per sweep with the task
+// count in the tag (LevelSweepTag), and this is the analyzer-side view:
+// how many sweeps ran, how much compute they covered, and how wide they
+// were. A handler-path trace has no sweeps and yields the zero value.
+type SweepStats struct {
+	// Sweeps counts level-sweep spans over all ranks; Tasks sums their
+	// decoded task counts.
+	Sweeps, Tasks int
+	// Seconds is the total time covered by sweep spans over all ranks.
+	Seconds float64
+	// MaxTasks is the widest single sweep — the available intra-rank
+	// parallelism the pool backend's work-stealing can exploit.
+	MaxTasks int
+}
+
+// MeanTasks returns the average tasks per sweep (0 when no sweeps ran).
+func (s SweepStats) MeanTasks() float64 {
+	if s.Sweeps == 0 {
+		return 0
+	}
+	return float64(s.Tasks) / float64(s.Sweeps)
+}
+
+// LevelSweeps aggregates the run's level-sweep annotations; it fails only
+// when the run was not traced at all.
+func (r *Result) LevelSweeps() (SweepStats, error) {
+	if r.Trace == nil {
+		return SweepStats{}, fmt.Errorf("runtime: run was not traced (set Options.Trace)")
+	}
+	var s SweepStats
+	for _, evs := range r.Trace.Ranks {
+		for i := range evs {
+			e := &evs[i]
+			if e.Kind != EvSweep {
+				continue
+			}
+			n, ok := LevelSweepTaskCount(e.Tag)
+			if !ok {
+				continue
+			}
+			s.Sweeps++
+			s.Tasks += n
+			s.Seconds += e.Dur
+			if n > s.MaxTasks {
+				s.MaxTasks = n
+			}
+		}
+	}
+	return s, nil
 }
 
 // Edge is one observed message dependency: sent by Src, consumed by Dst.

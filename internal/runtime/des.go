@@ -398,6 +398,17 @@ func (e *Engine) straggle(rank int, seconds float64) {
 	e.clocks[rank] += extra
 }
 
+// span records a trace-only level-sweep annotation; it never advances the
+// clock or schedules events, so tracing on/off cannot change the run.
+func (e *Engine) span(rank, tag int, start, dur float64) {
+	if e.tr != nil {
+		e.tr.add(rank, Event{
+			Kind: EvSweep, Cat: CatFP, Tag: tag, Peer: -1,
+			Start: start, Dur: dur,
+		})
+	}
+}
+
 func (e *Engine) elapse(rank int, cat Category, seconds float64) {
 	if seconds < 0 {
 		panic(&fault.ProtocolError{Rank: rank, Msg: "negative elapse time"})

@@ -343,6 +343,16 @@ func (p *poolCtx) compute(rank, tag int, _ float64, f func()) {
 	}
 }
 
+// span records a trace-only level-sweep annotation on the wall clock.
+func (p *poolCtx) span(rank, tag int, start, dur float64) {
+	if p.s.tr != nil {
+		p.s.tr.add(rank, Event{
+			Kind: EvSweep, Cat: CatFP, Tag: tag, Peer: -1,
+			Start: start, Dur: dur,
+		})
+	}
+}
+
 func (p *poolCtx) elapse(int, Category, float64) {} // real time flows on its own
 
 func (p *poolCtx) now(int) float64 { return time.Since(p.s.start).Seconds() }

@@ -103,6 +103,7 @@ type backend interface {
 	sendAfter(src int, delay float64, m Msg)
 	after(src int, delay float64, tag int, data any)
 	compute(rank, tag int, seconds float64, f func())
+	span(rank, tag int, start, dur float64)
 	elapse(rank int, cat Category, seconds float64)
 	now(rank int) float64
 	mark(rank int, key string)
@@ -151,6 +152,16 @@ func (c *Ctx) Compute(seconds float64, f func()) {
 // identical to Compute.
 func (c *Ctx) ComputeT(tag int, seconds float64, f func()) {
 	c.b.compute(c.rank, tag, seconds, f)
+}
+
+// Span records a trace-only annotation covering [start, start+dur) on the
+// rank's clock — the scheduled execution path uses it to mark each level
+// sweep as one event (tag = LevelSweepTag(taskCount)). It charges no time
+// and schedules nothing, so enabling or disabling it cannot perturb the
+// run: the member compute spans have already advanced the clock. A no-op
+// when tracing is off.
+func (c *Ctx) Span(tag int, start, dur float64) {
+	c.b.span(c.rank, tag, start, dur)
 }
 
 // Elapse advances the rank's clock by the modeled overhead, attributed to

@@ -69,6 +69,14 @@ const (
 	// stamps; delays and straggler extensions carry the injected extra
 	// seconds in Dur, charged to CatFault.
 	EvFault
+	// EvSweep is a level-sweep annotation recorded by the scheduled
+	// execution path (Ctx.Span): one span per sweep covering the per-task
+	// compute spans it contains, with the task count encoded in the tag
+	// (LevelSweepTag). It charges no time of its own — the member computes
+	// already advanced the clock — so critical-path analysis skips it and
+	// breakdowns report it as its own row rather than double-counting
+	// compute.
+	EvSweep
 	numEventKinds
 )
 
@@ -95,8 +103,29 @@ func (k EventKind) String() string {
 		return "mark"
 	case EvFault:
 		return "fault"
+	case EvSweep:
+		return "sweep"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// TagLevelSweep is the base span tag of level-sweep annotations. A sweep
+// over n tasks is tagged LevelSweepTag(n); the analyzer side decodes the
+// count with LevelSweepTaskCount. The base value sits above every trsv
+// message and compute tag, and the count rides the high bits, so sweep
+// tags never collide with ordinary tags.
+const TagLevelSweep = 0x80
+
+// LevelSweepTag encodes a level sweep over n tasks as a span tag.
+func LevelSweepTag(n int) int { return TagLevelSweep | n<<8 }
+
+// LevelSweepTaskCount decodes a sweep tag back to its task count; ok is
+// false when tag is not a level-sweep tag.
+func LevelSweepTaskCount(tag int) (n int, ok bool) {
+	if tag&0xFF != TagLevelSweep {
+		return 0, false
+	}
+	return tag >> 8, true
 }
 
 // Event is one traced span on one rank. Times are in the backend's clock

@@ -1,0 +1,372 @@
+// Package sched derives a level/DAG execution schedule from a dist.Plan:
+// for every rank, the dependency DAG over its supernode tasks (diag_y,
+// diag_x, l_block, u_block) for both the L and the U sweep, topologically
+// layered into levels, together with the dense per-rank structures the
+// scheduled execution path in internal/trsv runs on — slot numbering,
+// dependency-counter templates, precomputed broadcast fan-outs and
+// reduction parents, and the arena capacity that makes the per-task hot
+// path allocation-free.
+//
+// The schedule is derived once per plan and cached on it (Plan.
+// CachedSchedule, the same sync.Once pattern as BuildBaseline), so
+// concurrent solves share one immutable schedule. Nothing here depends on
+// the right-hand-side count: panel capacities are recorded per rhs column
+// and scaled by the executor.
+//
+// The level layering is the classic forward/backward level-set
+// construction over the intra-rank dependency edges:
+//
+//	diag_y(K)      ← l_block(J→K) for every local block feeding K
+//	l_block(K→I)   ← diag_y(K) when this rank solves the diagonal of K
+//
+// (and the mirror for the U sweep). Cross-rank dependencies — broadcast
+// arrivals and reduction messages — enter as level-0 sources; the
+// executor's dynamic wavefront refines this static layering at run time
+// without ever reordering tasks, which is what keeps the scheduled path
+// bit-identical to the handler path.
+package sched
+
+import (
+	"sync"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/dist"
+)
+
+// Grid is the per-grid part of the schedule: the slot numbering shared by
+// every rank of the grid, plus dense per-slot structural templates.
+type Grid struct {
+	// SlotOf maps a global supernode to its slot — its index in the
+	// grid's ascending on-path supernode list — or -1 when off-path.
+	// Slots ascend with global supernode order, so an ascending slot scan
+	// visits supernodes in exactly the order sortedKeys visits map keys.
+	SlotOf []int32
+	// Sns is the inverse mapping: slot → global supernode, ascending.
+	Sns []int
+	// Width is the supernode width per slot.
+	Width []int32
+	// Fmod and Bmod are the GPU execution model's dependency-counter
+	// templates per slot: the number of on-path supernodes feeding slot K
+	// in the forward (L) and backward (U) sweep.
+	Fmod, Bmod []int32
+
+	// Ranks holds each 2D-local rank's schedule, indexed by row·Py+col.
+	Ranks []*Rank
+}
+
+// Rank is one rank's precomputed schedule.
+type Rank struct {
+	// PendingL and PendingU are the dense dependency-counter templates
+	// per slot (the map-backed handler path clones RankData.PendingL /
+	// PendingU instead). Zero entries for slots this rank never reduces,
+	// matching the zero a map lookup of an absent key yields.
+	PendingL, PendingU []int32
+	// MemberL and MemberU report per slot whether this rank participates
+	// in the L / U reduction of the slot — the supernodes whose partial
+	// sums this rank accumulates, which is what sizes the arena.
+	MemberL, MemberU []bool
+	// DiagSlot lists the slots whose diagonal this rank solves,
+	// ascending (the slot form of RankData.MyDiagSns).
+	DiagSlot []int32
+
+	// LBcastKids and UBcastKids are the precomputed 2D-rank fan-outs of
+	// this rank in the per-supernode broadcast trees (Tree.Children
+	// allocates on every call; the schedule pays that once per plan).
+	// Empty for slots whose tree this rank is not part of.
+	LBcastKids, UBcastKids [][]int32
+	// LRedParent and URedParent are this rank's parents in the reduction
+	// trees, -1 at the root or for non-members; LRedRoot / URedRoot mark
+	// the root case.
+	LRedParent, URedParent []int32
+	LRedRoot, URedRoot     []bool
+
+	// LLevelOf and ULevelOf layer the diagonal tasks: the topological
+	// level of diag_y(slot) / diag_x(slot) on this rank, -1 for slots
+	// whose diagonal this rank does not solve. Block tasks sit between
+	// the diagonal levels and are counted in the width statistics only.
+	LLevelOf, ULevelOf []int32
+	// LLevels and ULevels count the levels of each sweep; LWidthMax and
+	// UWidthMax are the widest level in tasks — the intra-rank
+	// parallelism a work-stealing executor can exploit.
+	LLevels, ULevels     int
+	LWidthMax, UWidthMax int
+	// TasksL and TasksU count this rank's tasks per sweep (diagonal
+	// solves plus block applies).
+	TasksL, TasksU int
+
+	// ArenaPerRHS is the panel storage the scheduled executor needs per
+	// right-hand-side column for one solve (float64 count), and Panels
+	// the matching panel-header count. Both are safe overestimates; the
+	// executor falls back to the heap if a solve ever outgrows them.
+	ArenaPerRHS int
+	Panels      int
+
+	// Pool is scratch storage owned by the executor (internal/trsv): a
+	// free list of per-solve dense states for this rank. It lives on the
+	// schedule so its lifetime is tied to the plan's.
+	Pool sync.Pool
+}
+
+// Schedule is the full level/DAG schedule of one plan.
+type Schedule struct {
+	Grids []*Grid
+}
+
+// Stats summarizes the schedule for reports: totals over ranks.
+type Stats struct {
+	// Tasks is the total task count over all ranks and both sweeps.
+	Tasks int
+	// MaxLevels is the deepest per-rank level count over both sweeps —
+	// the longest intra-rank dependency chain.
+	MaxLevels int
+	// MaxWidth is the widest per-rank level over both sweeps.
+	MaxWidth int
+}
+
+// Stats computes the schedule's summary.
+func (s *Schedule) Stats() Stats {
+	var st Stats
+	for _, g := range s.Grids {
+		for _, r := range g.Ranks {
+			st.Tasks += r.TasksL + r.TasksU
+			for _, lv := range []int{r.LLevels, r.ULevels} {
+				if lv > st.MaxLevels {
+					st.MaxLevels = lv
+				}
+			}
+			for _, w := range []int{r.LWidthMax, r.UWidthMax} {
+				if w > st.MaxWidth {
+					st.MaxWidth = w
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Of returns the plan's schedule, deriving it on first use and caching it
+// on the plan.
+func Of(p *dist.Plan) (*Schedule, error) {
+	v, err := p.CachedSchedule(func(p *dist.Plan) (any, error) { return build(p) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Schedule), nil
+}
+
+func build(p *dist.Plan) (*Schedule, error) {
+	s := &Schedule{Grids: make([]*Grid, len(p.Grids))}
+	for z, gp := range p.Grids {
+		s.Grids[z] = buildGrid(p, gp)
+	}
+	return s, nil
+}
+
+func buildGrid(p *dist.Plan, gp *dist.GridPlan) *Grid {
+	m := p.M
+	n := len(gp.Sns)
+	g := &Grid{
+		SlotOf: make([]int32, m.SnCount),
+		Sns:    gp.Sns,
+		Width:  make([]int32, n),
+		Fmod:   make([]int32, n),
+		Bmod:   make([]int32, n),
+	}
+	for i := range g.SlotOf {
+		g.SlotOf[i] = -1
+	}
+	for s, k := range gp.Sns {
+		g.SlotOf[k] = int32(s)
+		g.Width[s] = int32(m.SnWidth(k))
+		g.Fmod[s] = int32(len(gp.RowSns[k]))
+		g.Bmod[s] = int32(len(gp.URowSns[k]))
+	}
+	g.Ranks = make([]*Rank, len(gp.Ranks))
+	for r2d := range gp.Ranks {
+		g.Ranks[r2d] = buildRank(p, gp, g, r2d)
+	}
+	return g
+}
+
+func buildRank(p *dist.Plan, gp *dist.GridPlan, g *Grid, r2d int) *Rank {
+	n := len(gp.Sns)
+	rd := gp.Ranks[r2d]
+	r := &Rank{
+		PendingL:   make([]int32, n),
+		PendingU:   make([]int32, n),
+		MemberL:    make([]bool, n),
+		MemberU:    make([]bool, n),
+		LBcastKids: make([][]int32, n),
+		UBcastKids: make([][]int32, n),
+		LRedParent: make([]int32, n),
+		URedParent: make([]int32, n),
+		LRedRoot:   make([]bool, n),
+		URedRoot:   make([]bool, n),
+		LLevelOf:   make([]int32, n),
+		ULevelOf:   make([]int32, n),
+	}
+	for s := range r.LRedParent {
+		r.LRedParent[s], r.URedParent[s] = -1, -1
+		r.LLevelOf[s], r.ULevelOf[s] = -1, -1
+	}
+	for _, k := range rd.MyDiagSns {
+		r.DiagSlot = append(r.DiagSlot, g.SlotOf[k])
+	}
+	kids := func(t *ctree.Tree) []int32 {
+		if !t.Contains(r2d) {
+			return nil
+		}
+		c := t.Children(r2d)
+		if len(c) == 0 {
+			return nil
+		}
+		out := make([]int32, len(c))
+		for i, v := range c {
+			out[i] = int32(v)
+		}
+		return out
+	}
+	for s, k := range gp.Sns {
+		r.PendingL[s] = int32(rd.PendingL[k])
+		r.PendingU[s] = int32(rd.PendingU[k])
+		r.MemberL[s] = gp.LReduce[k].Contains(r2d)
+		r.MemberU[s] = gp.UReduce[k].Contains(r2d)
+		r.LBcastKids[s] = kids(gp.LBcast[k])
+		r.UBcastKids[s] = kids(gp.UBcast[k])
+		if r.MemberL[s] {
+			if gp.LReduce[k].Root() == r2d {
+				r.LRedRoot[s] = true
+			} else {
+				r.LRedParent[s] = int32(gp.LReduce[k].Parent(r2d))
+			}
+		}
+		if r.MemberU[s] {
+			if gp.UReduce[k].Root() == r2d {
+				r.URedRoot[s] = true
+			} else {
+				r.URedParent[s] = int32(gp.UReduce[k].Parent(r2d))
+			}
+		}
+	}
+
+	levelSweep(p, gp, g, r2d, r, false)
+	levelSweep(p, gp, g, r2d, r, true)
+	r.ArenaPerRHS, r.Panels = arenaSize(p, gp, g, r)
+	return r
+}
+
+// levelSweep layers one sweep's intra-rank task DAG into levels by a
+// single topological pass (ascending supernodes for L, descending for U —
+// block dependencies only ever point from lower to higher supernodes in L
+// and the reverse in U, so supernode order is a topological order).
+func levelSweep(p *dist.Plan, gp *dist.GridPlan, g *Grid, r2d int, r *Rank, uSweep bool) {
+	n := len(gp.Sns)
+	rd := gp.Ranks[r2d]
+	// contrib[s] is 1 + the maximum level of a local block task feeding
+	// diag(s) seen so far; 0 while only cross-rank sources feed it.
+	contrib := make([]int32, n)
+	width := make(map[int32]int, 16) // tasks per level
+	tasks, maxLevel := 0, int32(0)
+	visit := func(s int, k int) {
+		myDiag := p.DiagRank2D(k) == r2d
+		var diagLvl int32 = -1
+		if myDiag {
+			diagLvl = contrib[s]
+			tasks++
+			width[diagLvl]++
+			if diagLvl > maxLevel {
+				maxLevel = diagLvl
+			}
+			if uSweep {
+				r.ULevelOf[s] = diagLvl
+			} else {
+				r.LLevelOf[s] = diagLvl
+			}
+		}
+		// Block tasks of column k on this rank: their level follows the
+		// local diagonal solve when there is one, else they are fired by
+		// the broadcast arrival (a level-0 source).
+		var blkLvl int32
+		if myDiag {
+			blkLvl = diagLvl + 1
+		}
+		apply := func(target int) {
+			tasks++
+			width[blkLvl]++
+			if blkLvl > maxLevel {
+				maxLevel = blkLvl
+			}
+			if t := g.SlotOf[target]; t >= 0 && blkLvl+1 > contrib[t] {
+				contrib[t] = blkLvl + 1
+			}
+		}
+		if uSweep {
+			for _, ref := range rd.ColU[k] {
+				apply(ref.I)
+			}
+		} else {
+			for _, blk := range rd.ColL[k] {
+				apply(blk.I)
+			}
+		}
+	}
+	if uSweep {
+		for s := n - 1; s >= 0; s-- {
+			visit(s, gp.Sns[s])
+		}
+	} else {
+		for s := 0; s < n; s++ {
+			visit(s, gp.Sns[s])
+		}
+	}
+	levels := 0
+	if tasks > 0 {
+		levels = int(maxLevel) + 1
+	}
+	wmax := 0
+	for _, w := range width {
+		if w > wmax {
+			wmax = w
+		}
+	}
+	if uSweep {
+		r.ULevels, r.UWidthMax, r.TasksU = levels, wmax, tasks
+	} else {
+		r.LLevels, r.LWidthMax, r.TasksL = levels, wmax, tasks
+	}
+}
+
+// arenaSize bounds the panel storage one solve needs on this rank: the
+// diagonal solutions y/x it produces, the partial sums it accumulates as
+// a reduction member, the gathered solution slices of the baseline
+// algorithm, and the clones the sparse-allreduce phase sends (one
+// replicated set per Z level plus one working set). Returned per rhs
+// column; the matching panel-header count comes second.
+func arenaSize(p *dist.Plan, gp *dist.GridPlan, g *Grid, r *Rank) (floats, panels int) {
+	zLevels := p.Map.L + 1
+	for s := range gp.Sns {
+		w := int(g.Width[s])
+		diag := false
+		for _, d := range r.DiagSlot {
+			if int(d) == s {
+				diag = true
+				break
+			}
+		}
+		if diag {
+			// y(K), x(K), the baseline's gathered xl(K), and the
+			// allreduce clones of y(K).
+			floats += w * (3 + zLevels)
+			panels += 3 + zLevels
+		}
+		if r.MemberL[s] {
+			floats += w
+			panels++
+		}
+		if r.MemberU[s] {
+			floats += w
+			panels++
+		}
+	}
+	return floats, panels
+}

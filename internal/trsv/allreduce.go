@@ -43,7 +43,7 @@ func (a *arHelper) begin(ctx *runtime.Ctx) bool {
 	}
 	for _, k := range r.myDiagSns {
 		if r.gp.Path[r.gp.NodeOf[k]].Replicated() {
-			r.st.y[k] = r.st.y[k].Clone()
+			r.st.y[k] = r.clonePanel(r.st.y[k])
 		}
 	}
 	a.advance(ctx)
@@ -127,7 +127,7 @@ func (a *arHelper) bundle(step, maxLevel int, clone bool) *vecBundle {
 		if r.gp.Path[r.gp.NodeOf[k]].Level <= maxLevel {
 			v := r.st.y[k]
 			if clone {
-				v = v.Clone()
+				v = r.clonePanel(v)
 			}
 			b.Ks = append(b.Ks, k)
 			b.Vs = append(b.Vs, v)
@@ -189,7 +189,7 @@ func (a *naiveAR) begin(ctx *runtime.Ctx) bool {
 	}
 	for _, k := range r.myDiagSns {
 		if r.gp.Path[r.gp.NodeOf[k]].Replicated() {
-			r.st.y[k] = r.st.y[k].Clone()
+			r.st.y[k] = r.clonePanel(r.st.y[k])
 		}
 	}
 	a.sendStep(ctx)
@@ -208,7 +208,7 @@ func (a *naiveAR) bundle() *vecBundle {
 	for _, k := range r.myDiagSns {
 		if r.gp.NodeOf[k] == a.node {
 			b.Ks = append(b.Ks, k)
-			b.Vs = append(b.Vs, r.st.y[k].Clone())
+			b.Vs = append(b.Vs, r.clonePanel(r.st.y[k]))
 		}
 	}
 	return b

@@ -35,9 +35,14 @@ type groupMsg struct {
 	V    *sparse.Panel
 }
 
-// NewBaseline3D returns the handler factory for the baseline algorithm.
-// dist.Plan.BuildBaseline must have run (Solve does it).
+// NewBaseline3D returns the handler factory for the baseline algorithm
+// under the default execution mode. dist.Plan.BuildBaseline must have run
+// (Solve does it).
 func NewBaseline3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	return newBaseline3D(p, model, b, x, SolveOpts{})
+}
+
+func newBaseline3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel, opts SolveOpts) func(rank int) runtime.Handler {
 	if err := p.BuildBaseline(); err != nil {
 		// Unreachable from SolveInto, which builds the baseline plan (with an
 		// error return) before constructing the factory.
@@ -46,7 +51,7 @@ func NewBaseline3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(
 	}
 	return func(rank int) runtime.Handler {
 		h := &base3dRank{}
-		h.rankCore.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x, opts)
 		return h
 	}
 }
@@ -175,10 +180,19 @@ func (h *base3dRank) applyYGroup(ctx *runtime.Ctx, k, g int, yk *sparse.Panel) {
 	}
 }
 
+// keepB implements diagSolver: the baseline always keeps b(K) — its grids
+// partition the path nodes, never replicate them.
+//
+// The baseline stays on map dependency counters even when scheduled (its
+// counter templates are per-node-group and live on the baseline plan, not
+// the level schedule) and on the plan's per-group broadcast trees; it
+// still gains the arena panels and level-sweep drains.
+func (h *base3dRank) keepB(int) bool { return true }
+
 // solveY performs one L-phase diagonal solve plus the baseline's
 // per-row-node-group broadcasts (diagSolver, driven by the shared drain).
 func (h *base3dRank) solveY(ctx *runtime.Ctx, k int) {
-	yk, secs := h.diagSolveY(k, h.rhsFor(k, true))
+	yk, secs := h.solveYPanel(k, true)
 	ctx.ComputeT(TagDiagSolveL, secs, nil)
 	delete(h.st.lsum, k)
 	h.st.y[k] = yk
@@ -320,7 +334,7 @@ func (h *base3dRank) applyXGroup(ctx *runtime.Ctx, k, g int, xk *sparse.Panel) {
 
 // solveX performs one U-phase diagonal solve plus the group broadcasts.
 func (h *base3dRank) solveX(ctx *runtime.Ctx, k int) {
-	xk, secs := h.diagSolveX(k)
+	xk, secs := h.solveXPanel(k)
 	ctx.ComputeT(TagDiagSolveU, secs, nil)
 	h.st.xl[k] = xk
 	if h.gp.OwnerGridOfSn(k) == h.z {

@@ -25,13 +25,16 @@ package trsv
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 
 	"sptrsv/internal/ctree"
 	"sptrsv/internal/dist"
 	"sptrsv/internal/fault"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
+	"sptrsv/internal/sched"
 	"sptrsv/internal/snode"
 	"sptrsv/internal/sparse"
 )
@@ -69,6 +72,9 @@ const (
 // (runtime.Result.WriteTraceNamed). Unknown tags yield "" so the exporter
 // falls back to numeric labels.
 func TagName(tag int) string {
+	if n, ok := runtime.LevelSweepTaskCount(tag); ok {
+		return fmt.Sprintf("level-sweep(%d)", n)
+	}
 	switch tag {
 	case tagYBcast:
 		return "y-bcast"
@@ -222,6 +228,25 @@ type solveState struct {
 	readyTasks        []gpuTask
 	smFree, tasksLeft int
 
+	// Scheduled-execution state. sched marks a state bound to a plan
+	// schedule: working panels come from the arena and the ready-queue
+	// drains run as level sweeps. dense additionally switches the
+	// dependency counters to the flat slot-indexed copies of the schedule
+	// templates below (algorithms whose counter templates live on the
+	// schedule); counter keys without a slot fall back to the maps, whose
+	// absent-key-reads-zero semantics the dense slices replicate exactly.
+	sched, dense   bool
+	arena          arena
+	dpendL, dpendU []int32
+	dfmod, dbmod   []int32
+	// preY and preX hold diagonal solutions precomputed in parallel by a
+	// level sweep on the pool backend, consumed by the serial send pass.
+	preY, preX map[int]*sparse.Panel
+	// owner is the pool this state returns to on release: the global
+	// statePool for handler-path states, the per-rank schedule pool for
+	// scheduled states (their arena capacity is plan-specific).
+	owner *sync.Pool
+
 	// scratch backs the short-lived block products of scratchPanel.
 	scratch sparse.Panel
 
@@ -241,6 +266,8 @@ func newSolveState() *solveState {
 		xQueued:  map[int]bool{},
 		fmod:     map[int]int{},
 		bmod:     map[int]int{},
+		preY:     map[int]*sparse.Panel{},
+		preX:     map[int]*sparse.Panel{},
 	}
 }
 
@@ -250,6 +277,7 @@ var statePool = sync.Pool{New: func() any { return newSolveState() }}
 // binds it to one solve's global panels.
 func acquireState(b, x *sparse.Panel) *solveState {
 	st := statePool.Get().(*solveState)
+	st.owner = &statePool
 	st.b, st.x, st.nrhs = b, x, b.Cols
 	return st
 }
@@ -273,13 +301,18 @@ func (st *solveState) release() {
 	st.readyTasks = st.readyTasks[:0]
 	st.readyY, st.readyX = st.readyY[:0], st.readyX[:0]
 	st.lRemaining, st.uRemaining = st.lRemaining[:0], st.uRemaining[:0]
+	clear(st.preY)
+	clear(st.preX)
+	st.dpendL, st.dpendU = st.dpendL[:0], st.dpendU[:0]
+	st.dfmod, st.dbmod = st.dfmod[:0], st.dbmod[:0]
+	st.sched, st.dense = false, false
 	st.b, st.x = nil, nil
 	st.nrhs, st.phase = 0, 0
 	st.lRecvLeft, st.uRecvLeft = 0, 0
 	st.lStage, st.uStage, st.lAwaitMerge = 0, 0, false
 	st.smFree, st.tasksLeft = 0, 0
 	st.counts = solveCounts{}
-	statePool.Put(st)
+	st.owner.Put(st)
 }
 
 // enqueueY queues a diagonal row for the L-phase solve.
@@ -320,6 +353,49 @@ func copyCounts(dst, src map[int]int) {
 	}
 }
 
+// arena is the bump allocator behind the scheduled path's working panels
+// (y/x subvectors, partial-sum accumulators, allreduce clones). One
+// reservation per solve — sized by the schedule's per-rank bound — turns
+// the O(supernodes) panel allocations of a solve into two slice reuses.
+// Allocations beyond the reservation fall back to the heap, so the bound
+// is a performance hint, never a correctness constraint. Panels handed out
+// stay valid until the next reserve, matching the solve lifetime of the
+// owning state.
+type arena struct {
+	data   []float64
+	panels []sparse.Panel
+	nd, np int
+}
+
+// reserve readies the arena for one solve needing at most the given floats
+// and panel headers, growing the backing storage only when the demand
+// exceeds every earlier solve's.
+func (a *arena) reserve(floats, panels int) {
+	if cap(a.data) < floats {
+		a.data = make([]float64, floats)
+	}
+	if cap(a.panels) < panels {
+		a.panels = make([]sparse.Panel, panels)
+	}
+	a.nd, a.np = 0, 0
+}
+
+// alloc returns a zeroed rows×cols panel from the reservation, or from the
+// heap once the reservation is exhausted.
+func (a *arena) alloc(rows, cols int) *sparse.Panel {
+	n := rows * cols
+	if a.np >= cap(a.panels) || a.nd+n > cap(a.data) {
+		return sparse.NewPanel(rows, cols)
+	}
+	p := &a.panels[a.np]
+	a.np++
+	d := a.data[a.nd : a.nd+n : a.nd+n]
+	a.nd += n
+	clear(d)
+	p.Rows, p.Cols, p.Data = rows, cols, d
+	return p
+}
+
 // ---- shared rank scaffolding ----
 
 // rankOps is the per-algorithm surface the shared scaffolding drives:
@@ -331,10 +407,15 @@ type rankOps interface {
 
 // diagSolver is implemented by the CPU handlers that drive the shared
 // ready-queue drains: solveY/solveX perform one diagonal solve plus its
-// follow-up broadcasts and block applications.
+// follow-up broadcasts and block applications. keepB reports the
+// algorithm's RHS rule for supernode K (the proposed algorithm zeroes
+// b(K) on grids that do not own K's node; the baseline always keeps it),
+// which is what the parallel level-sweep precompute needs to reproduce a
+// solveY's numerics off the handler goroutine.
 type diagSolver interface {
 	solveY(ctx *runtime.Ctx, k int)
 	solveX(ctx *runtime.Ctx, k int)
+	keepB(k int) bool
 }
 
 // rankCore holds one rank's read-only view of the plan — geometry, block
@@ -356,12 +437,29 @@ type rankCore struct {
 	localU    map[int]int              // #my blocks in row K (U)
 	myDiagSns []int                    // supernodes whose diagonal rank is me
 
+	// Scheduled execution (nil / zero on the handler path): this rank's
+	// slice of the plan's level/DAG schedule and the work-stealing chunk
+	// size for pool-backend level sweeps.
+	sg    *sched.Grid
+	sr    *sched.Rank
+	chunk int
+
 	// st is this solve's mutable state, acquired in init and handed back to
 	// the pool by releaseState once the run has quiesced.
 	st *solveState
 }
 
-func (c *rankCore) init(p *dist.Plan, model *machine.Model, rank int, b, x *sparse.Panel) {
+// defaultLevelChunk is the work-stealing chunk size of pool-backend level
+// sweeps when SolveOpts.LevelChunk is zero: sweeps narrower than two
+// chunks run serially.
+const defaultLevelChunk = 8
+
+// maxSweepWorkers caps the goroutines one rank's level sweep spawns — the
+// pool already runs one goroutine per rank, so per-rank parallelism only
+// pays on wide levels with idle cores.
+const maxSweepWorkers = 4
+
+func (c *rankCore) init(p *dist.Plan, model *machine.Model, rank int, b, x *sparse.Panel, opts SolveOpts) {
 	c.p = p
 	c.model = model
 	c.rank = rank
@@ -379,8 +477,45 @@ func (c *rankCore) init(p *dist.Plan, model *machine.Model, rank int, b, x *spar
 	c.localU = rd.LocalU
 	c.myDiagSns = rd.MyDiagSns
 
+	if opts.Exec.Resolve() == ExecSched {
+		s, err := sched.Of(p)
+		if err != nil {
+			// Unreachable from SolveIntoOpts, which derives the schedule
+			// (with an error return) before constructing the factories.
+			panic(&fault.ProtocolError{Rank: rank, Phase: "plan",
+				Msg: fmt.Sprintf("schedule build failed: %v", err)})
+		}
+		c.sg = s.Grids[c.z]
+		c.sr = c.sg.Ranks[c.r2d]
+		c.chunk = opts.LevelChunk
+		if c.chunk <= 0 {
+			c.chunk = defaultLevelChunk
+		}
+	}
+
+	if c.sr != nil {
+		// Scheduled states live in the schedule's per-rank pool: their
+		// arena reservation is plan-specific, so tying their lifetime to
+		// the plan keeps the reservation exact across solves.
+		var st *solveState
+		if v := c.sr.Pool.Get(); v != nil {
+			st = v.(*solveState)
+		} else {
+			st = newSolveState()
+		}
+		st.owner = &c.sr.Pool
+		st.b, st.x, st.nrhs = b, x, b.Cols
+		st.sched = true
+		st.arena.reserve(c.sr.ArenaPerRHS*st.nrhs, c.sr.Panels)
+		c.st = st
+		return
+	}
 	c.st = acquireState(b, x)
 }
+
+// slot maps a supernode to its schedule slot (scheduled path only); -1
+// off-path.
+func (c *rankCore) slot(k int) int32 { return c.sg.SlotOf[k] }
 
 // releaseState returns the per-solve state to the pool. Solve calls it
 // after the backend run has fully completed, so no handler code can still
@@ -470,23 +605,305 @@ func (c *rankCore) drainDeferred(ctx *runtime.Ctx, ops rankOps) {
 
 // drainReadyY solves queued L-phase diagonal rows; solving one row can
 // locally unlock further rows, so it loops until the queue is quiet.
+//
+// On the scheduled path the queue is consumed in level sweeps: everything
+// ready now is one wave (a level of the dynamic wavefront — the static
+// schedule's levels refined by actual message arrivals), tasks a wave
+// unlocks form the next. Tasks still run in exactly the FIFO order of the
+// handler path's one-at-a-time pops — a wave is a relabeling of that
+// order, not a reordering — which is what keeps send order, DES clocks,
+// and floating-point accumulation bit-identical. Each wave is recorded as
+// one trace span (Ctx.Span, no time charge), and on the pool backend a
+// wide wave's independent diagonal solves are precomputed on worker
+// goroutines before the serial send pass.
 func (c *rankCore) drainReadyY(ctx *runtime.Ctx, s diagSolver) {
 	st := c.st
+	if !st.sched {
+		for len(st.readyY) > 0 {
+			k := st.readyY[0]
+			st.readyY = st.readyY[1:]
+			s.solveY(ctx, k)
+		}
+		return
+	}
 	for len(st.readyY) > 0 {
-		k := st.readyY[0]
-		st.readyY = st.readyY[1:]
-		s.solveY(ctx, k)
+		n := len(st.readyY)
+		start := ctx.Now()
+		c.precomputeWave(ctx, s, st.readyY[:n], false)
+		for i := 0; i < n; i++ {
+			s.solveY(ctx, st.readyY[i])
+		}
+		st.readyY = st.readyY[n:]
+		st.counts.sweeps++
+		st.counts.sweepTasks += n
+		ctx.Span(runtime.LevelSweepTag(n), start, ctx.Now()-start)
 	}
 }
 
 // drainReadyX mirrors drainReadyY for the U phase.
 func (c *rankCore) drainReadyX(ctx *runtime.Ctx, s diagSolver) {
 	st := c.st
-	for len(st.readyX) > 0 {
-		k := st.readyX[0]
-		st.readyX = st.readyX[1:]
-		s.solveX(ctx, k)
+	if !st.sched {
+		for len(st.readyX) > 0 {
+			k := st.readyX[0]
+			st.readyX = st.readyX[1:]
+			s.solveX(ctx, k)
+		}
+		return
 	}
+	for len(st.readyX) > 0 {
+		n := len(st.readyX)
+		start := ctx.Now()
+		c.precomputeWave(ctx, s, st.readyX[:n], true)
+		for i := 0; i < n; i++ {
+			s.solveX(ctx, st.readyX[i])
+		}
+		st.readyX = st.readyX[n:]
+		st.counts.sweeps++
+		st.counts.sweepTasks += n
+		ctx.Span(runtime.LevelSweepTag(n), start, ctx.Now()-start)
+	}
+}
+
+// precomputeWave runs a wave's diagonal-solve numerics on worker
+// goroutines, chunked work-stealing style (workers grab fixed-size chunks
+// off a shared counter). Pool backend only: the DES backend's clock
+// charges are serial by construction, and there the sweep is pure
+// bookkeeping anyway. Safe because every supernode in the wave has all
+// its contributions in (its pending counter hit zero), the inputs (b,
+// diagonal inverses, accumulated partial sums) are no longer written, and
+// each task writes only its own result slot; the arithmetic per task is
+// instruction-identical to the serial kernel, so the solution stays
+// bit-exact regardless of worker interleaving. The serial pass that
+// follows consumes the results in wave order, so message order is
+// untouched.
+func (c *rankCore) precomputeWave(ctx *runtime.Ctx, s diagSolver, wave []int, uPhase bool) {
+	chunk := c.chunk
+	if ctx.Virtual() || len(wave) < 2*chunk || goruntime.GOMAXPROCS(0) < 2 {
+		return
+	}
+	res := make([]*sparse.Panel, len(wave))
+	nchunks := (len(wave) + chunk - 1) / chunk
+	workers := goruntime.GOMAXPROCS(0)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers > maxSweepWorkers {
+		workers = maxSweepWorkers
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []float64 // per-worker rhs scratch
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				hi := min((ci+1)*chunk, len(wave))
+				for i := ci * chunk; i < hi; i++ {
+					if uPhase {
+						res[i] = c.precomputeX(wave[i], &buf)
+					} else {
+						res[i] = c.precomputeY(wave[i], s.keepB(wave[i]), &buf)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pre := c.st.preY
+	if uPhase {
+		pre = c.st.preX
+	}
+	for i, k := range wave {
+		if res[i] != nil {
+			pre[k] = res[i]
+		}
+	}
+}
+
+// precomputeY replicates diagSolveY's arithmetic off the handler
+// goroutine: rhs per the algorithm's keep rule, minus lsum(K), times the
+// diagonal inverse. It allocates from the heap, not the arena (bump
+// allocation is single-threaded), and leaves the kernel tallies to the
+// consuming solveYPanel so counters stay single-writer.
+func (c *rankCore) precomputeY(k int, keep bool, buf *[]float64) *sparse.Panel {
+	w := c.snWidth(k)
+	n := c.st.nrhs
+	if cap(*buf) < w*n {
+		*buf = make([]float64, w*n)
+	}
+	rhs := &sparse.Panel{Rows: w, Cols: n, Data: (*buf)[:w*n]}
+	clear(rhs.Data)
+	if keep {
+		lo := c.p.M.SnBegin[k]
+		for j := 0; j < n; j++ {
+			copy(rhs.Col(j), c.st.b.Col(j)[lo:lo+w])
+		}
+	}
+	if s := c.st.lsum[k]; s != nil {
+		for i, v := range s.Data {
+			rhs.Data[i] -= v
+		}
+	}
+	yk := sparse.NewPanel(w, n)
+	sparse.GemmAdd(c.p.M.LDiagInv[k], rhs, yk)
+	return yk
+}
+
+// precomputeX mirrors precomputeY for diagSolveX. A missing y(K) returns
+// nil so the serial path raises its usual protocol diagnostic.
+func (c *rankCore) precomputeX(k int, buf *[]float64) *sparse.Panel {
+	yk := c.st.y[k]
+	if yk == nil {
+		return nil
+	}
+	w := c.snWidth(k)
+	n := c.st.nrhs
+	if cap(*buf) < w*n {
+		*buf = make([]float64, w*n)
+	}
+	rhs := &sparse.Panel{Rows: w, Cols: n, Data: (*buf)[:w*n]}
+	copy(rhs.Data, yk.Data)
+	if s := c.st.usum[k]; s != nil {
+		for i, v := range s.Data {
+			rhs.Data[i] -= v
+		}
+	}
+	xk := sparse.NewPanel(w, n)
+	sparse.GemmAdd(c.p.M.UDiagInv[k], rhs, xk)
+	return xk
+}
+
+// solveYPanel produces y(K) with the modeled seconds of its diagonal
+// solve: from the wave precompute when one is stashed (same numerics,
+// already run), else through the shared serial kernel.
+func (c *rankCore) solveYPanel(k int, keep bool) (*sparse.Panel, float64) {
+	if len(c.st.preY) > 0 {
+		if yk := c.st.preY[k]; yk != nil {
+			delete(c.st.preY, k)
+			c.st.counts.diagY++
+			w := c.snWidth(k)
+			return yk, c.model.GemmTime(w, w, c.st.nrhs)
+		}
+	}
+	return c.diagSolveY(k, c.rhsFor(k, keep))
+}
+
+// solveXPanel mirrors solveYPanel for the U phase.
+func (c *rankCore) solveXPanel(k int) (*sparse.Panel, float64) {
+	if len(c.st.preX) > 0 {
+		if xk := c.st.preX[k]; xk != nil {
+			delete(c.st.preX, k)
+			c.st.counts.diagX++
+			w := c.snWidth(k)
+			return xk, c.model.GemmTime(w, w, c.st.nrhs)
+		}
+	}
+	return c.diagSolveX(k)
+}
+
+// ---- dependency-counter accessors ----
+//
+// The scheduled path keeps its counters in flat slot-indexed slices copied
+// from the schedule templates (dense == true); the handler path, and
+// scheduled algorithms whose counter templates do not live on the schedule
+// (baseline, multi-GPU), stay on the maps. Keys without a schedule slot
+// always fall back to the maps, and a dense decrement of an untouched slot
+// reaching −1 matches the map's absent-key-decrement semantics exactly.
+
+// decPendingL decrements row K's outstanding L-contribution count and
+// returns the new value.
+func (c *rankCore) decPendingL(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			c.st.dpendL[s]--
+			return int(c.st.dpendL[s])
+		}
+	}
+	c.st.pendingL[k]--
+	return c.st.pendingL[k]
+}
+
+// decPendingU mirrors decPendingL for the U phase.
+func (c *rankCore) decPendingU(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			c.st.dpendU[s]--
+			return int(c.st.dpendU[s])
+		}
+	}
+	c.st.pendingU[k]--
+	return c.st.pendingU[k]
+}
+
+// pendingLOf reads row K's outstanding L-contribution count.
+func (c *rankCore) pendingLOf(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			return int(c.st.dpendL[s])
+		}
+	}
+	return c.st.pendingL[k]
+}
+
+// pendingUOf mirrors pendingLOf for the U phase.
+func (c *rankCore) pendingUOf(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			return int(c.st.dpendU[s])
+		}
+	}
+	return c.st.pendingU[k]
+}
+
+// decFmod decrements the GPU model's forward-dependency counter for row K
+// and returns the new value.
+func (c *rankCore) decFmod(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			c.st.dfmod[s]--
+			return int(c.st.dfmod[s])
+		}
+	}
+	c.st.fmod[k]--
+	return c.st.fmod[k]
+}
+
+// decBmod mirrors decFmod for the backward (U) counters.
+func (c *rankCore) decBmod(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			c.st.dbmod[s]--
+			return int(c.st.dbmod[s])
+		}
+	}
+	c.st.bmod[k]--
+	return c.st.bmod[k]
+}
+
+// fmodOf reads row K's forward-dependency counter.
+func (c *rankCore) fmodOf(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			return int(c.st.dfmod[s])
+		}
+	}
+	return c.st.fmod[k]
+}
+
+// bmodOf mirrors fmodOf for the backward counters.
+func (c *rankCore) bmodOf(k int) int {
+	if c.st.dense {
+		if s := c.sg.SlotOf[k]; s >= 0 {
+			return int(c.st.dbmod[s])
+		}
+	}
+	return c.st.bmod[k]
 }
 
 // lContribution records one lsum contribution for row K (a local GEMV or a
@@ -495,8 +912,7 @@ func (c *rankCore) drainReadyX(ctx *runtime.Ctx, s diagSolver) {
 // tree root, forward the partial sum to the parent elsewhere.
 func (c *rankCore) lContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
 	st := c.st
-	st.pendingL[k]--
-	if st.pendingL[k] != 0 {
+	if c.decPendingL(k) != 0 {
 		return
 	}
 	if tree.Root() == c.r2d {
@@ -514,8 +930,7 @@ func (c *rankCore) lContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
 // uContribution mirrors lContribution for usum rows.
 func (c *rankCore) uContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
 	st := c.st
-	st.pendingU[k]--
-	if st.pendingU[k] != 0 {
+	if c.decPendingU(k) != 0 {
 		return
 	}
 	if tree.Root() == c.r2d {
@@ -535,11 +950,35 @@ func (c *rankCore) uContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
 // snWidth returns the width of supernode k.
 func (c *rankCore) snWidth(k int) int { return c.p.M.SnWidth(k) }
 
+// newPanel returns a zeroed rows×nrhs working panel: from the solve's
+// arena reservation on the scheduled path, from the heap on the handler
+// path. Either way the panel outlives the handler step (it may be stored
+// in a per-supernode map or sent to a peer) and stays valid until the
+// owning state is released.
+func (c *rankCore) newPanel(rows int) *sparse.Panel {
+	if c.st.sched {
+		return c.st.arena.alloc(rows, c.st.nrhs)
+	}
+	return sparse.NewPanel(rows, c.st.nrhs)
+}
+
+// clonePanel copies a panel into solve-local storage (arena-backed on the
+// scheduled path) — the allreduce helpers use it where they must detach a
+// subvector from a panel other ranks may still read.
+func (c *rankCore) clonePanel(p *sparse.Panel) *sparse.Panel {
+	if !c.st.sched {
+		return p.Clone()
+	}
+	out := c.st.arena.alloc(p.Rows, p.Cols)
+	copy(out.Data, p.Data)
+	return out
+}
+
 // getLsum returns (allocating if needed) the lsum accumulator for row k.
 func (c *rankCore) getLsum(k int) *sparse.Panel {
 	s := c.st.lsum[k]
 	if s == nil {
-		s = sparse.NewPanel(c.snWidth(k), c.st.nrhs)
+		s = c.newPanel(c.snWidth(k))
 		c.st.lsum[k] = s
 	}
 	return s
@@ -549,7 +988,7 @@ func (c *rankCore) getLsum(k int) *sparse.Panel {
 func (c *rankCore) getUsum(k int) *sparse.Panel {
 	s := c.st.usum[k]
 	if s == nil {
-		s = sparse.NewPanel(c.snWidth(k), c.st.nrhs)
+		s = c.newPanel(c.snWidth(k))
 		c.st.usum[k] = s
 	}
 	return s
@@ -617,7 +1056,7 @@ func (c *rankCore) diagSolveY(k int, rhs *sparse.Panel) (*sparse.Panel, float64)
 		}
 	}
 	w := c.snWidth(k)
-	yk := sparse.NewPanel(w, c.st.nrhs)
+	yk := c.newPanel(w)
 	sparse.GemmAdd(c.p.M.LDiagInv[k], rhs, yk)
 	return yk, c.model.GemmTime(w, w, c.st.nrhs)
 }
@@ -638,7 +1077,7 @@ func (c *rankCore) diagSolveX(k int) (*sparse.Panel, float64) {
 			rhs.Data[i] -= v
 		}
 	}
-	xk := sparse.NewPanel(w, c.st.nrhs)
+	xk := c.newPanel(w)
 	sparse.GemmAdd(c.p.M.UDiagInv[k], rhs, xk)
 	return xk, c.model.GemmTime(w, w, c.st.nrhs)
 }

@@ -76,11 +76,15 @@ type gpuSingleRank struct {
 }
 
 // NewGPUSingle returns the handler factory for the single-GPU-per-grid
-// variant of the proposed 3D algorithm.
+// variant of the proposed 3D algorithm under the default execution mode.
 func NewGPUSingle(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	return newGPUSingle(p, model, b, x, SolveOpts{})
+}
+
+func newGPUSingle(p *dist.Plan, model *machine.Model, b, x *sparse.Panel, opts SolveOpts) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
 		h := &gpuSingleRank{gpu: model.GPU}
-		h.rankCore.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x, opts)
 		return h
 	}
 }
@@ -96,12 +100,20 @@ func (h *gpuSingleRank) Init(ctx *runtime.Ctx) {
 	st := h.st
 	st.smFree = h.gpu.SMs
 	st.tasksLeft = len(h.gp.Sns)
-	for _, k := range h.gp.Sns {
-		st.fmod[k] = len(h.gp.RowSns[k])
-		st.bmod[k] = len(h.gp.URowSns[k])
+	if h.sr != nil {
+		// The schedule's Fmod/Bmod templates are exactly these per-column
+		// dependency counts; refill by copy.
+		st.dense = true
+		st.dfmod = append(st.dfmod[:0], h.sg.Fmod...)
+		st.dbmod = append(st.dbmod[:0], h.sg.Bmod...)
+	} else {
+		for _, k := range h.gp.Sns {
+			st.fmod[k] = len(h.gp.RowSns[k])
+			st.bmod[k] = len(h.gp.URowSns[k])
+		}
 	}
 	for _, k := range h.gp.Sns {
-		if st.fmod[k] == 0 {
+		if h.fmodOf(k) == 0 {
 			st.readyTasks = append(st.readyTasks, gpuTask{k: k, diag: true})
 		}
 	}
@@ -143,10 +155,14 @@ func (h *gpuSingleRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 
 // startTasks launches ready tasks onto free SM slots: the real numeric
 // work runs now (dependencies are satisfied), the completion event fires
-// after the modeled duration.
+// after the modeled duration. On the scheduled path each launch batch is
+// one level sweep — the tasks launched together are mutually independent
+// (all had their counters at zero) — annotated as a single trace span.
 func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
 	st := h.st
+	launched, start := 0, ctx.Now()
 	for st.smFree > 0 && len(st.readyTasks) > 0 {
+		launched++
 		t := st.readyTasks[0]
 		st.readyTasks = st.readyTasks[1:]
 		st.smFree--
@@ -178,6 +194,11 @@ func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
 		}
 		ctx.After(dur, tagGPUEvent, t)
 	}
+	if st.sched && launched > 0 {
+		st.counts.sweeps++
+		st.counts.sweepTasks += launched
+		ctx.Span(runtime.LevelSweepTag(launched), start, ctx.Now()-start)
+	}
 }
 
 func (h *gpuSingleRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
@@ -186,15 +207,13 @@ func (h *gpuSingleRank) onTaskDone(ctx *runtime.Ctx, t gpuTask) {
 	st.tasksLeft--
 	if !t.isU {
 		for _, blk := range h.colL[t.k] {
-			st.fmod[blk.I]--
-			if st.fmod[blk.I] == 0 {
+			if h.decFmod(blk.I) == 0 {
 				st.readyTasks = append(st.readyTasks, gpuTask{k: blk.I, diag: true})
 			}
 		}
 	} else {
 		for _, ref := range h.colU[t.k] {
-			st.bmod[ref.I]--
-			if st.bmod[ref.I] == 0 {
+			if h.decBmod(ref.I) == 0 {
 				st.readyTasks = append(st.readyTasks, gpuTask{k: ref.I, diag: true, isU: true})
 			}
 		}
@@ -228,7 +247,7 @@ func (h *gpuSingleRank) finishAR(ctx *runtime.Ctx) {
 	st.phase = 2
 	st.tasksLeft = len(h.gp.Sns)
 	for _, k := range h.gp.Sns {
-		if st.bmod[k] == 0 {
+		if h.bmodOf(k) == 0 {
 			st.readyTasks = append(st.readyTasks, gpuTask{k: k, diag: true, isU: true})
 		}
 	}
@@ -245,11 +264,16 @@ type gpuMultiRank struct {
 }
 
 // NewGPUMulti returns the handler factory for the NVSHMEM-based multi-GPU
-// variant (Py=1 layouts, as in the paper's Fig. 11).
+// variant (Py=1 layouts, as in the paper's Fig. 11) under the default
+// execution mode.
 func NewGPUMulti(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	return newGPUMulti(p, model, b, x, SolveOpts{})
+}
+
+func newGPUMulti(p *dist.Plan, model *machine.Model, b, x *sparse.Panel, opts SolveOpts) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
 		h := &gpuMultiRank{gpu: model.GPU}
-		h.rankCore.init(p, model, rank, b, x)
+		h.rankCore.init(p, model, rank, b, x, opts)
 		return h
 	}
 }
@@ -359,13 +383,12 @@ func (h *gpuMultiRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 
 // forwardPuts sends v to this rank's children in the tree, with one-sided
 // put latency (NVLink inside a node, fabric across nodes), after an
-// initial in-task delay.
+// initial in-task delay. On the scheduled path the children come from the
+// schedule's precomputed per-slot lists (same ranks, same order). The
+// multi-GPU variant keeps its map dependency counters — its fmod/bmod
+// templates are local-block counts, not the schedule's row counts.
 func (h *gpuMultiRank) forwardPuts(ctx *runtime.Ctx, k int, v *sparse.Panel, isU bool, delay float64) {
-	tree := h.gp.LBcast[k]
-	if isU {
-		tree = h.gp.UBcast[k]
-	}
-	for _, child := range tree.Children(h.r2d) {
+	put := func(child int) {
 		dst := h.p.GlobalRank(h.z, child)
 		cost := h.gpu.PutCost(h.rank, dst, panelBytes(v))
 		ctx.SendAfter(delay+cost, runtime.Msg{
@@ -373,11 +396,30 @@ func (h *gpuMultiRank) forwardPuts(ctx *runtime.Ctx, k int, v *sparse.Panel, isU
 			Data: &gpuPut{K: k, V: v, isU: isU},
 		})
 	}
+	if h.sr != nil {
+		kids := h.sr.LBcastKids
+		if isU {
+			kids = h.sr.UBcastKids
+		}
+		for _, child := range kids[h.slot(k)] {
+			put(int(child))
+		}
+		return
+	}
+	tree := h.gp.LBcast[k]
+	if isU {
+		tree = h.gp.UBcast[k]
+	}
+	for _, child := range tree.Children(h.r2d) {
+		put(child)
+	}
 }
 
 func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 	st := h.st
+	launched, start := 0, ctx.Now()
 	for st.smFree > 0 && len(st.readyTasks) > 0 {
+		launched++
 		t := st.readyTasks[0]
 		st.readyTasks = st.readyTasks[1:]
 		st.smFree--
@@ -429,6 +471,11 @@ func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 			h.forwardPuts(ctx, t.k, xk, true, delay)
 		}
 		ctx.After(dur, tagGPUEvent, t)
+	}
+	if st.sched && launched > 0 {
+		st.counts.sweeps++
+		st.counts.sweepTasks += launched
+		ctx.Span(runtime.LevelSweepTag(launched), start, ctx.Now()-start)
 	}
 }
 

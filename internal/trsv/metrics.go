@@ -15,6 +15,9 @@ var (
 	mARRounds = metrics.Default().Counter("sptrsv_trsv_allreduce_rounds",
 		"Inter-grid exchange rounds summed over ranks: sparse-allreduce reduce/bcast bundles, or the naive per-node butterfly exchanges.",
 		"algorithm", "kind")
+	mSweeps = metrics.Default().Counter("sptrsv_trsv_level_sweeps",
+		"Scheduled-execution level sweeps summed over ranks (kind=sweeps) and the tasks they covered (kind=tasks); zero on the handler path.",
+		"algorithm", "kind")
 )
 
 // solveCounts tallies one rank's kernel and exchange activity during a
@@ -26,6 +29,8 @@ type solveCounts struct {
 	arReduce         int // sparse-allreduce reduce bundles merged
 	arBcast          int // sparse-allreduce broadcast bundles installed
 	naiveRounds      int // strawman butterfly exchanges merged
+	sweeps           int // scheduled-execution level sweeps run
+	sweepTasks       int // tasks covered by those sweeps
 }
 
 func (a *solveCounts) accumulate(b solveCounts) {
@@ -36,6 +41,8 @@ func (a *solveCounts) accumulate(b solveCounts) {
 	a.arReduce += b.arReduce
 	a.arBcast += b.arBcast
 	a.naiveRounds += b.naiveRounds
+	a.sweeps += b.sweeps
+	a.sweepTasks += b.sweepTasks
 }
 
 // countsReporter exposes a handler's per-solve tallies; rankCore implements
@@ -77,6 +84,13 @@ func publishSolve(algo Algorithm, total solveCounts, failed bool) {
 	} {
 		if p.n > 0 {
 			mARRounds.With(a, p.phase).Add(float64(p.n))
+		}
+	}
+	for _, p := range []pc{
+		{"sweeps", total.sweeps}, {"tasks", total.sweepTasks},
+	} {
+		if p.n > 0 {
+			mSweeps.With(a, p.phase).Add(float64(p.n))
 		}
 	}
 }

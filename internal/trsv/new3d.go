@@ -30,22 +30,23 @@ type new3dRank struct {
 	naive bool
 }
 
-// NewProposed3D returns the handler factory for the proposed algorithm.
+// NewProposed3D returns the handler factory for the proposed algorithm
+// under the default execution mode.
 func NewProposed3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
-	return func(rank int) runtime.Handler {
-		h := &new3dRank{}
-		h.rankCore.init(p, model, rank, b, x)
-		return h
-	}
+	return newProposed3D(p, model, b, x, SolveOpts{}, false)
 }
 
 // NewProposed3DNaiveAR is the proposed algorithm with the inter-grid
 // exchange replaced by the per-node strawman allreduce — the ablation of
 // the paper's §3.2 optimization.
 func NewProposed3DNaiveAR(p *dist.Plan, model *machine.Model, b, x *sparse.Panel) func(rank int) runtime.Handler {
+	return newProposed3D(p, model, b, x, SolveOpts{}, true)
+}
+
+func newProposed3D(p *dist.Plan, model *machine.Model, b, x *sparse.Panel, opts SolveOpts, naive bool) func(rank int) runtime.Handler {
 	return func(rank int) runtime.Handler {
-		h := &new3dRank{naive: true}
-		h.rankCore.init(p, model, rank, b, x)
+		h := &new3dRank{naive: naive}
+		h.rankCore.init(p, model, rank, b, x, opts)
 		return h
 	}
 }
@@ -55,15 +56,24 @@ func (h *new3dRank) Done() bool { return h.st.phase == 3 }
 func (h *new3dRank) Init(ctx *runtime.Ctx) {
 	rd := h.gp.Ranks[h.r2d]
 	st := h.st
-	copyCounts(st.pendingL, rd.PendingL)
-	copyCounts(st.pendingU, rd.PendingU)
+	if h.sr != nil {
+		// The schedule carries this rank's counter templates as flat
+		// slot-indexed slices; refill by copy instead of rebuilding the
+		// working maps entry by entry.
+		st.dense = true
+		st.dpendL = append(st.dpendL[:0], h.sr.PendingL...)
+		st.dpendU = append(st.dpendU[:0], h.sr.PendingU...)
+	} else {
+		copyCounts(st.pendingL, rd.PendingL)
+		copyCounts(st.pendingU, rd.PendingU)
+	}
 	st.lRecvLeft = rd.LRecv
 	st.uRecvLeft = rd.URecv
 	h.ar = newARHelper(&h.rankCore)
 
 	// Kick off: diagonal supernodes with no pending contributions.
 	for _, k := range h.myDiagSns {
-		if st.pendingL[k] == 0 {
+		if h.pendingLOf(k) == 0 {
 			st.enqueueY(k)
 		}
 	}
@@ -140,13 +150,25 @@ func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 // ---- L phase ----
 
 // onY handles a received (or locally computed) y(K): forward along the
-// broadcast tree and apply my column-K blocks.
+// broadcast tree and apply my column-K blocks. On the scheduled path the
+// broadcast children come precomputed from the schedule (the same ranks
+// in the same order the tree walk yields, without materializing a slice
+// per call).
 func (h *new3dRank) onY(ctx *runtime.Ctx, k int, yk *sparse.Panel) {
-	for _, child := range h.gp.LBcast[k].Children(h.r2d) {
-		ctx.Send(runtime.Msg{
-			Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
-			Data: &yMsg{K: k, Y: yk}, Bytes: panelBytes(yk),
-		})
+	if h.sr != nil {
+		for _, child := range h.sr.LBcastKids[h.slot(k)] {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, int(child)), Tag: tagYBcast, Cat: runtime.CatXY,
+				Data: &yMsg{K: k, Y: yk}, Bytes: panelBytes(yk),
+			})
+		}
+	} else {
+		for _, child := range h.gp.LBcast[k].Children(h.r2d) {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
+				Data: &yMsg{K: k, Y: yk}, Bytes: panelBytes(yk),
+			})
+		}
 	}
 	for _, blk := range h.colL[k] {
 		secs := h.applyLBlock(blk, k, yk)
@@ -155,11 +177,14 @@ func (h *new3dRank) onY(ctx *runtime.Ctx, k int, yk *sparse.Panel) {
 	}
 }
 
+// keepB implements diagSolver: the proposed algorithm keeps b(K) only on
+// the grid that owns K's path node (Alg. 1 lines 4–10).
+func (h *new3dRank) keepB(k int) bool { return h.gp.OwnerGridOfSn(k) == h.z }
+
 // solveY performs one L-phase diagonal solve and its follow-ups
 // (diagSolver, driven by the shared ready-queue drain).
 func (h *new3dRank) solveY(ctx *runtime.Ctx, k int) {
-	keep := h.gp.OwnerGridOfSn(k) == h.z
-	yk, secs := h.diagSolveY(k, h.rhsFor(k, keep))
+	yk, secs := h.solveYPanel(k, h.keepB(k))
 	ctx.ComputeT(TagDiagSolveL, secs, nil)
 	h.st.y[k] = yk
 	h.onY(ctx, k, yk)
@@ -189,7 +214,7 @@ func (h *new3dRank) finishAR(ctx *runtime.Ctx) {
 	st := h.st
 	st.phase = 2
 	for _, k := range h.myDiagSns {
-		if st.pendingU[k] == 0 {
+		if h.pendingUOf(k) == 0 {
 			st.enqueueX(k)
 		}
 	}
@@ -200,11 +225,20 @@ func (h *new3dRank) finishAR(ctx *runtime.Ctx) {
 // ---- U phase ----
 
 func (h *new3dRank) onX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
-	for _, child := range h.gp.UBcast[k].Children(h.r2d) {
-		ctx.Send(runtime.Msg{
-			Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
-			Data: &yMsg{K: k, Y: xk}, Bytes: panelBytes(xk),
-		})
+	if h.sr != nil {
+		for _, child := range h.sr.UBcastKids[h.slot(k)] {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, int(child)), Tag: tagXBcast, Cat: runtime.CatXY,
+				Data: &yMsg{K: k, Y: xk}, Bytes: panelBytes(xk),
+			})
+		}
+	} else {
+		for _, child := range h.gp.UBcast[k].Children(h.r2d) {
+			ctx.Send(runtime.Msg{
+				Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
+				Data: &yMsg{K: k, Y: xk}, Bytes: panelBytes(xk),
+			})
+		}
 	}
 	for _, ref := range h.colU[k] {
 		secs := h.applyUBlock(ref, k, xk)
@@ -215,7 +249,7 @@ func (h *new3dRank) onX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 
 // solveX performs one U-phase diagonal solve and its follow-ups.
 func (h *new3dRank) solveX(ctx *runtime.Ctx, k int) {
-	xk, secs := h.diagSolveX(k)
+	xk, secs := h.solveXPanel(k)
 	ctx.ComputeT(TagDiagSolveU, secs, nil)
 	h.st.xl[k] = xk
 	if h.gp.OwnerGridOfSn(k) == h.z {

@@ -1,0 +1,274 @@
+package trsv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sched"
+	"sptrsv/internal/sparse"
+)
+
+// The scheduled execution path's correctness bar (ISSUE: level/DAG
+// scheduling): bit-exact agreement with the serial reference and with the
+// per-message handler path — same solution bits, same DES clocks, same
+// message counts — on every algorithm and backend. The handler path stays
+// selectable as the oracle; these tests are the comparison.
+
+// schedCase is one (matrix, layout, algorithm) point of the property test.
+type schedCase struct {
+	name  string
+	algo  Algorithm
+	l     grid.Layout
+	kind  ctree.Kind
+	model *machine.Model
+	nrhs  int
+}
+
+func schedMatrices(t *testing.T) map[string]*pipeline {
+	t.Helper()
+	return map[string]*pipeline{
+		"s2d":    buildPipeline(t, gen.S2D9pt(20, 20, 31), 3, 8),
+		"rand":   buildPipeline(t, gen.RandomDD(rand.New(rand.NewSource(200)), 240, 0.06), 2, 10),
+		"s2d-xl": buildPipeline(t, gen.S2D9pt(26, 26, 32), 2, 12),
+	}
+}
+
+func schedCases() []schedCase {
+	cori := machine.CoriHaswell()
+	perl := machine.PerlmutterGPU()
+	return []schedCase{
+		{"proposed", Proposed3D, grid.Layout{Px: 2, Py: 2, Pz: 4}, ctree.Binary, cori, 2},
+		{"proposed-2d", Proposed3D, grid.Layout{Px: 2, Py: 3, Pz: 1}, ctree.Flat, cori, 1},
+		{"naive-ar", Proposed3DNaiveAR, grid.Layout{Px: 2, Py: 2, Pz: 4}, ctree.Binary, cori, 1},
+		{"baseline", Baseline3D, grid.Layout{Px: 2, Py: 2, Pz: 4}, ctree.Flat, cori, 2},
+		{"gpu-single", GPUSingle, grid.Layout{Px: 1, Py: 1, Pz: 4}, ctree.Binary, perl, 3},
+		{"gpu-multi", GPUMulti, grid.Layout{Px: 2, Py: 1, Pz: 2}, ctree.Binary, perl, 1},
+	}
+}
+
+// solveMode runs one solve in the given mode and returns the solution and
+// run result.
+func solveMode(t *testing.T, pl *pipeline, tc schedCase, b *sparse.Panel, back Backend, opts SolveOpts) (*sparse.Panel, *runtime.Result) {
+	t.Helper()
+	p := pl.plan(t, tc.l, tc.kind)
+	x := sparse.NewPanel(b.Rows, b.Cols)
+	res, err := SolveIntoOpts(p, tc.model, tc.algo, back, b, x, opts)
+	if err != nil {
+		t.Fatalf("%s %v: %v", tc.name, opts.Exec, err)
+	}
+	return x, res
+}
+
+// TestSchedMatchesHandlerBitExact is the central property: on the DES
+// backend the scheduled path must reproduce the handler path bit for bit —
+// solutions (==, not within tolerance), per-rank clocks, and total message
+// counts — across all four algorithm families and several matrices.
+func TestSchedMatchesHandlerBitExact(t *testing.T) {
+	mats := schedMatrices(t)
+	for mname, pl := range mats {
+		for _, tc := range schedCases() {
+			rng := rand.New(rand.NewSource(300))
+			b := randPanel(rng, pl.m.N, tc.nrhs)
+			want := pl.m.Solve(b)
+			xh, rh := solveMode(t, pl, tc, b, SimBackend{}, SolveOpts{Exec: ExecHandler})
+			xs, rs := solveMode(t, pl, tc, b, SimBackend{}, SolveOpts{Exec: ExecSched})
+			for i, v := range xh.Data {
+				if xs.Data[i] != v {
+					t.Fatalf("%s/%s: scheduled solution differs from handler at %d: %g vs %g",
+						mname, tc.name, i, xs.Data[i], v)
+				}
+			}
+			if d := xs.MaxAbsDiff(want); d > 1e-8 {
+				t.Fatalf("%s/%s: scheduled path off serial reference by %g", mname, tc.name, d)
+			}
+			for i := range rh.Clocks {
+				if rs.Clocks[i] != rh.Clocks[i] {
+					t.Fatalf("%s/%s: DES clock differs at rank %d: %g vs %g",
+						mname, tc.name, i, rs.Clocks[i], rh.Clocks[i])
+				}
+			}
+			if rs.TotalMsgs() != rh.TotalMsgs() {
+				t.Fatalf("%s/%s: message count differs: sched %d, handler %d",
+					mname, tc.name, rs.TotalMsgs(), rh.TotalMsgs())
+			}
+		}
+	}
+}
+
+// TestSchedPoolBitExact repeats the bit-exactness bar on the real-goroutine
+// backend with LevelChunk=1 so any wave of two or more tasks exercises the
+// parallel precompute: worker interleaving must not change a single bit of
+// the solution. Bitwise comparison against the handler path is only
+// well-defined where message delivery order is fixed — on the pool that
+// order is wall-clock-dependent and already makes two handler runs differ
+// in the last bits — so the bitwise leg runs on a single-rank layout
+// (pure local cascade, the widest waves and heaviest precompute use) and
+// the multi-rank legs hold both modes to the serial-reference tolerance.
+func TestSchedPoolBitExact(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(18, 18, 33), 2, 8)
+	back := PoolBackend{Pool: runtime.Pool{Timeout: 30 * time.Second}}
+	rng := rand.New(rand.NewSource(301))
+	b := randPanel(rng, pl.m.N, 2)
+
+	serial := schedCase{"serial", Proposed3D, grid.Layout{Px: 1, Py: 1, Pz: 1}, ctree.Binary, machine.CoriHaswell(), 2}
+	xh, _ := solveMode(t, pl, serial, b, back, SolveOpts{Exec: ExecHandler})
+	for trial := 0; trial < 3; trial++ {
+		xs, _ := solveMode(t, pl, serial, b, back, SolveOpts{Exec: ExecSched, LevelChunk: 1})
+		for i, v := range xh.Data {
+			if xs.Data[i] != v {
+				t.Fatalf("trial %d: pool scheduled solution differs from handler at %d", trial, i)
+			}
+		}
+	}
+
+	for _, tc := range schedCases() {
+		if tc.algo == GPUSingle || tc.algo == GPUMulti {
+			continue // simulation-only
+		}
+		bb := randPanel(rng, pl.m.N, tc.nrhs)
+		ww := pl.m.Solve(bb)
+		for _, opts := range []SolveOpts{{Exec: ExecHandler}, {Exec: ExecSched, LevelChunk: 1}} {
+			x, _ := solveMode(t, pl, tc, bb, back, opts)
+			if d := x.MaxAbsDiff(ww); d > 1e-8 {
+				t.Fatalf("%s %v: pool diff %g", tc.name, opts.Exec, d)
+			}
+		}
+	}
+}
+
+// TestSchedSweepSpansTraced checks the analyzer contract: a traced
+// scheduled run carries level-sweep annotations (one span per sweep, task
+// count in the tag), a handler run carries none, and the sweep totals
+// cover every diagonal solve the run performed.
+func TestSchedSweepSpansTraced(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(20, 20, 34), 3, 8)
+	tc := schedCase{"proposed", Proposed3D, grid.Layout{Px: 2, Py: 2, Pz: 4}, ctree.Binary, machine.CoriHaswell(), 1}
+	rng := rand.New(rand.NewSource(302))
+	b := randPanel(rng, pl.m.N, tc.nrhs)
+	back := SimBackend{Opts: runtime.Options{Trace: true}}
+	_, rs := solveMode(t, pl, tc, b, back, SolveOpts{Exec: ExecSched})
+	_, rh := solveMode(t, pl, tc, b, back, SolveOpts{Exec: ExecHandler})
+	ss, err := rs.LevelSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Sweeps == 0 || ss.Tasks == 0 {
+		t.Fatalf("scheduled run recorded no level sweeps: %+v", ss)
+	}
+	if ss.MaxTasks < 1 || ss.MeanTasks() <= 0 {
+		t.Fatalf("degenerate sweep stats: %+v", ss)
+	}
+	sh, err := rh.LevelSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Sweeps != 0 {
+		t.Fatalf("handler run recorded %d level sweeps, want 0", sh.Sweeps)
+	}
+	// Sweeps cover exactly the ready-queue diagonal solves (every solveY
+	// and solveX runs inside some sweep on the scheduled path).
+	cp, err := rs.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Length ≤ Makespan up to summation rounding (the chain re-sums spans
+	// the clock accumulated in a different order).
+	if cp.Length <= 0 || cp.Length > cp.Makespan*(1+1e-12) {
+		t.Fatalf("critical path inconsistent under sweeps: length %g makespan %g", cp.Length, cp.Makespan)
+	}
+}
+
+// TestSchedConcurrentSolves runs many scheduled solves of one plan
+// concurrently (the -race work-stealing stress of scripts/check.sh): the
+// schedule is shared immutable state, per-solve states come from the
+// plan's pool, and level sweeps spawn workers — none of which may race.
+func TestSchedConcurrentSolves(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(16, 16, 35), 2, 8)
+	model := machine.CoriHaswell()
+	p := pl.plan(t, grid.Layout{Px: 2, Py: 2, Pz: 2}, ctree.Binary)
+	rng := rand.New(rand.NewSource(303))
+	b := randPanel(rng, pl.m.N, 2)
+	want := pl.m.Solve(b)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	diffs := make([]float64, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			back := Backend(SimBackend{})
+			opts := SolveOpts{Exec: ExecSched}
+			if i%2 == 1 {
+				back = PoolBackend{Pool: runtime.Pool{Timeout: 30 * time.Second}}
+				opts.LevelChunk = 1
+			}
+			x := sparse.NewPanel(b.Rows, b.Cols)
+			_, err := SolveIntoOpts(p, model, Proposed3D, back, b, x, opts)
+			errs[i] = err
+			if err == nil {
+				diffs[i] = x.MaxAbsDiff(want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent solve %d: %v", i, err)
+		}
+		if diffs[i] > 1e-8 {
+			t.Fatalf("concurrent solve %d: diff %g", i, diffs[i])
+		}
+	}
+}
+
+// TestSchedStatsSane sanity-checks the derived schedule itself on a few
+// plans: every grid supernode has a slot, slots ascend with supernode
+// index, level counts cover the diagonal tasks, and the cached schedule is
+// returned for repeated calls.
+func TestSchedStatsSane(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(20, 20, 36), 3, 8)
+	p := pl.plan(t, grid.Layout{Px: 2, Py: 2, Pz: 4}, ctree.Binary)
+	s1, err := sched.Of(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sched.Of(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("schedule not cached on the plan")
+	}
+	st := s1.Stats()
+	if st.Tasks == 0 || st.MaxLevels == 0 || st.MaxWidth == 0 {
+		t.Fatalf("degenerate schedule stats: %+v", st)
+	}
+	for z, g := range s1.Grids {
+		prev := -1
+		for _, k := range g.Sns {
+			s := int(g.SlotOf[k])
+			if s != prev+1 {
+				t.Fatalf("grid %d: slot of sn %d is %d, want %d", z, k, s, prev+1)
+			}
+			prev = s
+		}
+	}
+}
+
+// TestSchedRejectsBadOpts checks the options validation surface.
+func TestSchedRejectsBadOpts(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(10, 10, 37), 1, 8)
+	p := pl.plan(t, grid.Layout{Px: 1, Py: 1, Pz: 1}, ctree.Binary)
+	b := sparse.NewPanel(pl.m.N, 1)
+	x := sparse.NewPanel(pl.m.N, 1)
+	if _, err := SolveIntoOpts(p, machine.CoriHaswell(), Proposed3D, SimBackend{}, b, x, SolveOpts{Exec: ExecMode(99)}); err == nil {
+		t.Fatal("unknown exec mode accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sptrsv/internal/dist"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/runtime"
+	"sptrsv/internal/sched"
 	"sptrsv/internal/sparse"
 )
 
@@ -50,6 +51,62 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
+// ExecMode selects how the rank handlers execute a solve: against the
+// plan's precomputed level/DAG schedule, or on the original per-message
+// handler bookkeeping. Both modes exchange the same messages in the same
+// order and produce bit-identical solutions and simulated clocks — the
+// handler path stays selectable as the correctness oracle — but the
+// scheduled path runs its ready queues as flat level sweeps over the
+// schedule (one trace span per sweep, near-zero per-task allocation, and
+// work-stealing parallelism across a level on the pool backend).
+type ExecMode int
+
+const (
+	// ExecAuto picks the default mode (currently the scheduled path).
+	ExecAuto ExecMode = iota
+	// ExecSched runs on the precomputed level/DAG schedule.
+	ExecSched
+	// ExecHandler runs the original per-message handler path — the oracle
+	// the scheduled path is validated against.
+	ExecHandler
+)
+
+func (e ExecMode) String() string {
+	switch e {
+	case ExecAuto:
+		return "auto"
+	case ExecSched:
+		return "sched"
+	case ExecHandler:
+		return "handler"
+	}
+	return fmt.Sprintf("ExecMode(%d)", int(e))
+}
+
+// Resolve maps ExecAuto to the concrete default mode.
+func (e ExecMode) Resolve() ExecMode {
+	if e == ExecAuto {
+		return ExecSched
+	}
+	return e
+}
+
+// Valid reports whether e is a known mode.
+func (e ExecMode) Valid() bool {
+	return e == ExecAuto || e == ExecSched || e == ExecHandler
+}
+
+// SolveOpts tunes solve execution without touching the plan.
+type SolveOpts struct {
+	// Exec selects the execution mode; the zero value resolves to the
+	// scheduled path.
+	Exec ExecMode
+	// LevelChunk is the work-stealing chunk size of pool-backend level
+	// sweeps (tasks claimed per steal); 0 means the built-in default.
+	// Sweeps narrower than two chunks run serially.
+	LevelChunk int
+}
+
 // stateReleaser is implemented by every handler embedding rankCore; Solve
 // uses it to hand the per-solve state back to the pool after the run.
 type stateReleaser interface{ releaseState() }
@@ -75,24 +132,39 @@ func Solve(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b *
 // and returns it when the run completes, so steady-state repeated solves
 // allocate little beyond the solution subvectors themselves.
 func SolveInto(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b, x *sparse.Panel) (*runtime.Result, error) {
+	return SolveIntoOpts(p, model, algo, back, b, x, SolveOpts{})
+}
+
+// SolveIntoOpts is SolveInto with explicit execution options.
+func SolveIntoOpts(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend, b, x *sparse.Panel, opts SolveOpts) (*runtime.Result, error) {
 	if b.Rows != p.M.N {
 		return nil, fmt.Errorf("trsv: rhs has %d rows, matrix has %d", b.Rows, p.M.N)
 	}
 	if x.Rows != b.Rows || x.Cols != b.Cols {
 		return nil, fmt.Errorf("trsv: output panel is %dx%d, rhs is %dx%d", x.Rows, x.Cols, b.Rows, b.Cols)
 	}
+	if !opts.Exec.Valid() {
+		return nil, fmt.Errorf("trsv: unknown execution mode %v", opts.Exec)
+	}
+	if opts.Exec.Resolve() == ExecSched {
+		// Derive (or fetch the cached) level/DAG schedule up front so a
+		// build failure surfaces as an error, not a handler panic.
+		if _, err := sched.Of(p); err != nil {
+			return nil, err
+		}
+	}
 	x.Zero()
 	var factory func(int) runtime.Handler
 	switch algo {
 	case Proposed3D:
-		factory = NewProposed3D(p, model, b, x)
+		factory = newProposed3D(p, model, b, x, opts, false)
 	case Proposed3DNaiveAR:
-		factory = NewProposed3DNaiveAR(p, model, b, x)
+		factory = newProposed3D(p, model, b, x, opts, true)
 	case Baseline3D:
 		if err := p.BuildBaseline(); err != nil {
 			return nil, err
 		}
-		factory = NewBaseline3D(p, model, b, x)
+		factory = newBaseline3D(p, model, b, x, opts)
 	case GPUSingle:
 		if p.Layout.Px != 1 || p.Layout.Py != 1 {
 			return nil, fmt.Errorf("trsv: gpu-single requires Px=Py=1, got %dx%d", p.Layout.Px, p.Layout.Py)
@@ -100,7 +172,7 @@ func SolveInto(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend,
 		if model.GPU == nil {
 			return nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
 		}
-		factory = NewGPUSingle(p, model, b, x)
+		factory = newGPUSingle(p, model, b, x, opts)
 	case GPUMulti:
 		if p.Layout.Py != 1 {
 			return nil, fmt.Errorf("trsv: gpu-multi requires Py=1, got Py=%d", p.Layout.Py)
@@ -108,7 +180,7 @@ func SolveInto(p *dist.Plan, model *machine.Model, algo Algorithm, back Backend,
 		if model.GPU == nil {
 			return nil, fmt.Errorf("trsv: model %s has no GPU parameters", model.Name)
 		}
-		factory = NewGPUMulti(p, model, b, x)
+		factory = newGPUMulti(p, model, b, x, opts)
 	default:
 		return nil, fmt.Errorf("trsv: unknown algorithm %v", algo)
 	}

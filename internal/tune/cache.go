@@ -17,7 +17,9 @@ import (
 // CacheSchemaVersion is bumped whenever the entry schema or the meaning of
 // the key changes; files written by an older schema are ignored wholesale
 // (a cache miss, not an error) and overwritten by the next Put.
-const CacheSchemaVersion = 1
+//
+// Version 2 added the execution-engine fields (exec, level_chunk).
+const CacheSchemaVersion = 2
 
 // cacheFileName is the single JSON file a Cache keeps under its directory.
 const cacheFileName = "sptrsv-tune.json"
@@ -26,13 +28,15 @@ const cacheFileName = "sptrsv-tune.json"
 // and tree kinds are stored as their String() names so the file stays
 // meaningful (and diffable) if the internal enum values move.
 type Entry struct {
-	Px        int     `json:"px"`
-	Py        int     `json:"py"`
-	Pz        int     `json:"pz"`
-	Algorithm string  `json:"algorithm"`
-	Trees     string  `json:"trees"`
-	Makespan  float64 `json:"makespan"`         // DES makespan of the tuned config at tuning time
-	Default   float64 `json:"default_makespan"` // DES makespan of the naive default at tuning time
+	Px         int     `json:"px"`
+	Py         int     `json:"py"`
+	Pz         int     `json:"pz"`
+	Algorithm  string  `json:"algorithm"`
+	Trees      string  `json:"trees"`
+	Exec       string  `json:"exec"`                  // execution engine ("sched" or "handler"; empty = auto)
+	LevelChunk int     `json:"level_chunk,omitempty"` // scheduled-sweep chunk override (0 = default)
+	Makespan   float64 `json:"makespan"`              // DES makespan of the tuned config at tuning time
+	Default    float64 `json:"default_makespan"`      // DES makespan of the naive default at tuning time
 }
 
 // Config reconstructs the core configuration the entry denotes on machine
@@ -47,11 +51,17 @@ func (e Entry) Config(m *machine.Model) (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	exec, err := parseExec(e.Exec)
+	if err != nil {
+		return core.Config{}, err
+	}
 	return core.Config{
-		Layout:    grid.Layout{Px: e.Px, Py: e.Py, Pz: e.Pz},
-		Algorithm: algo,
-		Trees:     kind,
-		Machine:   m,
+		Layout:     grid.Layout{Px: e.Px, Py: e.Py, Pz: e.Pz},
+		Algorithm:  algo,
+		Trees:      kind,
+		Machine:    m,
+		Exec:       exec,
+		LevelChunk: e.LevelChunk,
 	}, nil
 }
 
@@ -62,6 +72,18 @@ func parseAlgorithm(s string) (trsv.Algorithm, error) {
 		}
 	}
 	return 0, fmt.Errorf("tune: unknown algorithm %q", s)
+}
+
+func parseExec(s string) (trsv.ExecMode, error) {
+	switch s {
+	case "", trsv.ExecAuto.String():
+		return trsv.ExecAuto, nil
+	case trsv.ExecSched.String():
+		return trsv.ExecSched, nil
+	case trsv.ExecHandler.String():
+		return trsv.ExecHandler, nil
+	}
+	return 0, fmt.Errorf("tune: unknown execution mode %q", s)
 }
 
 func parseTrees(s string) (ctree.Kind, error) {

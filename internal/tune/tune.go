@@ -174,11 +174,20 @@ func Run(sys *core.System, m *machine.Model, p int, opt Options) (*Result, error
 		}
 	}
 
+	// Makespan ties break toward the scheduled engine (identical modeled
+	// cost, cheaper real execution), then lexicographically.
+	better := func(a, b Scored) bool {
+		if a.Makespan != b.Makespan {
+			return a.Makespan < b.Makespan
+		}
+		if ra, rb := execRank(a.Config), execRank(b.Config); ra != rb {
+			return ra < rb
+		}
+		return candKey(a.Config) < candKey(b.Config)
+	}
 	best := 0
 	for i := 1; i < len(scored); i++ {
-		if scored[i].Makespan < scored[best].Makespan ||
-			(scored[i].Makespan == scored[best].Makespan &&
-				candKey(scored[i].Config) < candKey(scored[best].Config)) {
+		if better(scored[i], scored[best]) {
 			best = i
 		}
 	}
@@ -191,16 +200,14 @@ func Run(sys *core.System, m *machine.Model, p int, opt Options) (*Result, error
 	}
 	res.Probed = append(res.Probed, scored...)
 	sort.SliceStable(res.Probed, func(i, j int) bool {
-		if res.Probed[i].Makespan != res.Probed[j].Makespan {
-			return res.Probed[i].Makespan < res.Probed[j].Makespan
-		}
-		return candKey(res.Probed[i].Config) < candKey(res.Probed[j].Config)
+		return better(res.Probed[i], res.Probed[j])
 	})
 
 	if opt.Cache != nil {
 		e := Entry{
 			Px: res.Config.Layout.Px, Py: res.Config.Layout.Py, Pz: res.Config.Layout.Pz,
 			Algorithm: res.Config.Algorithm.String(), Trees: res.Config.Trees.String(),
+			Exec: res.Config.Exec.Resolve().String(), LevelChunk: res.Config.LevelChunk,
 			Makespan: res.Makespan, Default: res.DefaultMakespan,
 		}
 		if err := opt.Cache.Put(key, e); err != nil {

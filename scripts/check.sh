@@ -37,8 +37,15 @@ echo "== go test -race -count=2 (concurrent solves scraping /metrics) =="
 go test -race -count=2 -run 'Metrics|OpenMetrics|Histogram' \
     ./internal/metrics ./internal/core
 
+echo "== go test -race -count=3 (scheduled-execution work-stealing stress) =="
+go test -race -count=3 -run 'TestSchedConcurrentSolves|TestSchedPoolBitExact|TestSchedMatchesHandlerBitExact' \
+    ./internal/trsv ./internal/sched
+
 echo "== benchmark regression gate =="
 scripts/bench_regress
+
+echo "== scheduled vs handler engine comparison =="
+go run ./cmd/figures -only sched -scale small
 
 echo "== quick solve benchmarks =="
 go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .

@@ -184,6 +184,19 @@ const (
 	AutoTrees   = ctree.Auto
 )
 
+// ExecMode selects the execution engine via Config.Exec.
+type ExecMode = trsv.ExecMode
+
+// Execution engines. ExecSched (the ExecAuto default) runs level-scheduled
+// sweeps over the plan's precomputed dependency schedule; ExecHandler is
+// the original per-message handler path, kept selectable as the bit-exact
+// oracle (see DESIGN.md §11).
+const (
+	ExecAuto    = trsv.ExecAuto
+	ExecSched   = trsv.ExecSched
+	ExecHandler = trsv.ExecHandler
+)
+
 // Machine models of the paper's three systems.
 var (
 	CoriHaswell   = machine.CoriHaswell
