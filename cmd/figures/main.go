@@ -10,11 +10,11 @@
 // discrete-event simulation doing the real numeric solve); -quick shrinks
 // each sweep to a smoke-test size.
 //
-// Two extra experiments drive the machine-readable benchmark pipeline and
-// never run as part of "all":
+// Three extra experiments never run as part of "all":
 //
 //	figures -only bench   -scale small   # (re)write the BENCH_SPTRSV.json summary
 //	figures -only regress -scale small   # compare a fresh run against the baseline
+//	figures -only slo     -scale small   # serving SLO report (wall-clock, via internal/server)
 //
 // regress exits 1 on a fatal regression (latency beyond -latency-tol, any
 // message-count increase, a vanished record) and 2 when the -baseline file
@@ -37,7 +37,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
-	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,autotune,breakdown,faults,bench,regress")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,autotune,breakdown,faults,slo,bench,regress")
 	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
 	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
 	baseline := flag.String("baseline", "BENCH_SPTRSV.json", "benchmark summary file: written by -only bench, compared by -only regress")
@@ -103,6 +103,13 @@ func main() {
 	run("autotune", func(cfg bench.Config) { bench.Autotune(cfg) })
 	run("breakdown", func(cfg bench.Config) { bench.BreakdownDetail(cfg) })
 	run("faults", func(cfg bench.Config) { bench.FaultSweep(cfg) })
+
+	// slo is explicit-only: it measures wall-clock serving latency through
+	// the solve service, so its numbers are machine-dependent and do not
+	// belong in the deterministic "all" output set.
+	if want["slo"] {
+		run("slo", func(cfg bench.Config) { bench.SLO(cfg) })
+	}
 
 	// bench and regress are explicit-only: "all" must neither overwrite the
 	// committed baseline nor fail on a checkout that does not carry one.

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/server"
+	"sptrsv/internal/server/loadgen"
+)
+
+// SLOPoint is one concurrency level of the serving SLO report: what a
+// closed-loop client population saw (latency quantiles, throughput, shed
+// rate) next to what the server measured about itself (achieved batch
+// width, queue-wait vs solve-time split).
+type SLOPoint struct {
+	Clients  int
+	Sent, OK int
+	Shed     int
+
+	ThroughputRPS float64
+	LatencyP50S   float64
+	LatencyP99S   float64
+
+	// MeanBatchWidth is the achieved coalescing width: requests per panel
+	// solve, averaged over flushes. > 1 means single-RHS requests really
+	// merged into multi-RHS solves.
+	MeanBatchWidth float64
+	// QueueWaitP99S / SolveP99S split the server-side p99 into time spent
+	// queued (admission → solve start) and time spent solving. The two
+	// histograms share one bucket layout, so the comparison is exact.
+	QueueWaitP99S float64
+	SolveP99S     float64
+	ShedRate      float64
+}
+
+// SLO runs the serving SLO report: one in-process solve service per
+// concurrency level (fresh metrics, so every level's histograms stand
+// alone), a closed-loop loadgen population against it, and a table of
+// client-observed SLOs next to the server's own accounting.
+//
+// The shape the tentpole claims: as concurrency grows, MeanBatchWidth
+// climbs above 1 — concurrent single-RHS requests ride shared multi-RHS
+// panel solves — and per-request throughput grows faster than p99 degrades,
+// because a width-w batch costs far less than w sequential solves (the
+// paper's nrhs amortization, recast as a serving property).
+func SLO(cfg Config) []SLOPoint {
+	matrix := "s2d9pt"
+	levels := []int{1, 2, 4, 8, 16}
+	perClient := 30
+	if cfg.Quick {
+		levels = []int{1, 4}
+		perClient = 8
+	}
+
+	var pts []SLOPoint
+	for _, clients := range levels {
+		cfg.logf("slo %s clients=%d", matrix, clients)
+		pt, err := sloLevel(cfg, matrix, clients, clients*perClient)
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "slo: clients=%d: %v\n", clients, err)
+			continue
+		}
+		pts = append(pts, pt)
+	}
+
+	if cfg.Out != nil {
+		fmt.Fprintln(cfg.Out, "Serving SLOs: closed-loop clients against the solve service (DES backend, wall-clock serving)")
+		var cells [][]string
+		for _, pt := range pts {
+			cells = append(cells, []string{
+				fmt.Sprint(pt.Clients), fmt.Sprint(pt.Sent), fmt.Sprint(pt.OK), fmt.Sprint(pt.Shed),
+				fmt.Sprintf("%.0f", pt.ThroughputRPS),
+				fmt.Sprintf("%.3g", pt.LatencyP50S*1e3),
+				fmt.Sprintf("%.3g", pt.LatencyP99S*1e3),
+				fmt.Sprintf("%.2f", pt.MeanBatchWidth),
+				fmt.Sprintf("%.3g", pt.QueueWaitP99S*1e3),
+				fmt.Sprintf("%.3g", pt.SolveP99S*1e3),
+				fmt.Sprintf("%.1f%%", pt.ShedRate*100),
+			})
+		}
+		table(cfg.Out, []string{"clients", "sent", "ok", "shed", "req/s",
+			"p50 [ms]", "p99 [ms]", "batch width", "queue p99 [ms]", "solve p99 [ms]", "shed rate"}, cells)
+	}
+	return pts
+}
+
+// sloLevel measures one concurrency level on a fresh server.
+func sloLevel(cfg Config, matrix string, clients, requests int) (SLOPoint, error) {
+	srv, err := server.New(server.Options{
+		Ranks:    4,
+		MaxBatch: 16,
+		MaxWait:  500 * time.Microsecond,
+		MaxQueue: 256,
+		Registry: metrics.NewRegistry(),
+	})
+	if err != nil {
+		return SLOPoint{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	scale := cfg.Scale
+	resp, err := http.Post(ts.URL+"/v1/matrices", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"generate":{"name":%q,"scale":%q}}`, matrix, scale)))
+	if err != nil {
+		return SLOPoint{}, err
+	}
+	var info struct {
+		Handle string `json:"handle"`
+		N      int    `json:"n"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		return SLOPoint{}, err
+	}
+	if info.Handle == "" {
+		return SLOPoint{}, fmt.Errorf("upload returned no handle")
+	}
+
+	res, err := loadgen.Run(loadgen.Options{
+		BaseURL: ts.URL, Handle: info.Handle, N: info.N,
+		Clients: clients, Requests: requests,
+	})
+	if err != nil {
+		return SLOPoint{}, err
+	}
+	st := srv.Stats()
+	return SLOPoint{
+		Clients: clients, Sent: res.Sent, OK: res.OK, Shed: res.Shed,
+		ThroughputRPS:  res.Throughput,
+		LatencyP50S:    res.LatencyP50S,
+		LatencyP99S:    res.LatencyP99S,
+		MeanBatchWidth: st.MeanBatchWidth,
+		QueueWaitP99S:  st.QueueWaitP99,
+		SolveP99S:      st.SolveP99,
+		ShedRate:       res.ShedRate,
+	}, nil
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sptrsv/internal/gen"
+)
+
+func TestSLOQuick(t *testing.T) {
+	var out bytes.Buffer
+	pts := SLO(Config{Scale: gen.Small, Quick: true, Out: &out})
+	if len(pts) != 2 {
+		t.Fatalf("got %d levels, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.OK != pt.Sent || pt.Shed != 0 {
+			t.Fatalf("level %d lost requests: %+v", pt.Clients, pt)
+		}
+		if pt.MeanBatchWidth < 1 {
+			t.Fatalf("level %d batch width %v < 1", pt.Clients, pt.MeanBatchWidth)
+		}
+		if pt.ThroughputRPS <= 0 {
+			t.Fatalf("level %d throughput %v", pt.Clients, pt.ThroughputRPS)
+		}
+	}
+	// More clients must not shrink the achieved batch width below the
+	// single-client floor of exactly 1.
+	if pts[0].Clients != 1 || pts[0].MeanBatchWidth != 1 {
+		t.Fatalf("single client width = %v, want exactly 1", pts[0].MeanBatchWidth)
+	}
+	if !strings.Contains(out.String(), "batch width") {
+		t.Fatalf("report table missing batch width column:\n%s", out.String())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"sptrsv/internal/ctree"
+	"sptrsv/internal/machine"
 	"sptrsv/internal/mtx"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/trsv"
@@ -91,6 +92,17 @@ func ParseExec(name string) (trsv.ExecMode, error) {
 		return trsv.ExecHandler, nil
 	}
 	return 0, fmt.Errorf("unknown execution mode %q (want auto, sched, handler)", name)
+}
+
+// ParseMachine maps the shared -machine flag vocabulary to a machine
+// model, with the error listing the valid names (machine.ByName, the older
+// form, panics instead — fine for harnesses, not for request paths).
+func ParseMachine(name string) (*machine.Model, error) {
+	m, ok := machine.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown machine %q (want %s)", name, strings.Join(machine.Names(), ", "))
+	}
+	return m, nil
 }
 
 // ParseTrees maps the shared -trees flag vocabulary to a tree kind.

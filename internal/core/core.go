@@ -235,6 +235,42 @@ type Report struct {
 // draws its own buffers and execution state from pools, and the shared
 // plan is read-only.
 func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
+	return s.solveOn(b, s.cfg.Backend)
+}
+
+// SolveFaulted is Solve with a per-call fault plan layered onto the
+// configured backend: this one solve runs with plan injected (see
+// fault.Plan) while the Solver itself stays clean, so a chaos harness or a
+// serving path can poison exactly one request against a shared Solver. A
+// nil plan is plain Solve. The override composes with SimBackend and
+// PoolBackend (replacing any plan the backend already carries); other
+// custom backends are rejected because core cannot know how to thread the
+// plan into them.
+func (s *Solver) SolveFaulted(b *sparse.Panel, plan *fault.Plan) (*sparse.Panel, *Report, error) {
+	if plan == nil {
+		return s.Solve(b)
+	}
+	back, err := s.faultedBackend(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.solveOn(b, back)
+}
+
+// faultedBackend derives a copy of the configured backend carrying plan.
+func (s *Solver) faultedBackend(plan *fault.Plan) (trsv.Backend, error) {
+	switch back := s.cfg.Backend.(type) {
+	case trsv.SimBackend:
+		back.Opts.Faults = plan
+		return back, nil
+	case trsv.PoolBackend:
+		back.Pool.Opts.Faults = plan
+		return back, nil
+	}
+	return nil, fmt.Errorf("core: per-solve fault plans require the sim or pool backend, not %T", s.cfg.Backend)
+}
+
+func (s *Solver) solveOn(b *sparse.Panel, back trsv.Backend) (*sparse.Panel, *Report, error) {
 	if b.Rows != s.sys.A.N {
 		return nil, nil, fmt.Errorf("core: rhs has %d rows, matrix has %d", b.Rows, s.sys.A.N)
 	}
@@ -258,7 +294,7 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 		sb.xp = sparse.NewPanel(b.Rows, b.Cols)
 	}
 	b.PermuteRowsInto(s.sys.Perm, sb.bp)
-	res, err := trsv.SolveIntoOpts(s.plan, s.cfg.Machine, s.cfg.Algorithm, s.cfg.Backend, sb.bp, sb.xp,
+	res, err := trsv.SolveIntoOpts(s.plan, s.cfg.Machine, s.cfg.Algorithm, back, sb.bp, sb.xp,
 		trsv.SolveOpts{Exec: s.cfg.Exec, LevelChunk: s.cfg.LevelChunk})
 	if err != nil {
 		s.bufs.Put(sb)
@@ -361,6 +397,19 @@ func (e *BatchError) Unwrap() []error {
 // each panel to its error (nil for successes), so callers can retry or
 // report exactly the failed panels.
 func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, error) {
+	return s.SolveBatchFaulted(bs, nil)
+}
+
+// SolveBatchFaulted is SolveBatch with an optional per-panel fault plan:
+// panel i runs under plans[i] (nil entries inject nothing), so a batch can
+// mix healthy panels with deliberately poisoned ones and the BatchError
+// fan-out isolates the failures — the property the serving coalescer and
+// the chaos tests rely on. plans may be nil (no injection anywhere) or
+// must match bs in length.
+func (s *Solver) SolveBatchFaulted(bs []*sparse.Panel, plans []*fault.Plan) ([]*sparse.Panel, []*Report, error) {
+	if plans != nil && len(plans) != len(bs) {
+		return nil, nil, fmt.Errorf("core: %d fault plans for %d panels", len(plans), len(bs))
+	}
 	xs := make([]*sparse.Panel, len(bs))
 	reps := make([]*Report, len(bs))
 	errs := make([]error, len(bs))
@@ -370,6 +419,10 @@ func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, err
 		wg.Add(1)
 		go func(i int, b *sparse.Panel) {
 			defer wg.Done()
+			if plans != nil && plans[i] != nil {
+				xs[i], reps[i], errs[i] = s.SolveFaulted(b, plans[i])
+				return
+			}
 			xs[i], reps[i], errs[i] = s.Solve(b)
 		}(i, b)
 	}

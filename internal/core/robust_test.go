@@ -135,6 +135,74 @@ func TestSolveBatchErrorMapping(t *testing.T) {
 	}
 }
 
+// TestSolveBatchFaultedPartialFailure pins the coalescer's failure
+// contract: in one SolveBatch, a panel carrying an injected fault plan
+// (a rank crash from internal/fault) fails with its typed error while the
+// sibling panels solve normally and bit-identically to a clean solver.
+func TestSolveBatchFaultedPartialFailure(t *testing.T) {
+	sys := testSystem(t)
+	s := robustSolver(t, sys)
+	rng := rand.New(rand.NewSource(47))
+	bs := make([]*sparse.Panel, 4)
+	for i := range bs {
+		bs[i] = sparse.NewPanel(sys.A.N, 1)
+		for j := range bs[i].Data {
+			bs[i].Data[j] = rng.NormFloat64()
+		}
+	}
+	// Reference solutions from plain solves before any injection.
+	refs := make([]*sparse.Panel, len(bs))
+	for i, b := range bs {
+		x, _, err := s.Solve(b)
+		if err != nil {
+			t.Fatalf("reference solve %d: %v", i, err)
+		}
+		refs[i] = x
+	}
+
+	plans := make([]*fault.Plan, len(bs))
+	plans[2] = &fault.Plan{Crash: map[int]float64{1: 0}}
+	xs, reps, err := s.SolveBatchFaulted(bs, plans)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *BatchError, got %v", err)
+	}
+	if be.Failed() != 1 || be.Errs[2] == nil {
+		t.Fatalf("exactly panel 2 should fail: %v", be.Errs)
+	}
+	var ce *fault.CrashError
+	if !errors.As(be.Errs[2], &ce) || ce.Rank != 1 {
+		t.Fatalf("panel 2 should carry the injected CrashError, got %v", be.Errs[2])
+	}
+	if xs[2] != nil || reps[2] != nil {
+		t.Fatal("crashed panel produced a solution/report")
+	}
+	for _, i := range []int{0, 1, 3} {
+		if be.Errs[i] != nil || xs[i] == nil {
+			t.Fatalf("healthy panel %d lost to injected sibling fault: %v", i, be.Errs[i])
+		}
+		for j := range xs[i].Data {
+			if xs[i].Data[j] != refs[i].Data[j] {
+				t.Fatalf("panel %d solution differs bitwise from the clean solve", i)
+			}
+		}
+	}
+	// Length-mismatched plans are a usage error, not a partial run.
+	if _, _, err := s.SolveBatchFaulted(bs, plans[:2]); err == nil {
+		t.Fatal("mismatched plans length accepted")
+	}
+	// And the solver stays healthy for the next plain batch.
+	xs2, _, err := s.SolveBatch(bs)
+	if err != nil {
+		t.Fatalf("clean batch after faulted batch: %v", err)
+	}
+	for i := range xs2 {
+		if r := s.Residual(xs2[i], bs[i]); r > 1e-7 {
+			t.Fatalf("panel %d residual %g after faulted batch", i, r)
+		}
+	}
+}
+
 // TestSolveFaultPlanThroughConfig checks the Config.Faults plumbing: a
 // crash plan on the default simulation backend surfaces as a CrashError
 // from Solve.

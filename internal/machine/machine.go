@@ -203,20 +203,37 @@ func CrusherGPU() *Model {
 	return m
 }
 
-// ByName returns a model by its Name field; experiment harnesses use it
-// for flag parsing. It panics on unknown names.
-func ByName(name string) *Model {
+// Names lists the built-in model names Lookup accepts, in a stable order.
+func Names() []string {
+	return []string{"cori-haswell", "perlmutter-cpu", "perlmutter-gpu", "crusher-cpu", "crusher-gpu"}
+}
+
+// Lookup returns a model by its Name field; ok is false for unknown names.
+// Request paths (the solve service, flag parsing) use Lookup so a bad name
+// is an error to report, not a panic.
+func Lookup(name string) (*Model, bool) {
 	switch name {
 	case "cori-haswell":
-		return CoriHaswell()
+		return CoriHaswell(), true
 	case "perlmutter-cpu":
-		return PerlmutterCPU()
+		return PerlmutterCPU(), true
 	case "perlmutter-gpu":
-		return PerlmutterGPU()
+		return PerlmutterGPU(), true
 	case "crusher-cpu":
-		return CrusherCPU()
+		return CrusherCPU(), true
 	case "crusher-gpu":
-		return CrusherGPU()
+		return CrusherGPU(), true
 	}
-	panic("machine: unknown model " + name)
+	return nil, false
+}
+
+// ByName returns a model by its Name field; experiment harnesses use it
+// for flag parsing. It panics on unknown names (Lookup is the non-panicking
+// form).
+func ByName(name string) *Model {
+	m, ok := Lookup(name)
+	if !ok {
+		panic("machine: unknown model " + name)
+	}
+	return m
 }

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// admitVerdict is the outcome of one admission decision.
+type admitVerdict int
+
+const (
+	admitOK admitVerdict = iota
+	admitQueueFull
+	admitQuota
+	admitDraining
+)
+
+// outcome is the metric label for the verdict.
+func (v admitVerdict) outcome() string {
+	switch v {
+	case admitOK:
+		return "admitted"
+	case admitQueueFull:
+		return "queue_full"
+	case admitQuota:
+		return "quota"
+	case admitDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// admitter implements the bounded request queue and its backpressure
+// contract: at most maxQueue requests may be admitted-but-not-yet-solving
+// at once; beyond that new requests are shed immediately (429) instead of
+// growing an unbounded queue. It also tracks total in-flight requests
+// (queued + solving) so shutdown can drain to idle.
+type admitter struct {
+	maxQueue int
+	quotas   *QuotaSet
+	clock    Clock
+	m        *serverMetrics
+
+	mu       sync.Mutex
+	queued   int
+	inflight int
+	draining bool
+	idle     chan struct{} // closed when draining and inflight reaches 0
+}
+
+func newAdmitter(maxQueue int, quotas *QuotaSet, clock Clock, m *serverMetrics) *admitter {
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	return &admitter{maxQueue: maxQueue, quotas: quotas, clock: clock, m: m,
+		idle: make(chan struct{})}
+}
+
+// admit decides one request: quota first (a shed tenant must not consume
+// queue space), then queue capacity. On admitOK the request occupies one
+// queue slot (released by dequeue when its batch starts solving) and one
+// inflight slot (released by finish when its response is ready).
+func (a *admitter) admit(tenant string) (v admitVerdict, retryAfter time.Duration) {
+	now := a.clock.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case a.draining:
+		v = admitDraining
+	default:
+		if ok, wait := a.quotas.Take(tenant, now); !ok {
+			v, retryAfter = admitQuota, wait
+			break
+		}
+		if a.queued >= a.maxQueue {
+			v = admitQueueFull
+			break
+		}
+		v = admitOK
+		a.queued++
+		a.inflight++
+		a.m.queueDepth.Set(float64(a.queued))
+		a.m.inflight.Set(float64(a.inflight))
+	}
+	a.m.admission.With(v.outcome()).Inc()
+	return v, retryAfter
+}
+
+// dequeue releases n queue slots — its batch left the queue for a solve.
+func (a *admitter) dequeue(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queued -= n
+	if a.queued < 0 { // accounting bug guard; never block admission forever
+		a.queued = 0
+	}
+	a.m.queueDepth.Set(float64(a.queued))
+}
+
+// finish releases one inflight slot and, when draining, signals idleness
+// after the last one.
+func (a *admitter) finish() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inflight--
+	if a.inflight < 0 {
+		a.inflight = 0
+	}
+	a.m.inflight.Set(float64(a.inflight))
+	if a.draining && a.inflight == 0 {
+		select {
+		case <-a.idle:
+		default:
+			close(a.idle)
+		}
+	}
+}
+
+// startDrain stops admitting new requests. Idempotent.
+func (a *admitter) startDrain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return
+	}
+	a.draining = true
+	if a.inflight == 0 {
+		close(a.idle)
+	}
+}
+
+// awaitIdle blocks until every in-flight request has been answered (only
+// meaningful after startDrain) or ctx expires.
+func (a *admitter) awaitIdle(ctx context.Context) error {
+	select {
+	case <-a.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// isDraining reports whether startDrain has been called.
+func (a *admitter) isDraining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// depth returns the current queue occupancy (for tests and health output).
+func (a *admitter) depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}

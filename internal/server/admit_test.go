@@ -1,0 +1,99 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sptrsv/internal/metrics"
+)
+
+func newTestAdmitter(maxQueue int, quotas *QuotaSet) (*admitter, *FakeClock) {
+	c := NewFakeClock()
+	m := newServerMetrics(metrics.NewRegistry())
+	return newAdmitter(maxQueue, quotas, c, m), c
+}
+
+func TestAdmitBoundedQueue(t *testing.T) {
+	a, _ := newTestAdmitter(2, NewQuotaSet(0, 0))
+	for i := 0; i < 2; i++ {
+		if v, _ := a.admit("t"); v != admitOK {
+			t.Fatalf("admit %d = %v, want admitOK", i, v)
+		}
+	}
+	if v, _ := a.admit("t"); v != admitQueueFull {
+		t.Fatalf("admit over capacity = %v, want admitQueueFull", v)
+	}
+	if a.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", a.depth())
+	}
+	// Dequeue frees queue slots (batch started solving) but not inflight.
+	a.dequeue(2)
+	if a.depth() != 0 {
+		t.Fatalf("depth after dequeue = %d, want 0", a.depth())
+	}
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatalf("admit after dequeue = %v, want admitOK", v)
+	}
+}
+
+func TestAdmitQuotaShedsBeforeQueue(t *testing.T) {
+	a, _ := newTestAdmitter(10, NewQuotaSet(1, 1))
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatal("first request should pass quota")
+	}
+	v, retry := a.admit("t")
+	if v != admitQuota {
+		t.Fatalf("second request = %v, want admitQuota", v)
+	}
+	if retry <= 0 {
+		t.Fatalf("quota shed returned retryAfter %v, want > 0", retry)
+	}
+	// A quota shed must not consume queue capacity.
+	if a.depth() != 1 {
+		t.Fatalf("depth = %d after quota shed, want 1", a.depth())
+	}
+}
+
+func TestAdmitQuotaRefillViaClock(t *testing.T) {
+	a, c := newTestAdmitter(10, NewQuotaSet(2, 1))
+	a.admit("t")
+	if v, _ := a.admit("t"); v != admitQuota {
+		t.Fatal("bucket should be empty")
+	}
+	c.Advance(500 * time.Millisecond) // 2/s → one token
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatal("advance did not refill the bucket")
+	}
+}
+
+func TestDrainLifecycle(t *testing.T) {
+	a, _ := newTestAdmitter(10, NewQuotaSet(0, 0))
+	a.admit("t")
+	a.admit("t")
+	a.startDrain()
+	if v, _ := a.admit("t"); v != admitDraining {
+		t.Fatalf("admit while draining = %v, want admitDraining", v)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.awaitIdle(ctx); err == nil {
+		t.Fatal("awaitIdle with inflight requests returned before idle")
+	}
+
+	a.dequeue(2)
+	a.finish()
+	a.finish()
+	if err := a.awaitIdle(context.Background()); err != nil {
+		t.Fatalf("awaitIdle after finish: %v", err)
+	}
+}
+
+func TestDrainIdleImmediatelyWhenEmpty(t *testing.T) {
+	a, _ := newTestAdmitter(10, NewQuotaSet(0, 0))
+	a.startDrain()
+	if err := a.awaitIdle(context.Background()); err != nil {
+		t.Fatalf("awaitIdle on an idle admitter: %v", err)
+	}
+}

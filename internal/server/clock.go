@@ -1,0 +1,147 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the two time operations the serving path performs —
+// reading the current time and scheduling a callback — so the queue,
+// coalescer, and quota logic run identically under the real wall clock and
+// under the test clock. Nothing in this package calls time.Now or
+// time.Sleep directly; every duration the server measures or waits on goes
+// through a Clock, which is what makes the admission and coalescing tests
+// deterministic without a single sleep.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// AfterFunc schedules f to run once, d from now, on its own goroutine
+	// (real clock) or during the Advance that reaches its deadline (fake
+	// clock).
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is a handle to a pending AfterFunc callback.
+type Timer interface {
+	// Stop cancels the callback; it reports false when the callback has
+	// already fired or been stopped.
+	Stop() bool
+}
+
+// realClock is the production Clock: thin wrappers over package time.
+type realClock struct{}
+
+// RealClock returns the wall-clock Clock cmd/serve runs under.
+func RealClock() Clock { return realClock{} }
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// FakeClock is a manually advanced Clock for tests: Now returns a fixed
+// instant until Advance moves it, and AfterFunc callbacks fire
+// synchronously inside the Advance call that reaches their deadline, in
+// deadline order. Tests therefore control exactly when a coalescer's
+// max-wait flush or a token bucket refill happens.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int
+	timers []*fakeTimer
+}
+
+// NewFakeClock returns a FakeClock starting at a fixed, arbitrary epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+type fakeTimer struct {
+	clock    *FakeClock
+	deadline time.Time
+	seq      int // creation order tiebreak for equal deadlines
+	f        func()
+	stopped  bool
+	fired    bool
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc implements Clock. A non-positive d fires on the next Advance
+// (even Advance(0)), never synchronously inside AfterFunc itself — matching
+// the real clock's "callback runs later" contract closely enough for the
+// coalescer.
+func (c *FakeClock) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clock: c, deadline: c.now.Add(d), seq: c.seq, f: f}
+	c.seq++
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Stop implements Timer.
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Advance moves the clock forward by d, firing every pending callback whose
+// deadline falls inside the window, in deadline order, with Now() reading
+// the callback's own deadline while it runs. Callbacks run on the caller's
+// goroutine with no clock lock held, so they may schedule further timers
+// (which fire in the same Advance if they fall inside the window).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	end := c.now.Add(d)
+	for {
+		t := c.nextDueLocked(end)
+		if t == nil {
+			break
+		}
+		t.fired = true
+		if t.deadline.After(c.now) {
+			c.now = t.deadline
+		}
+		f := t.f
+		c.mu.Unlock()
+		f()
+		c.mu.Lock()
+	}
+	if end.After(c.now) {
+		c.now = end
+	}
+	c.mu.Unlock()
+}
+
+// nextDueLocked pops the earliest unfired, unstopped timer due by end, also
+// compacting fired/stopped timers out of the slice.
+func (c *FakeClock) nextDueLocked(end time.Time) *fakeTimer {
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.fired && !t.stopped {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	sort.SliceStable(c.timers, func(i, j int) bool {
+		if !c.timers[i].deadline.Equal(c.timers[j].deadline) {
+			return c.timers[i].deadline.Before(c.timers[j].deadline)
+		}
+		return c.timers[i].seq < c.timers[j].seq
+	})
+	if len(c.timers) == 0 || c.timers[0].deadline.After(end) {
+		return nil
+	}
+	return c.timers[0]
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	c := NewFakeClock()
+	var order []string
+	c.AfterFunc(30*time.Millisecond, func() { order = append(order, "c") })
+	c.AfterFunc(10*time.Millisecond, func() { order = append(order, "a") })
+	c.AfterFunc(20*time.Millisecond, func() { order = append(order, "b") })
+
+	c.Advance(15 * time.Millisecond)
+	if len(order) != 1 || order[0] != "a" {
+		t.Fatalf("after 15ms got %v, want [a]", order)
+	}
+	c.Advance(15 * time.Millisecond)
+	if got := len(order); got != 3 {
+		t.Fatalf("after 30ms fired %d timers (%v), want 3", got, order)
+	}
+	if order[1] != "b" || order[2] != "c" {
+		t.Fatalf("fire order %v, want [a b c]", order)
+	}
+}
+
+func TestFakeClockNowReadsDeadlineDuringCallback(t *testing.T) {
+	c := NewFakeClock()
+	start := c.Now()
+	var at time.Time
+	c.AfterFunc(7*time.Millisecond, func() { at = c.Now() })
+	c.Advance(time.Second)
+	if want := start.Add(7 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback saw Now()=%v, want deadline %v", at, want)
+	}
+	if want := start.Add(time.Second); !c.Now().Equal(want) {
+		t.Fatalf("after Advance Now()=%v, want %v", c.Now(), want)
+	}
+}
+
+func TestFakeClockStop(t *testing.T) {
+	c := NewFakeClock()
+	fired := false
+	tm := c.AfterFunc(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	c.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestFakeClockNestedTimersFireInSameAdvance(t *testing.T) {
+	c := NewFakeClock()
+	var order []string
+	c.AfterFunc(10*time.Millisecond, func() {
+		order = append(order, "outer")
+		c.AfterFunc(5*time.Millisecond, func() { order = append(order, "inner") })
+	})
+	c.Advance(20 * time.Millisecond)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("got %v, want [outer inner]", order)
+	}
+}
+
+func TestFakeClockEqualDeadlinesFireInCreationOrder(t *testing.T) {
+	c := NewFakeClock()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.Advance(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("fire order %v, want creation order", order)
+		}
+	}
+}

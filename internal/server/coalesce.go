@@ -1,0 +1,209 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/fault"
+	"sptrsv/internal/sparse"
+)
+
+// request is one admitted single-RHS solve riding the coalescer. Its done
+// channel (buffered, capacity 1) receives exactly one result; the HTTP
+// handler may abandon it on client disconnect without leaking the flush
+// goroutine.
+type request struct {
+	b      *sparse.Panel // n×1 right-hand side, already validated finite
+	faults *fault.Plan   // optional per-request chaos injection
+	enq    time.Time     // admission time (Clock time)
+	done   chan result
+}
+
+// result is what a request gets back from its flush.
+type result struct {
+	x          *sparse.Panel // n×1 solution (nil on error)
+	err        error
+	width      int     // requests in the flush this request rode in
+	queueWait  float64 // seconds from admission to solve start
+	solveTime  float64 // seconds the batch solve took (shared by the flush)
+	makespanS  float64 // modeled/wall makespan of this request's panel solve
+	totalTime  float64 // seconds from admission to result ready
+	panelWidth int     // columns of the panel this request was merged into
+}
+
+// coalescer batches concurrent single-RHS requests against one
+// (handle, config) pair into multi-RHS panel solves: requests accumulate
+// until the batch reaches the server's max-batch size or the oldest
+// request has waited max-wait, then the whole batch flushes as one
+// SolveBatch call. Clean requests are merged into a single panel of
+// batch-width columns — the paper's nrhs amortization, one communication
+// schedule for the whole panel — while requests carrying a fault plan get
+// their own panel so the injected failure stays theirs alone
+// (core.SolveBatchFaulted + BatchError split the outcomes back out).
+type coalescer struct {
+	s      *Server
+	solver *core.Solver
+
+	mu      sync.Mutex
+	pending []*request
+	timer   Timer
+	gen     uint64 // flush generation; stale timer callbacks no-op
+}
+
+func newCoalescer(s *Server, solver *core.Solver) *coalescer {
+	return &coalescer{s: s, solver: solver}
+}
+
+// add enqueues one admitted request, arming the max-wait timer on the
+// first request of a batch and flushing immediately at max-batch.
+func (c *coalescer) add(r *request) {
+	c.mu.Lock()
+	c.pending = append(c.pending, r)
+	if len(c.pending) == 1 {
+		gen := c.gen
+		c.timer = c.s.clock.AfterFunc(c.s.opts.MaxWait, func() { c.timerFlush(gen) })
+	}
+	if len(c.pending) >= c.s.opts.MaxBatch {
+		batch := c.takeLocked()
+		c.mu.Unlock()
+		c.s.metrics.flushes.With("full").Inc()
+		go c.run(batch)
+		return
+	}
+	c.mu.Unlock()
+}
+
+// timerFlush is the max-wait flush path. gen guards against the race where
+// the timer concurrently loses to a max-batch flush: a stale generation
+// means this timer's batch already flushed and the pending requests (if
+// any) belong to a newer batch with its own timer.
+func (c *coalescer) timerFlush(gen uint64) {
+	c.mu.Lock()
+	if gen != c.gen || len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.s.metrics.flushes.With("timer").Inc()
+	go c.run(batch)
+}
+
+// drain flushes whatever is pending right now (shutdown path). It returns
+// how many requests it flushed.
+func (c *coalescer) drain() int {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	c.s.metrics.flushes.With("drain").Inc()
+	go c.run(batch)
+	return len(batch)
+}
+
+// takeLocked claims the pending batch, bumps the generation, and disarms
+// the timer. Caller holds c.mu.
+func (c *coalescer) takeLocked() []*request {
+	batch := c.pending
+	c.pending = nil
+	c.gen++
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return batch
+}
+
+// run executes one flushed batch: group requests into panels, solve them
+// as one SolveBatch, split results (and errors) back out per request.
+func (c *coalescer) run(batch []*request) {
+	s := c.s
+	start := s.clock.Now()
+	s.admit.dequeue(len(batch))
+	s.metrics.batchWidth.Observe(float64(len(batch)))
+
+	// Group: clean requests merge into one multi-RHS panel; each faulted
+	// request keeps a private panel so its injection cannot leak onto
+	// neighbors.
+	var clean []int
+	panels := []*sparse.Panel{}
+	plans := []*fault.Plan{}
+	owners := [][]int{} // request indices per panel, in column order
+	for i, r := range batch {
+		if r.faults == nil {
+			clean = append(clean, i)
+			continue
+		}
+		panels = append(panels, r.b)
+		plans = append(plans, r.faults)
+		owners = append(owners, []int{i})
+	}
+	if len(clean) == 1 {
+		panels = append(panels, batch[clean[0]].b)
+		plans = append(plans, nil)
+		owners = append(owners, []int{clean[0]})
+	} else if len(clean) > 1 {
+		n := batch[clean[0]].b.Rows
+		merged := sparse.NewPanel(n, len(clean))
+		for j, i := range clean {
+			copy(merged.Col(j), batch[i].b.Col(0))
+		}
+		panels = append(panels, merged)
+		plans = append(plans, nil)
+		owners = append(owners, clean)
+	}
+
+	xs, reps, err := c.solver.SolveBatchFaulted(panels, plans)
+	perPanel := make([]error, len(panels))
+	if err != nil {
+		var be *core.BatchError
+		if errors.As(err, &be) && len(be.Errs) == len(panels) {
+			copy(perPanel, be.Errs)
+		} else {
+			for i := range perPanel {
+				perPanel[i] = err
+			}
+		}
+	}
+
+	end := s.clock.Now()
+	solveDur := end.Sub(start).Seconds()
+	for p, reqs := range owners {
+		for j, i := range reqs {
+			r := batch[i]
+			res := result{
+				width:      len(batch),
+				panelWidth: len(reqs),
+				queueWait:  start.Sub(r.enq).Seconds(),
+				solveTime:  solveDur,
+				totalTime:  end.Sub(r.enq).Seconds(),
+			}
+			if perPanel[p] != nil {
+				res.err = perPanel[p]
+				s.metrics.requests.With("fault").Inc()
+			} else {
+				if len(reqs) == 1 {
+					res.x = xs[p]
+				} else {
+					x := sparse.NewPanel(r.b.Rows, 1)
+					copy(x.Col(0), xs[p].Col(j))
+					res.x = x
+				}
+				if reps[p] != nil {
+					res.makespanS = reps[p].Time
+				}
+				s.metrics.requests.With("ok").Inc()
+			}
+			s.metrics.queueWait.Observe(res.queueWait)
+			s.metrics.solveTime.Observe(res.solveTime)
+			s.metrics.reqTime.Observe(res.totalTime)
+			r.done <- res
+			s.admit.finish()
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package loadgen drives a solve service with closed-loop concurrent
+// clients and reports client-observed latency and throughput. It exists
+// for the SLO report (`figures -only slo`) and the serving smoke test in
+// scripts/check.sh: the server's own histograms say what the service
+// thinks happened; loadgen says what a client would have seen, and the
+// achieved batch width it reads off the solve responses is the direct
+// evidence that concurrent single-RHS requests coalesced into multi-RHS
+// panel solves.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one load run against a running solve service.
+type Options struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Handle is the matrix handle to solve against (upload first).
+	Handle string
+	// N is the right-hand-side length (the handle's matrix dimension).
+	N int
+	// Clients is the closed-loop concurrency: this many goroutines each
+	// issue requests back-to-back. Coalescing width is bounded above by
+	// Clients — a closed loop can never have more requests in flight.
+	Clients int
+	// Requests is the total request budget across all clients.
+	Requests int
+	// Tenants spreads requests over this many X-Tenant values
+	// (tenant-0 … tenant-k); 0 or 1 sends everything as one tenant.
+	Tenants int
+	// Client overrides the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+}
+
+// Result summarizes one load run. Latencies are client-observed seconds
+// (request sent → response read), exact quantiles over every OK request.
+type Result struct {
+	Sent, OK int
+	Shed     int // 429 responses (quota or queue full)
+	Rejected int // any other non-200 (400s, 503s)
+	Failed   int // transport errors
+
+	DurationS  float64 // wall time of the whole run
+	Throughput float64 // OK responses per second
+
+	LatencyMeanS float64
+	LatencyP50S  float64
+	LatencyP95S  float64
+	LatencyP99S  float64
+	LatencyMaxS  float64
+
+	// MeanBatchWidth averages the batch_width field of the OK responses —
+	// how many requests each solve actually carried.
+	MeanBatchWidth float64
+	// ShedRate is Shed / Sent.
+	ShedRate float64
+}
+
+// solveReply is the slice of the server's solve response loadgen reads.
+type solveReply struct {
+	BatchWidth int `json:"batch_width"`
+}
+
+// Run executes the load and blocks until every request has completed.
+func Run(o Options) (Result, error) {
+	if o.Clients < 1 {
+		o.Clients = 1
+	}
+	if o.Requests < 1 {
+		o.Requests = o.Clients
+	}
+	client := o.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := o.BaseURL + "/v1/matrices/" + o.Handle + "/solve"
+
+	// One request body per client, reused: distinct values per client so
+	// coalesced panels carry genuinely different columns.
+	bodies := make([][]byte, o.Clients)
+	for c := range bodies {
+		b := make([]float64, o.N)
+		for i := range b {
+			b[i] = 1 + float64((i*7+c*13)%23)/11
+		}
+		raw, err := json.Marshal(map[string]any{"b": b})
+		if err != nil {
+			return Result{}, err
+		}
+		bodies[c] = raw
+	}
+
+	type tally struct {
+		ok, shed, rejected, failed int
+		widthSum                   int
+		lats                       []float64
+	}
+	tallies := make([]tally, o.Clients)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ty := &tallies[c]
+			for {
+				i := next.Add(1)
+				if i > int64(o.Requests) {
+					return
+				}
+				req, err := http.NewRequest("POST", url, bytes.NewReader(bodies[c]))
+				if err != nil {
+					ty.failed++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if o.Tenants > 1 {
+					req.Header.Set("X-Tenant", fmt.Sprintf("tenant-%d", c%o.Tenants))
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					ty.failed++
+					continue
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0).Seconds()
+				switch {
+				case err != nil:
+					ty.failed++
+				case resp.StatusCode == http.StatusOK:
+					var sr solveReply
+					if json.Unmarshal(data, &sr) == nil {
+						ty.widthSum += sr.BatchWidth
+					}
+					ty.ok++
+					ty.lats = append(ty.lats, lat)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					ty.shed++
+				default:
+					ty.rejected++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	dur := time.Since(start).Seconds()
+
+	res := Result{DurationS: dur}
+	var lats []float64
+	widthSum := 0
+	for i := range tallies {
+		t := &tallies[i]
+		res.OK += t.ok
+		res.Shed += t.shed
+		res.Rejected += t.rejected
+		res.Failed += t.failed
+		widthSum += t.widthSum
+		lats = append(lats, t.lats...)
+	}
+	res.Sent = res.OK + res.Shed + res.Rejected + res.Failed
+	if dur > 0 {
+		res.Throughput = float64(res.OK) / dur
+	}
+	if res.Sent > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Sent)
+	}
+	if res.OK > 0 {
+		res.MeanBatchWidth = float64(widthSum) / float64(res.OK)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		sum := 0.0
+		for _, l := range lats {
+			sum += l
+		}
+		res.LatencyMeanS = sum / float64(len(lats))
+		res.LatencyP50S = quantile(lats, 0.50)
+		res.LatencyP95S = quantile(lats, 0.95)
+		res.LatencyP99S = quantile(lats, 0.99)
+		res.LatencyMaxS = lats[len(lats)-1]
+	}
+	return res, nil
+}
+
+// quantile reads an exact quantile from a sorted sample (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/server"
+)
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	s, err := server.New(server.Options{
+		Ranks:    4,
+		MaxBatch: 8,
+		MaxWait:  200 * time.Microsecond,
+		Registry: metrics.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/matrices", "application/json",
+		strings.NewReader(`{"generate":{"name":"s2d9pt","scale":"small"}}`))
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	var info struct {
+		Handle string `json:"handle"`
+		N      int    `json:"n"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode upload: %v", err)
+	}
+	resp.Body.Close()
+
+	res, err := Run(Options{
+		BaseURL: ts.URL, Handle: info.Handle, N: info.N,
+		Clients: 4, Requests: 24, Tenants: 2,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Sent != 24 {
+		t.Fatalf("sent = %d, want 24", res.Sent)
+	}
+	if res.OK != 24 || res.Failed != 0 || res.Rejected != 0 || res.Shed != 0 {
+		t.Fatalf("outcomes: %+v", res)
+	}
+	if res.MeanBatchWidth < 1 {
+		t.Fatalf("mean batch width = %v, want >= 1", res.MeanBatchWidth)
+	}
+	if math.IsNaN(res.LatencyP50S) || res.LatencyP99S < res.LatencyP50S || res.LatencyMaxS < res.LatencyP99S {
+		t.Fatalf("latency ordering: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	// The server's own accounting must agree with the client's.
+	if st := s.Stats(); st.OK != 24 {
+		t.Fatalf("server stats OK = %v, want 24", st.OK)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Fatalf("p50 = %v, want 5", q)
+	}
+	if q := quantile(sorted, 0.99); q != 10 {
+		t.Fatalf("p99 = %v, want 10", q)
+	}
+	if q := quantile(sorted, 0.01); q != 1 {
+		t.Fatalf("p1 = %v, want 1", q)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Fatal("empty sample should be NaN")
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard lazily refilled token bucket: capacity burst,
+// refill rate tokens/second, fractional tokens carried exactly. All time
+// comes in through the caller's Clock reading, so the arithmetic is
+// deterministic under the fake clock.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// take attempts to remove one token at time now. On failure it returns the
+// duration until one token will be available — the Retry-After the caller
+// surfaces.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		// Unrefilled bucket: once empty it stays empty; report a long but
+		// finite backoff rather than dividing by zero.
+		return false, time.Hour
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// QuotaSet enforces a per-tenant request-rate quota: each tenant (the
+// X-Tenant header; missing means the shared "default" tenant) gets its own
+// token bucket created on first use. A zero or negative rate disables
+// quota enforcement entirely — every take succeeds.
+type QuotaSet struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+// NewQuotaSet builds a quota set granting each tenant rate requests/second
+// with the given burst capacity (burst < 1 is raised to 1: a quota that can
+// never pass a request is a misconfiguration, not a policy).
+func NewQuotaSet(rate, burst float64) *QuotaSet {
+	if burst < 1 {
+		burst = 1
+	}
+	return &QuotaSet{rate: rate, burst: burst, buckets: map[string]*tokenBucket{}}
+}
+
+// Enabled reports whether the quota actually limits anything.
+func (q *QuotaSet) Enabled() bool { return q != nil && q.rate > 0 }
+
+// Take charges one request to tenant at time now. ok is always true when
+// quotas are disabled; otherwise a failed take returns how long the tenant
+// must wait for its next token.
+func (q *QuotaSet) Take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if !q.Enabled() {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{rate: q.rate, burst: q.burst, tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	}
+	return b.take(now)
+}
+
+// Tenants returns how many distinct tenants have been seen.
+func (q *QuotaSet) Tenants() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

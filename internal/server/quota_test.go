@@ -1,0 +1,81 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuotaBurstThenRefill(t *testing.T) {
+	q := NewQuotaSet(2, 3) // 2 req/s, burst 3
+	c := NewFakeClock()
+	now := c.Now()
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.Take("a", now); !ok {
+			t.Fatalf("take %d within burst failed", i)
+		}
+	}
+	ok, retry := q.Take("a", now)
+	if ok {
+		t.Fatal("4th take at the same instant passed an empty bucket")
+	}
+	if want := 500 * time.Millisecond; retry != want {
+		t.Fatalf("retryAfter = %v, want %v (1 token at 2/s)", retry, want)
+	}
+
+	// Half a second refills exactly one token.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := q.Take("a", now); !ok {
+		t.Fatal("take after exact refill interval failed")
+	}
+	if ok, _ := q.Take("a", now); ok {
+		t.Fatal("second take after one-token refill passed")
+	}
+}
+
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	q := NewQuotaSet(1, 1)
+	now := NewFakeClock().Now()
+	if ok, _ := q.Take("a", now); !ok {
+		t.Fatal("tenant a first take failed")
+	}
+	if ok, _ := q.Take("a", now); ok {
+		t.Fatal("tenant a second take passed burst=1")
+	}
+	if ok, _ := q.Take("b", now); !ok {
+		t.Fatal("tenant b should have its own full bucket")
+	}
+	if q.Tenants() != 2 {
+		t.Fatalf("Tenants() = %d, want 2", q.Tenants())
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	q := NewQuotaSet(0, 0)
+	if q.Enabled() {
+		t.Fatal("rate 0 should disable quotas")
+	}
+	now := NewFakeClock().Now()
+	for i := 0; i < 1000; i++ {
+		if ok, _ := q.Take("a", now); !ok {
+			t.Fatal("disabled quota rejected a request")
+		}
+	}
+}
+
+func TestQuotaBurstCapsRefill(t *testing.T) {
+	q := NewQuotaSet(10, 2)
+	c := NewFakeClock()
+	now := c.Now()
+	q.Take("a", now) // create the bucket
+	// A long idle period must not accumulate more than burst tokens.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Take("a", now); !ok {
+			t.Fatalf("take %d after refill failed", i)
+		}
+	}
+	if ok, _ := q.Take("a", now); ok {
+		t.Fatal("bucket exceeded burst capacity after idle refill")
+	}
+}

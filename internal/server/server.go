@@ -1,0 +1,626 @@
+// Package server is the multi-tenant solve service: an HTTP/JSON API over
+// the core solver stack with an upload-once/solve-many handle cache,
+// bounded-queue admission control with per-tenant quotas, and a coalescer
+// that merges concurrent single-RHS requests into multi-RHS panel solves
+// (the paper's nrhs amortization, applied to serving).
+//
+// The request path is: admission (quota → bounded queue, shedding with
+// 429 + Retry-After) → per-(handle, config) coalescer (flush on max-batch
+// or max-wait) → one SolveBatch per flush over a sharded plan+solver cache
+// keyed by matrix fingerprint × machine × grid × algorithm. All timing —
+// queue waits, coalescing deadlines, quota refills — goes through an
+// injected Clock, so every queueing decision is testable without sleeps.
+//
+// API (see DESIGN.md §12 and the README quickstart for curl examples):
+//
+//	POST   /v1/matrices            upload a Matrix Market body, or JSON
+//	                               {"generate":{"name":"s2d9pt","scale":"small"}}
+//	GET    /v1/matrices            list handles
+//	GET    /v1/matrices/{id}       one handle
+//	DELETE /v1/matrices/{id}       drop a handle
+//	POST   /v1/matrices/{id}/solve solve {"b":[...]} against a handle
+//	GET    /healthz                liveness + queue depth
+//	GET    /metrics                OpenMetrics exposition of the registry
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"sptrsv/internal/cliutil"
+	"sptrsv/internal/core"
+	"sptrsv/internal/fault"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/mtx"
+	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
+	"sptrsv/internal/tune"
+)
+
+// maxBodyBytes bounds any request body (matrix uploads dominate).
+const maxBodyBytes = 256 << 20
+
+// Options configures a Server. The zero value serves with sane defaults:
+// DES backend, cori-haswell model, 4-rank default layout, 256-deep queue,
+// 16-wide batches flushed after 2ms, quotas disabled.
+type Options struct {
+	// Machine is the default machine model (cori-haswell when nil).
+	Machine *machine.Model
+	// Ranks is the rank budget of the default (or autotuned) layout; 0
+	// means 4.
+	Ranks int
+	// Backend runs the solves: nil means the deterministic DES simulator;
+	// set trsv.PoolBackend for wall-clock goroutine execution.
+	Backend trsv.Backend
+	// Exec selects the execution engine for default configs.
+	Exec trsv.ExecMode
+	// Factor controls preprocessing of uploaded matrices.
+	Factor core.FactorOptions
+
+	// MaxQueue bounds admitted-but-not-solving requests; beyond it new
+	// requests shed with 429. 0 means 256.
+	MaxQueue int
+	// MaxBatch flushes a coalescer batch at this width. 0 means 16.
+	MaxBatch int
+	// MaxWait flushes a non-full batch this long after its first request.
+	// 0 means 2ms.
+	MaxWait time.Duration
+	// QuotaRate grants each tenant this many requests/second (token
+	// bucket); <= 0 disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the bucket capacity; 0 means max(8, 2×rate).
+	QuotaBurst float64
+	// MaxHandles bounds the handle cache (LRU eviction). 0 means 64.
+	MaxHandles int
+
+	// Tune autotunes the default config per handle (first solve pays the
+	// probe search; the tuned-config cache makes it once per fingerprint).
+	Tune bool
+	// TuneCacheDir persists tuned configs across processes when Tune is
+	// set ("" keeps the cache in-memory only).
+	TuneCacheDir string
+
+	// Clock injects time; nil means the real wall clock.
+	Clock Clock
+	// Registry receives the server metrics; nil means metrics.Default().
+	Registry *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Machine == nil {
+		o.Machine = machine.CoriHaswell()
+	}
+	if o.Ranks <= 0 {
+		o.Ranks = 4
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 256
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QuotaBurst <= 0 {
+		o.QuotaBurst = math.Max(8, 2*o.QuotaRate)
+	}
+	if o.MaxHandles <= 0 {
+		o.MaxHandles = 64
+	}
+	if o.Clock == nil {
+		o.Clock = RealClock()
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.Default()
+	}
+	return o
+}
+
+// Server is the solve service. Create with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	opts      Options
+	clock     Clock
+	metrics   *serverMetrics
+	admit     *admitter
+	handles   *handleCache
+	tuneCache *tune.Cache
+	mux       *http.ServeMux
+
+	genIDs   sync.Map // generate-key → handle id (skip refactorization)
+	defaults sync.Map // handle id → *defaultSlot
+}
+
+// defaultSlot resolves a handle's default configuration once.
+type defaultSlot struct {
+	once sync.Once
+	cfg  core.Config
+	err  error
+}
+
+// New builds a Server.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		clock:   opts.Clock,
+		metrics: newServerMetrics(opts.Registry),
+		handles: newHandleCache(opts.MaxHandles),
+	}
+	s.admit = newAdmitter(opts.MaxQueue, NewQuotaSet(opts.QuotaRate, opts.QuotaBurst), s.clock, s.metrics)
+	if opts.Tune && opts.TuneCacheDir != "" {
+		c, err := tune.OpenCache(opts.TuneCacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.tuneCache = c
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/matrices", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/matrices", s.handleList)
+	s.mux.HandleFunc("GET /v1/matrices/{id}", s.handleGetMatrix)
+	s.mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/matrices/{id}/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /metrics", metrics.Handler(opts.Registry))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handles returns the current handle count (for health and tests).
+func (s *Server) Handles() int { return s.handles.len() }
+
+// QueueDepth returns the current admitted-but-not-solving count.
+func (s *Server) QueueDepth() int { return s.admit.depth() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.admit.isDraining() }
+
+// Shutdown gracefully drains the service: admission stops (new requests
+// get 503), every coalescer's pending batch flushes immediately, and the
+// call blocks until the last in-flight request has its response ready or
+// ctx expires. It does not touch any http.Server — callers stop accepting
+// connections (http.Server.Shutdown) after Shutdown returns, so in-flight
+// handlers can still write their responses.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admit.startDrain()
+	for _, h := range s.handles.list() {
+		h.drainAll()
+	}
+	return s.admit.awaitIdle(ctx)
+}
+
+// drainAll flushes every built coalescer of the handle.
+func (h *Handle) drainAll() {
+	h.mu.Lock()
+	slots := make([]*solverSlot, 0, len(h.slots))
+	for _, sl := range h.slots {
+		slots = append(slots, sl)
+	}
+	h.mu.Unlock()
+	for _, sl := range slots {
+		if sl.coal != nil {
+			sl.coal.drain()
+		}
+	}
+}
+
+// ---- wire types ----
+
+type errorResponse struct {
+	Error       string  `json:"error"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+}
+
+type uploadRequest struct {
+	Generate *struct {
+		Name  string `json:"name"`
+		Scale string `json:"scale"`
+	} `json:"generate"`
+	Options *struct {
+		TreeDepth    int `json:"tree_depth"`
+		MaxSupernode int `json:"max_supernode"`
+	} `json:"options"`
+}
+
+type matrixInfo struct {
+	Handle      string   `json:"handle"`
+	Fingerprint string   `json:"fingerprint"`
+	Name        string   `json:"name"`
+	N           int      `json:"n"`
+	NNZ         int      `json:"nnz"`
+	Configs     []string `json:"configs,omitempty"`
+	Reused      bool     `json:"reused,omitempty"`
+}
+
+type wireConfig struct {
+	Algorithm string `json:"algorithm"`
+	Px        int    `json:"px"`
+	Py        int    `json:"py"`
+	Pz        int    `json:"pz"`
+	Trees     string `json:"trees"`
+	Exec      string `json:"exec"`
+	Machine   string `json:"machine"`
+}
+
+type wireFault struct {
+	Seed            int64   `json:"seed"`
+	Jitter          float64 `json:"jitter"`
+	CrashRank       *int    `json:"crash_rank"`
+	CrashAt         float64 `json:"crash_at"`
+	StragglerRank   *int    `json:"straggler_rank"`
+	StragglerFactor float64 `json:"straggler_factor"`
+}
+
+type solveRequest struct {
+	B      []float64   `json:"b"`
+	Config *wireConfig `json:"config"`
+	Fault  *wireFault  `json:"fault"`
+}
+
+type solveResponse struct {
+	X          []float64 `json:"x"`
+	Handle     string    `json:"handle"`
+	Config     string    `json:"config"`
+	Tenant     string    `json:"tenant"`
+	BatchWidth int       `json:"batch_width"`
+	PanelWidth int       `json:"panel_width"`
+	QueueWaitS float64   `json:"queue_wait_s"`
+	SolveS     float64   `json:"solve_s"`
+	MakespanS  float64   `json:"makespan_s"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	resp := errorResponse{Error: msg}
+	if retryAfter > 0 {
+		secs := int(retryAfter / time.Second)
+		if retryAfter%time.Second != 0 || secs == 0 {
+			secs++ // Retry-After is integral seconds; round up
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		resp.RetryAfterS = retryAfter.Seconds()
+	}
+	writeJSON(w, code, resp)
+}
+
+// ---- upload path ----
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	now := s.clock.Now()
+	fopt := s.opts.Factor
+
+	var (
+		a      *sparse.CSR
+		name   string
+		genKey string
+	)
+	if ct := r.Header.Get("Content-Type"); ct == "application/json" {
+		var req uploadRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error(), 0)
+			return
+		}
+		if req.Generate == nil {
+			writeError(w, http.StatusBadRequest, `JSON uploads need a "generate" object (or POST a Matrix Market body)`, 0)
+			return
+		}
+		if req.Options != nil {
+			fopt.TreeDepth = req.Options.TreeDepth
+			fopt.MaxSupernode = req.Options.MaxSupernode
+		}
+		if !validGenName(req.Generate.Name) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown matrix analog %q (want one of %v)", req.Generate.Name, gen.SuiteNames()), 0)
+			return
+		}
+		genKey = fmt.Sprintf("%s|%s|%d|%d", req.Generate.Name, gen.ParseScale(req.Generate.Scale),
+			fopt.TreeDepth, fopt.MaxSupernode)
+		if id, ok := s.genIDs.Load(genKey); ok {
+			if h, ok := s.handles.get(id.(string), now); ok {
+				s.metrics.uploads.With("reused").Inc()
+				writeJSON(w, http.StatusOK, s.matrixInfo(h, true))
+				return
+			}
+		}
+		m := gen.Named(req.Generate.Name, gen.ParseScale(req.Generate.Scale))
+		a, name = m.A, m.Name
+	} else {
+		raw, err := mtx.Read(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "matrix market parse: "+err.Error(), 0)
+			return
+		}
+		a, name = raw.SymmetrizePattern(), "upload"
+	}
+
+	sys, err := core.Factorize(a, fopt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "factorize: "+err.Error(), 0)
+		return
+	}
+	h, reused, evicted := s.handles.put(sys, name, now)
+	if genKey != "" {
+		s.genIDs.Store(genKey, h.ID)
+	}
+	if reused {
+		s.metrics.uploads.With("reused").Inc()
+	} else {
+		s.metrics.uploads.With("new").Inc()
+	}
+	for i := 0; i < evicted; i++ {
+		s.metrics.uploads.With("evicted").Inc()
+	}
+	code := http.StatusCreated
+	if reused {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, s.matrixInfo(h, reused))
+}
+
+func validGenName(name string) bool {
+	for _, n := range gen.SuiteNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) matrixInfo(h *Handle, reused bool) matrixInfo {
+	return matrixInfo{
+		Handle: h.ID, Fingerprint: h.Fingerprint, Name: h.Name,
+		N: h.N, NNZ: h.NNZ, Configs: h.Configs(), Reused: reused,
+	}
+}
+
+// ---- handle inspection ----
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	hs := s.handles.list()
+	infos := make([]matrixInfo, len(hs))
+	for i, h := range hs {
+		infos[i] = s.matrixInfo(h, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"matrices": infos, "count": len(infos)})
+}
+
+func (s *Server) handleGetMatrix(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.handles.get(r.PathValue("id"), s.clock.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such handle", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.matrixInfo(h, false))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.handles.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such handle", 0)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.admit.isDraining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status, "queue_depth": s.admit.depth(), "handles": s.handles.len(),
+	})
+}
+
+// ---- solve path ----
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.handles.get(r.PathValue("id"), s.clock.Now())
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such handle", 0)
+		return
+	}
+	var req solveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error(), 0)
+		return
+	}
+	if len(req.B) != h.N {
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("rhs has %d entries, matrix has %d rows", len(req.B), h.N), 0)
+		return
+	}
+	b := sparse.NewPanel(h.N, 1)
+	copy(b.Col(0), req.B)
+	if row, _, v, bad := b.FindNonFinite(); bad {
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("rhs entry %d is %v", row, v), 0)
+		return
+	}
+
+	cfg, err := s.resolveConfig(h, req.Config)
+	if err != nil {
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	slot, key, err := s.solverFor(h, cfg)
+	if err != nil {
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	verdict, retryAfter := s.admit.admit(tenant)
+	switch verdict {
+	case admitDraining:
+		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
+		return
+	case admitQuota:
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q over quota", tenant), retryAfter)
+		return
+	case admitQueueFull:
+		writeError(w, http.StatusTooManyRequests, "request queue full", s.opts.MaxWait)
+		return
+	}
+
+	rq := &request{b: b, faults: faultPlan(req.Fault), enq: s.clock.Now(), done: make(chan result, 1)}
+	slot.coal.add(rq)
+
+	select {
+	case res := <-rq.done:
+		if res.err != nil {
+			code := http.StatusInternalServerError
+			if !fault.IsFault(res.err) {
+				code = http.StatusBadRequest
+			}
+			writeError(w, code, res.err.Error(), 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, solveResponse{
+			X: res.x.Col(0), Handle: h.ID, Config: key, Tenant: tenant,
+			BatchWidth: res.width, PanelWidth: res.panelWidth,
+			QueueWaitS: res.queueWait, SolveS: res.solveTime, MakespanS: res.makespanS,
+		})
+	case <-r.Context().Done():
+		// Client gone; the flush still completes and the coalescer settles
+		// the admission accounting (the buffered done channel means the
+		// abandoned send cannot block it). Nothing useful can be written.
+		s.metrics.requests.With("canceled").Inc()
+	}
+}
+
+// faultPlan converts the wire chaos spec into a fault.Plan (nil when absent).
+func faultPlan(wf *wireFault) *fault.Plan {
+	if wf == nil {
+		return nil
+	}
+	p := &fault.Plan{Seed: wf.Seed, Jitter: wf.Jitter}
+	if wf.CrashRank != nil {
+		p.Crash = map[int]float64{*wf.CrashRank: wf.CrashAt}
+	}
+	if wf.StragglerRank != nil {
+		p.Straggler = map[int]float64{*wf.StragglerRank: wf.StragglerFactor}
+	}
+	return p
+}
+
+// resolveConfig maps the optional wire config onto a validated core.Config,
+// falling back to the handle's default (fixed or autotuned) configuration.
+func (s *Server) resolveConfig(h *Handle, wc *wireConfig) (core.Config, error) {
+	if wc == nil {
+		return s.defaultConfig(h)
+	}
+	cfg := core.Config{Machine: s.opts.Machine, Exec: s.opts.Exec}
+	var err error
+	if wc.Algorithm != "" {
+		if cfg.Algorithm, err = cliutil.ParseAlgorithm(wc.Algorithm); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if wc.Trees != "" {
+		if cfg.Trees, err = cliutil.ParseTrees(wc.Trees); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if wc.Exec != "" {
+		if cfg.Exec, err = cliutil.ParseExec(wc.Exec); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if wc.Machine != "" {
+		if cfg.Machine, err = cliutil.ParseMachine(wc.Machine); err != nil {
+			return core.Config{}, err
+		}
+	}
+	cfg.Layout = grid.Layout{Px: wc.Px, Py: wc.Py, Pz: wc.Pz}
+	if cfg.Layout.Px == 0 && cfg.Layout.Py == 0 && cfg.Layout.Pz == 0 {
+		px, py := grid.Square2D(s.opts.Ranks)
+		cfg.Layout = grid.Layout{Px: px, Py: py, Pz: 1}
+	}
+	if err := core.ValidateConfig(h.sys, cfg); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// defaultConfig resolves (once per handle) the configuration solves use
+// when the request names none: the fixed paper default, or the autotuned
+// choice when Options.Tune is set — with the tuned-config cache making the
+// search a once-per-fingerprint cost.
+func (s *Server) defaultConfig(h *Handle) (core.Config, error) {
+	v, _ := s.defaults.LoadOrStore(h.ID, &defaultSlot{})
+	slot := v.(*defaultSlot)
+	slot.once.Do(func() {
+		if s.opts.Tune {
+			res, err := tune.Run(h.sys, s.opts.Machine, s.opts.Ranks,
+				tune.Options{Cache: s.tuneCache})
+			if err == nil {
+				slot.cfg = res.Config
+				slot.cfg.Exec = s.opts.Exec
+				return
+			}
+			slot.err = err
+			return
+		}
+		px, py := grid.Square2D(s.opts.Ranks)
+		slot.cfg = core.Config{
+			Layout:    grid.Layout{Px: px, Py: py, Pz: 1},
+			Algorithm: trsv.Proposed3D,
+			Machine:   s.opts.Machine,
+			Exec:      s.opts.Exec,
+		}
+		slot.err = core.ValidateConfig(h.sys, slot.cfg)
+	})
+	return slot.cfg, slot.err
+}
+
+// solverFor returns the handle's built solver slot for cfg, building the
+// plan + solver + coalescer exactly once per configuration key.
+func (s *Server) solverFor(h *Handle, cfg core.Config) (*solverSlot, string, error) {
+	key := configKey(cfg)
+	slot := h.slot(key)
+	built := false
+	slot.once.Do(func() {
+		built = true
+		cfg.Backend = s.opts.Backend
+		slot.config = cfg
+		slot.solver, slot.err = core.NewSolver(h.sys, cfg)
+		if slot.err == nil {
+			slot.coal = newCoalescer(s, slot.solver)
+		}
+	})
+	if built {
+		s.metrics.solvers.With("miss").Inc()
+	} else {
+		s.metrics.solvers.With("hit").Inc()
+	}
+	if slot.err != nil {
+		return nil, key, slot.err
+	}
+	return slot, key, nil
+}

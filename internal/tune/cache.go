@@ -192,6 +192,6 @@ func NRHSClass(nrhs int) string {
 // fingerprint have structurally interchangeable tuned configs even if
 // their numeric values differ.
 func Key(sys *core.System, m *machine.Model, p, nrhs int) string {
-	return fmt.Sprintf("n=%d nnzlu=%d sn=%d depth=%d | %s | p=%d | nrhs=%s",
-		sys.A.N, sys.NNZFactors(), sys.SN.SnCount, sys.Tree.Depth, m.Name, p, NRHSClass(nrhs))
+	return fmt.Sprintf("%s | %s | p=%d | nrhs=%s",
+		sys.Fingerprint(), m.Name, p, NRHSClass(nrhs))
 }

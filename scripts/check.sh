@@ -41,6 +41,16 @@ echo "== go test -race -count=3 (scheduled-execution work-stealing stress) =="
 go test -race -count=3 -run 'TestSchedConcurrentSolves|TestSchedPoolBitExact|TestSchedMatchesHandlerBitExact' \
     ./internal/trsv ./internal/sched
 
+echo "== go test -race -count=2 (solve service stress: clients x scrapes x cache churn) =="
+go test -race -count=2 -run 'TestServerStressRace|TestCoalesce|TestQueueFull' \
+    ./internal/server ./internal/server/loadgen
+
+echo "== solve service + loadgen smoke =="
+go run ./cmd/figures -only slo -scale small -quick
+
+echo "== serve loop-mode smoke =="
+go run ./cmd/serve -mode loop -matrix s2d9pt -scale small -n 5 -interval 0 -check 5 -addr 127.0.0.1:0
+
 echo "== benchmark regression gate =="
 scripts/bench_regress
 
