@@ -57,10 +57,13 @@ func newAdmitter(maxQueue int, quotas *QuotaSet, clock Clock, m *serverMetrics) 
 		idle: make(chan struct{})}
 }
 
-// admit decides one request: quota first (a shed tenant must not consume
-// queue space), then queue capacity. On admitOK the request occupies one
-// queue slot (released by dequeue when its batch starts solving) and one
-// inflight slot (released by finish when its response is ready).
+// admit decides one request: queue capacity first — a request shed for
+// queue pressure never charges the tenant's token bucket, so queue
+// congestion cannot starve a tenant's quota — then the quota take. A
+// quota shed likewise never occupies a queue slot. On admitOK the request
+// occupies one queue slot (released by dequeue when its batch starts
+// solving) and one inflight slot (released by finish when its response is
+// ready).
 func (a *admitter) admit(tenant string) (v admitVerdict, retryAfter time.Duration) {
 	now := a.clock.Now()
 	a.mu.Lock()
@@ -69,12 +72,12 @@ func (a *admitter) admit(tenant string) (v admitVerdict, retryAfter time.Duratio
 	case a.draining:
 		v = admitDraining
 	default:
-		if ok, wait := a.quotas.Take(tenant, now); !ok {
-			v, retryAfter = admitQuota, wait
-			break
-		}
 		if a.queued >= a.maxQueue {
 			v = admitQueueFull
+			break
+		}
+		if ok, wait := a.quotas.Take(tenant, now); !ok {
+			v, retryAfter = admitQuota, wait
 			break
 		}
 		v = admitOK
@@ -85,6 +88,14 @@ func (a *admitter) admit(tenant string) (v admitVerdict, retryAfter time.Duratio
 	}
 	a.m.admission.With(v.outcome()).Inc()
 	return v, retryAfter
+}
+
+// release undoes one admitOK whose request never reached a coalescer
+// (post-admission validation or plan build failed): the queue slot and the
+// inflight slot are both returned without a batch ever forming.
+func (a *admitter) release() {
+	a.dequeue(1)
+	a.finish()
 }
 
 // dequeue releases n queue slots — its batch left the queue for a solve.

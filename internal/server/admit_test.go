@@ -55,6 +55,50 @@ func TestAdmitQuotaShedsBeforeQueue(t *testing.T) {
 	}
 }
 
+// TestAdmitQueueFullDoesNotChargeQuota pins the shed ordering: a request
+// turned away for queue pressure must not consume the tenant's token —
+// otherwise queue congestion silently starves the tenant's quota.
+func TestAdmitQueueFullDoesNotChargeQuota(t *testing.T) {
+	a, _ := newTestAdmitter(1, NewQuotaSet(0.001, 2)) // 2 tokens, ~no refill
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatal("first request should be admitted")
+	}
+	// Queue is now full; the shed must leave the remaining token alone.
+	if v, _ := a.admit("t"); v != admitQueueFull {
+		t.Fatal("second request should shed on queue capacity")
+	}
+	a.dequeue(1)
+	// If the queue-full shed had charged a token, this would be admitQuota.
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatal("queue-full shed consumed the tenant's quota token")
+	}
+	a.dequeue(1)
+	if v, _ := a.admit("t"); v != admitQuota {
+		t.Fatal("bucket should be empty after two admitted requests")
+	}
+}
+
+// TestAdmitReleaseReturnsSlots: release undoes one admission entirely —
+// both the queue slot and the inflight count.
+func TestAdmitReleaseReturnsSlots(t *testing.T) {
+	a, _ := newTestAdmitter(1, NewQuotaSet(0, 0))
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatal("admit failed")
+	}
+	a.release()
+	if a.depth() != 0 {
+		t.Fatalf("depth = %d after release, want 0", a.depth())
+	}
+	if v, _ := a.admit("t"); v != admitOK {
+		t.Fatal("released slot not reusable")
+	}
+	a.release()
+	a.startDrain()
+	if err := a.awaitIdle(context.Background()); err != nil {
+		t.Fatalf("awaitIdle after release: %v", err)
+	}
+}
+
 func TestAdmitQuotaRefillViaClock(t *testing.T) {
 	a, c := newTestAdmitter(10, NewQuotaSet(2, 1))
 	a.admit("t")

@@ -2,13 +2,16 @@ package server
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"sptrsv/internal/core"
+	"sptrsv/internal/sparse"
 )
 
 // handleShards is the shard count of the handle cache. Shards cut lock
@@ -23,7 +26,7 @@ const handleShards = 16
 // once per (matrix fingerprint × machine × grid × algorithm) and then
 // shared by every request that names the handle.
 type Handle struct {
-	ID          string // "m-" + fingerprint digest; stable across uploads
+	ID          string // "m-" + content-hash digest; stable across uploads
 	Fingerprint string // core fingerprint: n, nnz(LU), supernodes, depth
 	Name        string // matrix name for generated analogs, "upload" else
 	N, NNZ      int
@@ -37,11 +40,12 @@ type Handle struct {
 
 // solverSlot is the build-once cell for one configuration of a handle.
 type solverSlot struct {
-	once   sync.Once
-	config core.Config
-	solver *core.Solver
-	coal   *coalescer
-	err    error
+	once    sync.Once
+	config  core.Config
+	solver  *core.Solver
+	coal    *coalescer
+	err     error
+	lastUse time.Time // guarded by the owning Handle's mu
 }
 
 // System exposes the factored system (read-only) for verification paths.
@@ -66,23 +70,76 @@ func (h *Handle) touch(now time.Time) {
 	h.mu.Unlock()
 }
 
-// slot returns the (possibly new, not yet built) solver slot for key.
-func (h *Handle) slot(key string) *solverSlot {
+// maxSlotsPerHandle bounds the per-handle solver-slot map. Each slot holds
+// a built plan and schedule (O(nnz) memory), so a client streaming distinct
+// configurations must displace old slots rather than grow the map without
+// bound. In-flight solves holding an evicted slot finish normally — the
+// eviction only unlinks it from the map.
+const maxSlotsPerHandle = 32
+
+// slot returns the (possibly new, not yet built) solver slot for key,
+// refreshing its LRU position. When creating the slot would exceed
+// maxSlotsPerHandle, the least-recently-used slot is evicted first.
+func (h *Handle) slot(key string, now time.Time) (sl *solverSlot, evicted bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sl, ok := h.slots[key]
 	if !ok {
+		if len(h.slots) >= maxSlotsPerHandle {
+			h.evictSlotLocked()
+			evicted = true
+		}
 		sl = &solverSlot{}
 		h.slots[key] = sl
 	}
-	return sl
+	sl.lastUse = now
+	return sl, evicted
 }
 
-// HandleID derives the public handle identifier from a fingerprint: a
-// short digest, so the same matrix uploaded twice (by anyone) lands on the
-// same handle without the server storing the matrix bytes.
-func HandleID(fingerprint string) string {
-	sum := sha256.Sum256([]byte(fingerprint))
+// evictSlotLocked removes the least-recently-used slot. Caller holds h.mu.
+func (h *Handle) evictSlotLocked() {
+	var victimKey string
+	var victim *solverSlot
+	for k, sl := range h.slots {
+		if victim == nil || sl.lastUse.Before(victim.lastUse) {
+			victimKey, victim = k, sl
+		}
+	}
+	delete(h.slots, victimKey)
+}
+
+// ContentHash digests a matrix's full content — dimension, nonzero
+// pattern, and numeric values — into a hex SHA-256. This, not the
+// structural fingerprint, is what identifies a handle: two matrices with
+// the same sparsity aggregates (or even the same pattern) but different
+// values must not alias, or a solve against one would silently return the
+// other's solution. The lossy core fingerprint stays the key of the
+// plan/tune caches, where only structure matters.
+func ContentHash(a *sparse.CSR) string {
+	d := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		d.Write(buf[:])
+	}
+	word(uint64(a.N))
+	for _, p := range a.RowPtr {
+		word(uint64(p))
+	}
+	for _, c := range a.ColInd {
+		word(uint64(c))
+	}
+	for _, v := range a.Val {
+		word(math.Float64bits(v))
+	}
+	return hex.EncodeToString(d.Sum(nil))
+}
+
+// HandleID derives the public handle identifier from a matrix content
+// hash: a short digest, so the same matrix uploaded twice (by anyone)
+// lands on the same handle without the server storing the matrix bytes.
+func HandleID(contentHash string) string {
+	sum := sha256.Sum256([]byte(contentHash))
 	return "m-" + hex.EncodeToString(sum[:])[:12]
 }
 
@@ -135,14 +192,14 @@ func (c *handleCache) get(id string, now time.Time) (*Handle, bool) {
 	return h, ok
 }
 
-// put inserts a factored system, deduplicating by fingerprint: a re-upload
-// of a matrix the cache already holds returns the existing handle with
-// reused=true and costs nothing beyond the factorization the caller
-// already did. Inserting beyond capacity evicts the least-recently-used
-// handle (evicted reports how many, for the metrics).
+// put inserts a factored system, deduplicating by content hash: a
+// re-upload of a matrix the cache already holds (same pattern AND same
+// values) returns the existing handle with reused=true and costs nothing
+// beyond the factorization the caller already did. Inserting beyond
+// capacity evicts the least-recently-used handle (evicted reports how
+// many, for the metrics).
 func (c *handleCache) put(sys *core.System, name string, now time.Time) (h *Handle, reused bool, evicted int) {
-	fp := sys.Fingerprint()
-	id := HandleID(fp)
+	id := HandleID(ContentHash(sys.A))
 	sh := c.shardOf(id)
 	sh.Lock()
 	if h, ok := sh.handles[id]; ok {
@@ -151,7 +208,7 @@ func (c *handleCache) put(sys *core.System, name string, now time.Time) (h *Hand
 		return h, true, 0
 	}
 	h = &Handle{
-		ID: id, Fingerprint: fp, Name: name,
+		ID: id, Fingerprint: sys.Fingerprint(), Name: name,
 		N: sys.A.N, NNZ: sys.A.NNZ(),
 		sys: sys, slots: map[string]*solverSlot{}, lastUse: now,
 	}

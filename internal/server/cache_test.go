@@ -1,0 +1,88 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"sptrsv/internal/core"
+	"sptrsv/internal/gen"
+)
+
+// TestPutDistinguishesValuesWithSamePattern pins the handle-identity
+// contract: two matrices with identical sparsity pattern (hence identical
+// structural fingerprint) but different numeric values must get distinct
+// handles — aliasing them would silently answer solves against the wrong
+// matrix.
+func TestPutDistinguishesValuesWithSamePattern(t *testing.T) {
+	a := gen.S2D9pt(8, 8, 5)
+	scaled := *a
+	scaled.Val = append([]float64(nil), a.Val...)
+	for i := range scaled.Val {
+		scaled.Val[i] *= 2
+	}
+
+	sysA, err := core.Factorize(a, core.FactorOptions{TreeDepth: 2})
+	if err != nil {
+		t.Fatalf("Factorize a: %v", err)
+	}
+	sysB, err := core.Factorize(&scaled, core.FactorOptions{TreeDepth: 2})
+	if err != nil {
+		t.Fatalf("Factorize scaled: %v", err)
+	}
+	if sysA.Fingerprint() != sysB.Fingerprint() {
+		t.Fatalf("test premise broken: structural fingerprints differ (%q vs %q)",
+			sysA.Fingerprint(), sysB.Fingerprint())
+	}
+	if ContentHash(sysA.A) == ContentHash(sysB.A) {
+		t.Fatal("ContentHash ignores numeric values")
+	}
+
+	c := newHandleCache(8)
+	now := time.Unix(0, 0)
+	hA, reused, _ := c.put(sysA, "a", now)
+	if reused {
+		t.Fatal("first put reported reused")
+	}
+	hB, reused, _ := c.put(sysB, "b", now)
+	if reused {
+		t.Fatal("different values deduplicated onto the first handle")
+	}
+	if hA.ID == hB.ID {
+		t.Fatalf("handles alias: %s", hA.ID)
+	}
+	// A true re-upload (same content) still dedups.
+	hA2, reused, _ := c.put(sysA, "a", now)
+	if !reused || hA2.ID != hA.ID {
+		t.Fatalf("identical re-upload not reused (reused=%v id=%s want %s)", reused, hA2.ID, hA.ID)
+	}
+}
+
+// TestHandleSlotLRUBound pins the per-handle slot cap: streaming distinct
+// configuration keys may never grow the slot map past maxSlotsPerHandle,
+// and the displaced slot is the least recently used one.
+func TestHandleSlotLRUBound(t *testing.T) {
+	h := &Handle{slots: map[string]*solverSlot{}}
+	base := time.Unix(0, 0)
+	for i := 0; i < maxSlotsPerHandle; i++ {
+		if _, evicted := h.slot(string(rune('a'+i%26))+string(rune('A'+i/26)), base.Add(time.Duration(i)*time.Second)); evicted {
+			t.Fatalf("eviction while filling slot %d of %d", i, maxSlotsPerHandle)
+		}
+	}
+	// Refresh the oldest key so the second-oldest becomes the LRU victim.
+	oldest, second := "aA", "bA"
+	h.slot(oldest, base.Add(time.Hour))
+
+	sl, evicted := h.slot("zZ-new", base.Add(2*time.Hour))
+	if !evicted {
+		t.Fatal("insert beyond the cap did not evict")
+	}
+	if sl == nil || len(h.slots) != maxSlotsPerHandle {
+		t.Fatalf("slot map has %d entries, want %d", len(h.slots), maxSlotsPerHandle)
+	}
+	if _, ok := h.slots[second]; ok {
+		t.Fatalf("LRU slot %q survived the eviction", second)
+	}
+	if _, ok := h.slots[oldest]; !ok {
+		t.Fatalf("recently refreshed slot %q was evicted", oldest)
+	}
+}

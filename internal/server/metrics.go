@@ -38,13 +38,13 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		admission: r.Counter("sptrsv_server_admission",
 			"Admission decisions: admitted, queue_full (bounded queue at capacity), quota (tenant token bucket empty), draining (shutdown in progress).", "outcome"),
 		requests: r.Counter("sptrsv_server_requests",
-			"Solve requests by status: ok, fault (injected or runtime solve failure), invalid (rejected before admission). canceled counts clients that disconnected while waiting — their solve still completes and is also counted by its outcome.", "status"),
+			"Solve requests by status: ok, fault (injected or runtime solve failure), invalid (malformed before admission, or a bad config rejected just after — the admission slots are released). canceled counts clients that disconnected while waiting — their solve still completes and is also counted by its outcome.", "status"),
 		flushes: r.Counter("sptrsv_server_coalesce_flushes",
 			"Coalescer flushes by trigger: full (max-batch reached), timer (max-wait expired), drain (shutdown flush).", "reason"),
 		solvers: r.Counter("sptrsv_server_solver_cache",
-			"Solver/plan cache lookups per solve request: hit reuses a built plan+schedule, miss pays the symbolic cost once.", "outcome"),
+			"Solver/plan cache lookups per solve request: hit reuses a built plan+schedule, miss pays the symbolic cost once, evicted counts LRU displacements from a handle's bounded slot map.", "outcome"),
 		uploads: r.Counter("sptrsv_server_handle_uploads",
-			"Matrix uploads: new (factored and cached), reused (fingerprint already held), evicted (LRU handle displaced by a new upload).", "outcome"),
+			"Matrix uploads: new (factored and cached), reused (identical matrix content already held), evicted (LRU handle displaced by a new upload).", "outcome"),
 	}
 	m.queueDepth = r.Gauge("sptrsv_server_queue_depth",
 		"Requests admitted but not yet solving (the bounded queue's occupancy).").With()

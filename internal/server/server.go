@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"mime"
 	"net/http"
 	"sync"
 	"time"
@@ -47,6 +48,10 @@ import (
 
 // maxBodyBytes bounds any request body (matrix uploads dominate).
 const maxBodyBytes = 256 << 20
+
+// maxLayoutRanks caps the total rank count a client-named layout may model
+// (the paper's largest experiments use 2048 ranks; 4096 leaves headroom).
+const maxLayoutRanks = 4096
 
 // Options configures a Server. The zero value serves with sane defaults:
 // DES backend, cori-haswell model, 4-rank default layout, 256-deep queue,
@@ -312,7 +317,13 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		name   string
 		genKey string
 	)
-	if ct := r.Header.Get("Content-Type"); ct == "application/json" {
+	// Clients commonly send parameters ("application/json; charset=utf-8");
+	// dispatch on the media type alone, not the raw header.
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	if ct == "application/json" {
 		var req uploadRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error(), 0)
@@ -457,19 +468,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cfg, err := s.resolveConfig(h, req.Config)
-	if err != nil {
-		s.metrics.requests.With("invalid").Inc()
-		writeError(w, http.StatusBadRequest, err.Error(), 0)
-		return
-	}
-	slot, key, err := s.solverFor(h, cfg)
-	if err != nil {
-		s.metrics.requests.With("invalid").Inc()
-		writeError(w, http.StatusBadRequest, err.Error(), 0)
-		return
-	}
-
+	// Admission comes before config resolution: resolving a config can run
+	// the autotuner and solverFor builds a full distribution plan, so an
+	// over-quota or shed client must be turned away before it can force
+	// that work (and grow the per-handle slot map).
 	tenant := r.Header.Get("X-Tenant")
 	if tenant == "" {
 		tenant = "default"
@@ -487,18 +489,34 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "request queue full", s.opts.MaxWait)
 		return
 	}
+	enq := s.clock.Now()
 
-	rq := &request{b: b, faults: faultPlan(req.Fault), enq: s.clock.Now(), done: make(chan result, 1)}
+	cfg, err := s.resolveConfig(h, req.Config)
+	if err != nil {
+		s.admit.release()
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	slot, key, err := s.solverFor(h, cfg)
+	if err != nil {
+		s.admit.release()
+		s.metrics.requests.With("invalid").Inc()
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+
+	rq := &request{b: b, faults: faultPlan(req.Fault), enq: enq, done: make(chan result, 1)}
 	slot.coal.add(rq)
 
 	select {
 	case res := <-rq.done:
 		if res.err != nil {
-			code := http.StatusInternalServerError
-			if !fault.IsFault(res.err) {
-				code = http.StatusBadRequest
-			}
-			writeError(w, code, res.err.Error(), 0)
+			// Everything the client controls — rhs shape and finiteness,
+			// config validity — was vetted before the request reached a
+			// coalescer, so a failure here is the solve itself (injected
+			// fault or internal error): a server-side 500, never a 400.
+			writeError(w, http.StatusInternalServerError, res.err.Error(), 0)
 			return
 		}
 		writeJSON(w, http.StatusOK, solveResponse{
@@ -562,6 +580,15 @@ func (s *Server) resolveConfig(h *Handle, wc *wireConfig) (core.Config, error) {
 		px, py := grid.Square2D(s.opts.Ranks)
 		cfg.Layout = grid.Layout{Px: px, Py: py, Pz: 1}
 	}
+	// Bound the modeled rank count before any plan is built: grid.Layout
+	// itself accepts arbitrarily large grids, and plan size grows with the
+	// layout, so an unchecked Px/Py/Pz is a memory amplification vector.
+	// Each dimension is checked on its own so the product cannot overflow.
+	if cfg.Layout.Px > maxLayoutRanks || cfg.Layout.Py > maxLayoutRanks ||
+		cfg.Layout.Pz > maxLayoutRanks || cfg.Layout.Size() > maxLayoutRanks {
+		return core.Config{}, fmt.Errorf("layout %dx%dx%d exceeds the server's %d-rank cap",
+			cfg.Layout.Px, cfg.Layout.Py, cfg.Layout.Pz, maxLayoutRanks)
+	}
 	if err := core.ValidateConfig(h.sys, cfg); err != nil {
 		return core.Config{}, err
 	}
@@ -600,10 +627,14 @@ func (s *Server) defaultConfig(h *Handle) (core.Config, error) {
 }
 
 // solverFor returns the handle's built solver slot for cfg, building the
-// plan + solver + coalescer exactly once per configuration key.
+// plan + solver + coalescer exactly once per configuration key. The
+// per-handle slot map is LRU-bounded at maxSlotsPerHandle.
 func (s *Server) solverFor(h *Handle, cfg core.Config) (*solverSlot, string, error) {
 	key := configKey(cfg)
-	slot := h.slot(key)
+	slot, slotEvicted := h.slot(key, s.clock.Now())
+	if slotEvicted {
+		s.metrics.solvers.With("evicted").Inc()
+	}
 	built := false
 	slot.once.Do(func() {
 		built = true

@@ -170,6 +170,95 @@ func postJSONRaw(t *testing.T, url, body, ct string) (*http.Response, []byte) {
 	return resp, data
 }
 
+// TestUploadSamePatternDifferentValues pins the fix for handle aliasing:
+// uploading a second matrix with the same sparsity pattern (identical
+// structural fingerprint) but different values must produce a fresh
+// handle, not reuse the first one.
+func TestUploadSamePatternDifferentValues(t *testing.T) {
+	s, _, ts := newHTTPServer(t, nil)
+	a := gen.S2D9pt(8, 8, 5)
+	scaled := *a
+	scaled.Val = append([]float64(nil), a.Val...)
+	for i := range scaled.Val {
+		scaled.Val[i] *= 3
+	}
+
+	upload := func(m *sparse.CSR) matrixInfo {
+		var buf bytes.Buffer
+		if err := mtx.Write(&buf, m); err != nil {
+			t.Fatalf("mtx.Write: %v", err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", &buf)
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload: %d: %s", resp.StatusCode, data)
+		}
+		var info matrixInfo
+		if err := json.Unmarshal(data, &info); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return info
+	}
+	first := upload(a)
+	second := upload(&scaled)
+	if first.Handle == second.Handle {
+		t.Fatalf("different matrices share handle %s", first.Handle)
+	}
+	if second.Reused {
+		t.Fatal("second upload reported reused")
+	}
+	if s.Handles() != 2 {
+		t.Fatalf("handle count = %d, want 2", s.Handles())
+	}
+
+	// Each handle answers with its own matrix: x from the scaled system is
+	// the unscaled solution divided by 3 (up to roundoff), never equal.
+	b := make([]float64, first.N)
+	for i := range b {
+		b[i] = 1
+	}
+	solve := func(handle string) []float64 {
+		resp, data := postJSON(t, ts.URL+"/v1/matrices/"+handle+"/solve", map[string]any{"b": b}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %s: %d: %s", handle, resp.StatusCode, data)
+		}
+		var sr solveResponse
+		json.Unmarshal(data, &sr)
+		return sr.X
+	}
+	x1, x2 := solve(first.Handle), solve(second.Handle)
+	same := true
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("solves against distinct matrices returned identical solutions")
+	}
+}
+
+// TestUploadJSONContentTypeWithCharset: "application/json; charset=utf-8"
+// (many clients' default) must reach the JSON path, not the Matrix Market
+// parser.
+func TestUploadJSONContentTypeWithCharset(t *testing.T) {
+	_, _, ts := newHTTPServer(t, nil)
+	resp, data := postJSONRaw(t, ts.URL+"/v1/matrices",
+		`{"generate":{"name":"s2d9pt","scale":"small"}}`, "application/json; charset=utf-8")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload with charset param: %d: %s", resp.StatusCode, data)
+	}
+	var info matrixInfo
+	if err := json.Unmarshal(data, &info); err != nil || info.N != 1024 {
+		t.Fatalf("upload response: %v %s", err, data)
+	}
+}
+
 func TestSolveRoundtripBitIdentical(t *testing.T) {
 	_, _, ts := newHTTPServer(t, nil)
 	info := uploadGenerated(t, ts.URL, "s2d9pt", "small")
@@ -315,6 +404,105 @@ func TestSolveQuota429(t *testing.T) {
 	resp, data = postJSON(t, solveURL, map[string]any{"b": b}, map[string]string{"X-Tenant": "other"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("other tenant: %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestShedRequestBuildsNoSolver pins admission-before-build: an over-quota
+// request naming a never-seen configuration must be shed before any config
+// resolution or plan construction, leaving no trace in the handle's slot
+// map or the solver cache counters.
+func TestShedRequestBuildsNoSolver(t *testing.T) {
+	s, _, ts := newHTTPServer(t, func(o *Options) {
+		o.QuotaRate = 0.001
+		o.QuotaBurst = 1
+	})
+	info := uploadGenerated(t, ts.URL, "s2d9pt", "small")
+	b := make([]float64, info.N)
+	solveURL := ts.URL + "/v1/matrices/" + info.Handle + "/solve"
+
+	resp, data := postJSON(t, solveURL, map[string]any{"b": b}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first solve: %d: %s", resp.StatusCode, data)
+	}
+	// Over quota now; name a config whose slot does not exist yet.
+	resp, data = postJSON(t, solveURL, map[string]any{
+		"b": b, "config": map[string]any{"algorithm": "baseline", "px": 2, "py": 2, "pz": 1},
+	}, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota solve: %d: %s", resp.StatusCode, data)
+	}
+	h, _ := s.handles.get(info.Handle, s.clock.Now())
+	if got := len(h.Configs()); got != 1 {
+		t.Fatalf("shed request grew the slot map to %d configs (%v), want 1", got, h.Configs())
+	}
+	if st := s.Stats(); st.SolverMisses != 1 {
+		t.Fatalf("solver misses = %v after shed request, want 1", st.SolverMisses)
+	}
+}
+
+// TestInvalidConfigReleasesAdmission: a request rejected after admission
+// (bad config) must return its queue and inflight slots, or rejected
+// requests would clog the bounded queue.
+func TestInvalidConfigReleasesAdmission(t *testing.T) {
+	s, _, ts := newHTTPServer(t, func(o *Options) { o.MaxQueue = 1 })
+	info := uploadGenerated(t, ts.URL, "s2d9pt", "small")
+	b := make([]float64, info.N)
+	solveURL := ts.URL + "/v1/matrices/" + info.Handle + "/solve"
+
+	for i := 0; i < 3; i++ { // more rejections than queue slots
+		resp, data := postJSON(t, solveURL, map[string]any{
+			"b": b, "config": map[string]any{"algorithm": "gpu-single", "px": 1, "py": 1, "pz": 1},
+		}, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("invalid config %d: %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth = %d after rejected requests, want 0", d)
+	}
+	// The released slots still admit a real solve.
+	resp, data := postJSON(t, solveURL, map[string]any{"b": b}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after rejections: %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestLayoutRankCap: a client cannot force an arbitrarily large plan build
+// by naming a huge grid; oversized layouts are rejected before any plan
+// construction, including products that would overflow.
+func TestLayoutRankCap(t *testing.T) {
+	_, _, ts := newHTTPServer(t, nil)
+	info := uploadGenerated(t, ts.URL, "s2d9pt", "small")
+	b := make([]float64, info.N)
+	solveURL := ts.URL + "/v1/matrices/" + info.Handle + "/solve"
+
+	for _, layout := range []map[string]any{
+		{"px": 100000, "py": 1, "pz": 1},
+		{"px": 3037000500, "py": 3037000500, "pz": 1}, // product overflows int64
+		{"px": 65, "py": 64, "pz": 1},                 // 4160 > 4096 via the product
+	} {
+		cfg := map[string]any{"algorithm": "proposed"}
+		for k, v := range layout {
+			cfg[k] = v
+		}
+		resp, data := postJSON(t, solveURL, map[string]any{"b": b, "config": cfg}, nil)
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "rank cap") {
+			t.Fatalf("layout %v: %d: %s", layout, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestInjectedFaultReturns500: a solve failing from injected chaos is a
+// server-side failure (500), never a client error.
+func TestInjectedFaultReturns500(t *testing.T) {
+	_, _, ts := newHTTPServer(t, nil)
+	info := uploadGenerated(t, ts.URL, "s2d9pt", "small")
+	b := make([]float64, info.N)
+	resp, data := postJSON(t, ts.URL+"/v1/matrices/"+info.Handle+"/solve", map[string]any{
+		"b": b, "fault": map[string]any{"crash_rank": 1, "crash_at": 0},
+	}, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted solve: %d: %s", resp.StatusCode, data)
 	}
 }
 

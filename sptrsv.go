@@ -104,18 +104,20 @@ func Factorize(a *CSR, opt FactorOptions) (*System, error) { return core.Factori
 // Fingerprint returns the structural identity of a factored system — its
 // dimension, factor fill nnz(L)+nnz(U), supernode count, and recorded
 // separator-tree depth. It is the cache key the autotuner's persistent
-// cache, the benchmark summary, the metric labels, and the solve service's
-// plan cache all agree on.
+// cache, the benchmark summary, and the metric labels all agree on.
 //
 // Stability guarantees: the fingerprint is a deterministic function of the
 // matrix nonzero pattern and the FactorOptions — the same matrix factored
 // with the same options yields the same fingerprint in any process on any
 // platform. It deliberately ignores numeric values (two systems with equal
 // pattern but different values are structurally interchangeable for
-// planning and tuning). Treat it as an opaque equality-comparable key: the
-// textual format may gain fields when the planning-relevant structure
-// grows, and such a change invalidates old keys loudly (a cache miss)
-// rather than silently colliding.
+// planning and tuning) — which is exactly why it must never name a
+// matrix: the solve service identifies uploaded matrices by a content
+// hash over pattern and values (server.ContentHash) and reserves the
+// fingerprint for the plan and tuning caches. Treat it as an opaque
+// equality-comparable key: the textual format may gain fields when the
+// planning-relevant structure grows, and such a change invalidates old
+// keys loudly (a cache miss) rather than silently colliding.
 func Fingerprint(sys *System) string { return sys.Fingerprint() }
 
 // NewSolver validates a configuration and builds the distribution plan.
