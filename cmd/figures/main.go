@@ -17,8 +17,9 @@
 //	figures -only slo     -scale small   # serving SLO report (wall-clock, via internal/server)
 //
 // regress exits 1 on a fatal regression (latency beyond -latency-tol, any
-// message-count increase, a vanished record) and 2 when the -baseline file
-// is missing or unreadable. scripts/bench_regress wraps the second form.
+// message-count increase, bytes beyond -bytes-tol, a vanished record) and 2
+// when the -baseline file is missing or unreadable. scripts/bench_regress
+// wraps the second form.
 package main
 
 import (
@@ -37,11 +38,12 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
-	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,autotune,breakdown,faults,slo,bench,regress")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,comm,autotune,breakdown,faults,slo,bench,regress")
 	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
 	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
 	baseline := flag.String("baseline", "BENCH_SPTRSV.json", "benchmark summary file: written by -only bench, compared by -only regress")
 	latencyTol := flag.Float64("latency-tol", 0.05, "fractional per-record latency slowdown -only regress tolerates")
+	bytesTol := flag.Float64("bytes-tol", 0, "fractional per-record byte growth -only regress tolerates (0 = any increase is fatal)")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
 
@@ -55,6 +57,7 @@ func main() {
 		want["autotune"] = true
 		want["faults"] = true
 		want["sched"] = true
+		want["comm"] = true
 	}
 
 	run := func(name string, f func(cfg bench.Config)) {
@@ -100,6 +103,7 @@ func main() {
 	run("fig11", func(cfg bench.Config) { bench.Fig11(cfg) })
 	run("ablation", func(cfg bench.Config) { bench.Ablation(cfg) })
 	run("sched", func(cfg bench.Config) { bench.SchedComparison(cfg) })
+	run("comm", func(cfg bench.Config) { bench.CommComparison(cfg) })
 	run("autotune", func(cfg bench.Config) { bench.Autotune(cfg) })
 	run("breakdown", func(cfg bench.Config) { bench.BreakdownDetail(cfg) })
 	run("faults", func(cfg bench.Config) { bench.FaultSweep(cfg) })
@@ -141,7 +145,7 @@ func main() {
 			cliutil.FailInput("figures", *baseline, err)
 		}
 		cur := bench.BuildSummary(benchCfg)
-		regs, err := bench.CompareSummaries(cur, base, *latencyTol)
+		regs, err := bench.CompareSummaries(cur, base, *latencyTol, *bytesTol)
 		if err != nil {
 			cliutil.Fail("figures", err)
 		}

@@ -40,6 +40,7 @@ func main() {
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
 	backendName := flag.String("backend", "sim", "backend: sim (modeled time) or pool (wall clock)")
 	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
+	commName := flag.String("comm", "auto", "wire format: auto, packed (sparse index+value), dense (full panels), aggregated (packed + per-destination coalescing)")
 	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this path (see also cmd/trace)")
@@ -75,6 +76,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	comm, err := cliutil.ParseComm(*commName)
+	if err != nil {
+		fail(err)
+	}
 	tracing := *tracePath != ""
 	var backend trsv.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: tracing}}
 	if *backendName == "pool" {
@@ -89,6 +94,7 @@ func main() {
 		Backend:    backend,
 		Exec:       exec,
 		LevelChunk: *levelChunk,
+		Comm:       comm,
 	}
 	if err := core.ValidateConfig(sys, cfg); err != nil {
 		fail(fmt.Errorf("configuration %dx%dx%d %s on %s is not runnable: %w\n"+
@@ -110,8 +116,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("layout %dx%dx%d, %s, %s trees, %s model, %s exec, nrhs=%d\n",
-		*px, *py, *pz, *algoName, *treeName, *machineName, exec.Resolve(), *nrhs)
+	fmt.Printf("layout %dx%dx%d, %s, %s trees, %s model, %s exec, %s comm, nrhs=%d\n",
+		*px, *py, *pz, *algoName, *treeName, *machineName, exec.Resolve(), comm.Resolve(), *nrhs)
 	fmt.Printf("solve time: %.6g s (%s)\n", rep.Time, *backendName)
 	fmt.Printf("breakdown (mean/rank): FP %.3g s, XY-comm %.3g s, Z-comm %.3g s\n",
 		rep.MeanFP, rep.MeanXY, rep.MeanZ)

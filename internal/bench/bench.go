@@ -108,6 +108,9 @@ type runCfg struct {
 	// exec selects the execution engine; the zero value (auto) resolves to
 	// the scheduled engine, matching core.Config.
 	exec trsv.ExecMode
+	// comm selects the wire format; the zero value (auto) resolves to the
+	// packed sparse format, matching core.Config.
+	comm trsv.CommMode
 }
 
 // run solves once and returns the report, verifying the residual: every
@@ -121,7 +124,7 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 	}
 	// The backend is part of the key: a traced and an untraced solver for
 	// the same configuration must not share a cache slot.
-	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v/%v", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend, rc.exec)
+	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v/%v/%v", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend, rc.exec, rc.comm)
 	solver := l.solvers[key]
 	if solver == nil {
 		var err error
@@ -132,6 +135,7 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 			Machine:   rc.model,
 			Backend:   rc.backend,
 			Exec:      rc.exec,
+			Comm:      rc.comm,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("bench: solver %s %+v: %v", name, rc.layout, err))

@@ -17,7 +17,12 @@ import (
 // SummarySchema versions the BENCH_SPTRSV.json layout. Bump it whenever a
 // field changes meaning; readers refuse to compare across schema versions
 // rather than silently comparing incompatible quantities.
-const SummarySchema = 1
+//
+// Schema 2: Bytes counts the packed sparse wire format (per-entry headers,
+// index+value payloads, trailing-zero-column suppression) instead of the
+// flat dense panel model of schema 1 — the two byte columns are not
+// comparable.
+const SummarySchema = 2
 
 // summaryRepeats is how many measured solves back each record. The
 // discrete-event backend is deterministic, so the median over repeats
@@ -196,9 +201,9 @@ func ReadSummary(path string) (*Summary, error) {
 
 // Regression is one difference between a current summary and the
 // baseline. Fatal regressions fail the gate: latency above the tolerance,
-// any message-count increase, or a baseline record the current build no
-// longer produces. Everything else (bytes or allocs creep, records new in
-// the current build) is a warning.
+// any message-count increase, bytes above the byte tolerance, or a
+// baseline record the current build no longer produces. Everything else
+// (allocs creep, records new in the current build) is a warning.
 type Regression struct {
 	ID     string
 	Detail string
@@ -215,10 +220,13 @@ func (r Regression) String() string {
 
 // CompareSummaries checks cur against base and returns every regression,
 // fatal ones first. latencyTol is the fractional slowdown allowed per
-// record (0.05 = 5%); message counts allow none — the paper's headline
-// claim is fewer messages, so even one more is a regression. It is an
-// error (not a regression) to compare summaries of different scales.
-func CompareSummaries(cur, base *Summary, latencyTol float64) ([]Regression, error) {
+// record (0.05 = 5%); bytesTol is the fractional byte growth allowed
+// (0 = any increase fails — bytes are deterministic on the simulation
+// backend, so growth is a real accounting or packing change); message
+// counts allow none — the paper's headline claim is fewer messages, so
+// even one more is a regression. It is an error (not a regression) to
+// compare summaries of different scales.
+func CompareSummaries(cur, base *Summary, latencyTol, bytesTol float64) ([]Regression, error) {
 	if cur.Scale != base.Scale {
 		return nil, fmt.Errorf("scale mismatch: current %q vs baseline %q", cur.Scale, base.Scale)
 	}
@@ -244,8 +252,9 @@ func CompareSummaries(cur, base *Summary, latencyTol float64) ([]Regression, err
 		if c.Messages > b.Messages {
 			add(b.ID, true, "messages %d vs baseline %d (+%d)", c.Messages, b.Messages, c.Messages-b.Messages)
 		}
-		if c.Bytes > b.Bytes {
-			add(b.ID, false, "bytes %d vs baseline %d (+%d)", c.Bytes, b.Bytes, c.Bytes-b.Bytes)
+		if float64(c.Bytes) > float64(b.Bytes)*(1+bytesTol) {
+			add(b.ID, true, "bytes %d vs baseline %d (+%d, tolerance %.1f%%)",
+				c.Bytes, b.Bytes, c.Bytes-b.Bytes, 100*bytesTol)
 		}
 		// Allocation counts jitter by a handful of allocs run to run (GC
 		// timing, map growth); only a >1% rise is worth a warning.

@@ -81,14 +81,14 @@ func TestCompareSummaries(t *testing.T) {
 	}}
 	cur := &Summary{Schema: SummarySchema, Scale: "small", Records: []SummaryRecord{
 		// a: 10% slower (fatal at 5% tolerance), one extra message (fatal),
-		// more bytes (warn), >1% more allocs (warn).
+		// more bytes (fatal at 0% tolerance), >1% more allocs (warn).
 		{ID: "a", Seconds: 1.1, Messages: 101, Bytes: 1100, AllocsPerOp: 52},
 		// b: faster and leaner — improvements are silent.
 		{ID: "b", Seconds: 1.5, Messages: 150, Bytes: 1500, AllocsPerOp: 55},
 		// new: not in the baseline (warn).
 		{ID: "new", Seconds: 1.0, Messages: 10, Bytes: 100, AllocsPerOp: 5},
 	}}
-	regs, err := CompareSummaries(cur, base, 0.05)
+	regs, err := CompareSummaries(cur, base, 0.05, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,10 +103,10 @@ func TestCompareSummaries(t *testing.T) {
 			t.Errorf("improvement flagged: %v", r)
 		}
 	}
-	// a: latency + messages fatal; "gone" missing fatal. a: bytes + allocs
+	// a: latency + messages + bytes fatal; "gone" missing fatal. a: allocs
 	// warn; "new" unknown-record warn.
-	if fatal != 3 || warn != 3 {
-		t.Fatalf("fatal=%d warn=%d, want 3 and 3; regressions: %v", fatal, warn, regs)
+	if fatal != 4 || warn != 2 {
+		t.Fatalf("fatal=%d warn=%d, want 4 and 2; regressions: %v", fatal, warn, regs)
 	}
 	for i := 1; i < len(regs); i++ {
 		if regs[i].Fatal && !regs[i-1].Fatal {
@@ -119,10 +119,22 @@ func TestCompareSummaries(t *testing.T) {
 		{ID: "b", Seconds: 2.0, Messages: 200, Bytes: 2000, AllocsPerOp: 60},
 		{ID: "gone", Seconds: 3.0, Messages: 300, Bytes: 3000, AllocsPerOp: 70},
 	}}
-	if regs, err := CompareSummaries(okCur, base, 0.05); err != nil || len(regs) != 0 {
+	if regs, err := CompareSummaries(okCur, base, 0.05, 0); err != nil || len(regs) != 0 {
 		t.Fatalf("clean comparison reported %v, %v", regs, err)
 	}
-	if _, err := CompareSummaries(&Summary{Schema: SummarySchema, Scale: "medium"}, base, 0.05); err == nil {
+	// A nonzero byte tolerance admits growth inside it.
+	tolCur := &Summary{Schema: SummarySchema, Scale: "small", Records: []SummaryRecord{
+		{ID: "a", Seconds: 1.0, Messages: 100, Bytes: 1040, AllocsPerOp: 50},
+		{ID: "b", Seconds: 2.0, Messages: 200, Bytes: 2000, AllocsPerOp: 60},
+		{ID: "gone", Seconds: 3.0, Messages: 300, Bytes: 3000, AllocsPerOp: 70},
+	}}
+	if regs, err := CompareSummaries(tolCur, base, 0.05, 0.05); err != nil || len(regs) != 0 {
+		t.Fatalf("bytes within tolerance reported %v, %v", regs, err)
+	}
+	if regs, err := CompareSummaries(tolCur, base, 0.05, 0.01); err != nil || len(regs) != 1 || !regs[0].Fatal {
+		t.Fatalf("bytes beyond tolerance must be one fatal regression, got %v, %v", regs, err)
+	}
+	if _, err := CompareSummaries(&Summary{Schema: SummarySchema, Scale: "medium"}, base, 0.05, 0); err == nil {
 		t.Fatal("scale mismatch must be an error")
 	}
 }

@@ -94,6 +94,21 @@ func ParseExec(name string) (trsv.ExecMode, error) {
 	return 0, fmt.Errorf("unknown execution mode %q (want auto, sched, handler)", name)
 }
 
+// ParseComm maps the shared -comm flag vocabulary to a communication mode.
+func ParseComm(name string) (trsv.CommMode, error) {
+	switch name {
+	case "auto":
+		return trsv.CommAuto, nil
+	case "packed":
+		return trsv.CommPacked, nil
+	case "dense":
+		return trsv.CommDense, nil
+	case "aggregated":
+		return trsv.CommAggregated, nil
+	}
+	return 0, fmt.Errorf("unknown communication mode %q (want auto, packed, dense, aggregated)", name)
+}
+
 // ParseMachine maps the shared -machine flag vocabulary to a machine
 // model, with the error listing the valid names (machine.ByName, the older
 // form, panics instead — fine for harnesses, not for request paths).

@@ -102,6 +102,12 @@ type Config struct {
 	// LevelChunk overrides the scheduled executor's cache-blocking chunk
 	// size; 0 means the built-in default. Ignored under ExecHandler.
 	LevelChunk int
+	// Comm selects the wire format of inter-rank subvector traffic:
+	// trsv.CommPacked (the default, index+value sparse packing),
+	// trsv.CommDense (the full-dense reference model), or
+	// trsv.CommAggregated (packed plus per-destination coalescing in the
+	// proposed algorithm's 2D phases).
+	Comm trsv.CommMode
 }
 
 // Solver executes distributed triangular solves for one System and Config.
@@ -166,6 +172,9 @@ func ValidateConfig(sys *System, cfg Config) error {
 	}
 	if !cfg.Exec.Valid() {
 		return fmt.Errorf("core: unknown execution mode %v", cfg.Exec)
+	}
+	if !cfg.Comm.Valid() {
+		return fmt.Errorf("core: unknown communication mode %v", cfg.Comm)
 	}
 	if cfg.LevelChunk < 0 {
 		return fmt.Errorf("core: Config.LevelChunk must be non-negative, got %d", cfg.LevelChunk)
@@ -295,7 +304,7 @@ func (s *Solver) solveOn(b *sparse.Panel, back trsv.Backend) (*sparse.Panel, *Re
 	}
 	b.PermuteRowsInto(s.sys.Perm, sb.bp)
 	res, err := trsv.SolveIntoOpts(s.plan, s.cfg.Machine, s.cfg.Algorithm, back, sb.bp, sb.xp,
-		trsv.SolveOpts{Exec: s.cfg.Exec, LevelChunk: s.cfg.LevelChunk})
+		trsv.SolveOpts{Exec: s.cfg.Exec, LevelChunk: s.cfg.LevelChunk, Comm: s.cfg.Comm})
 	if err != nil {
 		s.bufs.Put(sb)
 		return nil, nil, err

@@ -79,6 +79,13 @@ type Rank struct {
 	// the root case.
 	LRedParent, URedParent []int32
 	LRedRoot, URedRoot     []bool
+	// LSendDsts and USendDsts are the 2D-local ranks this rank ever sends
+	// to during the L / U phase — the union over slots of broadcast
+	// children and the reduction parent, ascending and deduplicated. They
+	// bound the per-destination aggregation buffers (CommAggregated): a
+	// rank coalescing its phase traffic needs at most one open buffer per
+	// listed destination.
+	LSendDsts, USendDsts []int32
 
 	// LLevelOf and ULevelOf layer the diagonal tasks: the topological
 	// level of diag_y(slot) / diag_x(slot) on this rank, -1 for slots
@@ -249,10 +256,37 @@ func buildRank(p *dist.Plan, gp *dist.GridPlan, g *Grid, r2d int) *Rank {
 		}
 	}
 
+	r.LSendDsts = sendDsts(len(gp.Ranks), r.LBcastKids, r.LRedParent)
+	r.USendDsts = sendDsts(len(gp.Ranks), r.UBcastKids, r.URedParent)
+
 	levelSweep(p, gp, g, r2d, r, false)
 	levelSweep(p, gp, g, r2d, r, true)
 	r.ArenaPerRHS, r.Panels = arenaSize(p, gp, g, r)
 	return r
+}
+
+// sendDsts collects the ascending, deduplicated union of every broadcast
+// child and reduction parent across slots — one phase's complete
+// destination set for a rank.
+func sendDsts(nRanks int, bcastKids [][]int32, redParent []int32) []int32 {
+	seen := make([]bool, nRanks)
+	for _, kids := range bcastKids {
+		for _, c := range kids {
+			seen[c] = true
+		}
+	}
+	for _, p := range redParent {
+		if p >= 0 {
+			seen[p] = true
+		}
+	}
+	var out []int32
+	for d, s := range seen {
+		if s {
+			out = append(out, int32(d))
+		}
+	}
+	return out
 }
 
 // levelSweep layers one sweep's intra-rank task DAG into levels by a

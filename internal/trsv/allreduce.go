@@ -75,7 +75,7 @@ func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
 				panic(&fault.ProtocolError{Rank: r.rank, Phase: "allreduce",
 					Msg: fmt.Sprintf("allreduce merge for unsolved y(%d)", k)})
 			}
-			yk.AddFrom(b.Vs[i])
+			addWire(yk, &b.Ws[i])
 		}
 	})
 	a.step++
@@ -89,7 +89,7 @@ func (a *arHelper) onBcast(ctx *runtime.Ctx, b *vecBundle) bool {
 	r := a.r
 	r.st.counts.arBcast++
 	for i, k := range b.Ks {
-		r.st.y[k] = b.Vs[i]
+		r.st.y[k] = r.unpackPanel(&b.Ws[i])
 	}
 	a.sendBcasts(ctx, a.trailing-1)
 	a.done = true
@@ -119,7 +119,9 @@ func (a *arHelper) advance(ctx *runtime.Ctx) {
 }
 
 // bundle packs this rank's owned y subvectors for nodes at tree level ≤
-// maxLevel.
+// maxLevel. clone detaches the wire payload from the live panel (reduce
+// sends: the sender's own y(K) keeps accumulating partner contributions
+// while the bundle is in flight).
 func (a *arHelper) bundle(step, maxLevel int, clone bool) *vecBundle {
 	r := a.r
 	b := &vecBundle{Step: step}
@@ -130,7 +132,7 @@ func (a *arHelper) bundle(step, maxLevel int, clone bool) *vecBundle {
 				v = r.clonePanel(v)
 			}
 			b.Ks = append(b.Ks, k)
-			b.Vs = append(b.Vs, v)
+			b.Ws = append(b.Ws, packPanel(v, r.comm))
 		}
 	}
 	return b
@@ -208,7 +210,7 @@ func (a *naiveAR) bundle() *vecBundle {
 	for _, k := range r.myDiagSns {
 		if r.gp.NodeOf[k] == a.node {
 			b.Ks = append(b.Ks, k)
-			b.Vs = append(b.Vs, r.clonePanel(r.st.y[k]))
+			b.Ws = append(b.Ws, packPanel(r.clonePanel(r.st.y[k]), r.comm))
 		}
 	}
 	return b
@@ -240,7 +242,7 @@ func (a *naiveAR) onMsg(ctx *runtime.Ctx, m runtime.Msg) bool {
 	d := m.Data.(*vecBundle)
 	ctx.ComputeT(TagARMerge, 0, func() {
 		for i, k := range d.Ks {
-			r.st.y[k].AddFrom(d.Vs[i])
+			addWire(r.st.y[k], &d.Ws[i])
 		}
 	})
 	a.step++

@@ -32,7 +32,7 @@ type base3dRank struct {
 // groupMsg is a y/x broadcast restricted to one row-node group.
 type groupMsg struct {
 	K, G int
-	V    *sparse.Panel
+	W    wirePanel
 }
 
 // NewBaseline3D returns the handler factory for the baseline algorithm
@@ -109,20 +109,20 @@ func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 	case tagYBcast:
 		d := m.Data.(*groupMsg)
 		st.lRemaining[st.lStage]--
-		h.applyYGroup(ctx, d.K, d.G, d.V)
+		h.applyYGroup(ctx, d.K, d.G, h.unpackPanel(&d.W))
 		h.drainReadyY(ctx, h)
 		h.advanceL(ctx)
 	case tagLReduce:
 		d := m.Data.(*sumMsg)
 		st.lRemaining[st.lStage]--
-		h.getLsum(d.K).AddFrom(d.S)
+		addWire(h.getLsum(d.K), &d.W)
 		h.lContribution(ctx, d.K, h.base().LReduceNode[d.K])
 		h.drainReadyY(ctx, h)
 		h.advanceL(ctx)
 	case tagZGatherL:
 		d := m.Data.(*vecBundle)
 		for i, k := range d.Ks {
-			h.getLsum(k).AddFrom(d.Vs[i])
+			addWire(h.getLsum(k), &d.Ws[i])
 		}
 		st.lAwaitMerge = false
 		st.lStage++
@@ -139,10 +139,10 @@ func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 		st.phase = 2
 		st.uStage = h.s
 		for i, k := range d.Ks {
-			st.xl[k] = d.Vs[i]
+			st.xl[k] = h.unpackPanel(&d.Ws[i])
 		}
-		for i, k := range d.Ks {
-			h.rebroadcastX(ctx, k, d.Vs[i])
+		for _, k := range d.Ks {
+			h.rebroadcastX(ctx, k, st.xl[k])
 		}
 		h.startU(ctx)
 	case tagXBcast:
@@ -152,13 +152,13 @@ func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 			stage = h.s // re-broadcasts are charged to stage s
 		}
 		st.uRemaining[stage]--
-		h.applyXGroup(ctx, d.K, d.G, d.V)
+		h.applyXGroup(ctx, d.K, d.G, h.unpackPanel(&d.W))
 		h.drainReadyX(ctx, h)
 		h.advanceU(ctx)
 	case tagUReduce:
 		d := m.Data.(*sumMsg)
 		st.uRemaining[h.gp.NodeOf[d.K]]--
-		h.getUsum(d.K).AddFrom(d.S)
+		addWire(h.getUsum(d.K), &d.W)
 		h.uContribution(ctx, d.K, h.base().UReduceFlat[d.K])
 		h.drainReadyX(ctx, h)
 		h.advanceU(ctx)
@@ -196,12 +196,14 @@ func (h *base3dRank) solveY(ctx *runtime.Ctx, k int) {
 	ctx.ComputeT(TagDiagSolveL, secs, nil)
 	delete(h.st.lsum, k)
 	h.st.y[k] = yk
-	// One broadcast per row-node group (the baseline's extra messages).
+	// One broadcast per row-node group (the baseline's extra messages);
+	// the subvector is packed once and shared by every hop.
+	wy, ybytes := h.packSend(yk)
 	for _, gt := range h.base().LBcastGroups[k] {
 		for _, child := range gt.Tree.Children(h.r2d) {
 			ctx.Send(runtime.Msg{
 				Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
-				Data: &groupMsg{K: k, G: gt.Node, V: yk}, Bytes: panelBytes(yk),
+				Data: &groupMsg{K: k, G: gt.Node, W: wy}, Bytes: ybytes,
 			})
 		}
 	}
@@ -227,9 +229,10 @@ func (h *base3dRank) sendGathers(ctx *runtime.Ctx) {
 			continue
 		}
 		s := h.getLsum(k)
+		w, bytes := h.packSend(s)
 		ctx.Send(runtime.Msg{
 			Dst: h.p.GlobalRank(h.z, h.p.DiagRank2D(k)), Tag: tagLReduce, Cat: runtime.CatXY,
-			Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
+			Data: &sumMsg{K: k, W: w}, Bytes: bytes,
 		})
 		delete(st.lsum, k)
 	}
@@ -267,7 +270,7 @@ func (h *base3dRank) finishL(ctx *runtime.Ctx) {
 		b := &vecBundle{Step: h.s}
 		for _, k := range sortedKeys(st.lsum) {
 			b.Ks = append(b.Ks, k)
-			b.Vs = append(b.Vs, st.lsum[k])
+			b.Ws = append(b.Ws, packPanel(st.lsum[k], h.comm))
 		}
 		clear(st.lsum) // ownership of the panels moved into the bundle
 		ctx.Send(runtime.Msg{
@@ -302,6 +305,7 @@ func (h *base3dRank) startU(ctx *runtime.Ctx) {
 // rebroadcastX forwards a bundle-received x(K) (K in an unprocessed node)
 // down my grid's group trees and applies my own blocks.
 func (h *base3dRank) rebroadcastX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
+	wx, xbytes := h.packSend(xk)
 	for _, gt := range h.base().UBcastGroups[k] {
 		if gt.Node > h.s {
 			continue
@@ -309,7 +313,7 @@ func (h *base3dRank) rebroadcastX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
 		for _, child := range gt.Tree.Children(h.r2d) {
 			ctx.Send(runtime.Msg{
 				Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
-				Data: &groupMsg{K: k, G: gt.Node, V: xk}, Bytes: panelBytes(xk),
+				Data: &groupMsg{K: k, G: gt.Node, W: wx}, Bytes: xbytes,
 			})
 		}
 	}
@@ -340,11 +344,12 @@ func (h *base3dRank) solveX(ctx *runtime.Ctx, k int) {
 	if h.gp.OwnerGridOfSn(k) == h.z {
 		h.writeX(k, xk)
 	}
+	wx, xbytes := h.packSend(xk)
 	for _, gt := range h.base().UBcastGroups[k] {
 		for _, child := range gt.Tree.Children(h.r2d) {
 			ctx.Send(runtime.Msg{
 				Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
-				Data: &groupMsg{K: k, G: gt.Node, V: xk}, Bytes: panelBytes(xk),
+				Data: &groupMsg{K: k, G: gt.Node, W: wx}, Bytes: xbytes,
 			})
 		}
 	}
@@ -365,7 +370,7 @@ func (h *base3dRank) advanceU(ctx *runtime.Ctx) {
 			for _, k := range sortedKeys(st.xl) {
 				if h.gp.NodeOf[k] >= st.uStage {
 					b.Ks = append(b.Ks, k)
-					b.Vs = append(b.Vs, st.xl[k])
+					b.Ws = append(b.Ws, packPanel(st.xl[k], h.comm))
 				}
 			}
 			ctx.Send(runtime.Msg{

@@ -53,6 +53,7 @@ const (
 	tagGPUPut                 // GPU model: one-sided put delivery
 	tagNaiveARUp              // naive allreduce ablation: partial y to the owner grid
 	tagNaiveARDown            // naive allreduce ablation: complete y back to a replica
+	tagAgg                    // CommAggregated: coalesced per-destination 2D traffic
 )
 
 // Compute span tags: labels for Ctx.ComputeT spans in the event trace (see
@@ -100,6 +101,8 @@ func TagName(tag int) string {
 		return "naive-ar-up"
 	case tagNaiveARDown:
 		return "naive-ar-down"
+	case tagAgg:
+		return "agg"
 	case TagDiagSolveL:
 		return "diag-solve-L"
 	case TagApplyL:
@@ -118,34 +121,35 @@ func TagName(tag int) string {
 	return ""
 }
 
-// yMsg carries a solved subvector (y or x) for one supernode. The panel is
-// immutable after sending; receivers only read it.
+// yMsg carries a solved subvector (y or x) for one supernode in wire form.
+// The packed values are immutable after sending; receivers only read them.
 type yMsg struct {
 	K int
-	Y *sparse.Panel
+	W wirePanel
 }
 
-// sumMsg carries an aggregated partial sum for one supernode row. The
-// receiver takes ownership and accumulates into it or from it.
+// sumMsg carries a packed partial sum for one supernode row. The receiver
+// accumulates the wire entries into its own accumulator.
 type sumMsg struct {
 	K int
-	S *sparse.Panel
+	W wirePanel
 }
 
-// vecBundle carries subvectors for many supernodes at once (the packed
-// buffers of the sparse allreduce and the baseline Z exchanges).
+// vecBundle carries packed subvectors for many supernodes at once (the
+// bundled buffers of the sparse allreduce and the baseline Z exchanges).
 type vecBundle struct {
 	Step int
 	Ks   []int
-	Vs   []*sparse.Panel
+	Ws   []wirePanel
 }
 
+// bytes models the bundle's wire size: one message envelope plus the full
+// per-entry header and payload of every packed panel (see wire.go for the
+// byte model).
 func (b *vecBundle) bytes() int {
-	n := 16
-	for _, v := range b.Vs {
-		if v != nil {
-			n += 8 * v.Rows * v.Cols
-		}
+	n := wireEnvBytes
+	for i := range b.Ws {
+		n += b.Ws[i].wireBytes()
 	}
 	return n
 }
@@ -182,8 +186,12 @@ const (
 	MarkUDone = "U_done"
 )
 
-// panelBytes is the modeled wire size of one supernode subvector message.
-func panelBytes(p *sparse.Panel) int { return 8*p.Rows*p.Cols + 16 }
+// packSend packs a panel for a singleton message and returns the wire form
+// with its modeled message size (wire.go's one-entry-message model).
+func (c *rankCore) packSend(p *sparse.Panel) (wirePanel, int) {
+	w := packPanel(p, c.comm)
+	return w, singleBytes(&w)
+}
 
 // ---- execution layer ----
 
@@ -216,6 +224,14 @@ type solveState struct {
 
 	// Messages that arrived ahead of the phase that can process them.
 	deferred []runtime.Msg
+
+	// Per-destination aggregation state (CommAggregated on the proposed
+	// algorithm): aggOn enables buffering, aggBufs is indexed by 2D-local
+	// destination rank, aggOrder lists destinations with pending entries in
+	// first-touch order — the deterministic flush order.
+	aggOn    bool
+	aggBufs  []aggBuf
+	aggOrder []int32
 
 	// Baseline-3D stage state.
 	lStage, uStage int
@@ -295,10 +311,20 @@ func (st *solveState) release() {
 	clear(st.xQueued)
 	clear(st.fmod)
 	clear(st.bmod)
-	clear(st.deferred) // zero the elements: Msg.Data holds panels
+	// Clear the full capacity, not just the length: drainDeferred's
+	// compaction and the GPU ready-queue pops reslice these, so stale
+	// elements (holding Data panels) can sit in the backing array beyond
+	// len and would otherwise stay pinned while the state waits in the
+	// pool.
+	clear(st.deferred[:cap(st.deferred)])
 	st.deferred = st.deferred[:0]
-	clear(st.readyTasks) // gpuTask.put holds panels
+	clear(st.readyTasks[:cap(st.readyTasks)]) // gpuTask.put holds panels
 	st.readyTasks = st.readyTasks[:0]
+	for i := range st.aggBufs {
+		st.aggBufs[i] = aggBuf{}
+	}
+	st.aggOrder = st.aggOrder[:0]
+	st.aggOn = false
 	st.readyY, st.readyX = st.readyY[:0], st.readyX[:0]
 	st.lRemaining, st.uRemaining = st.lRemaining[:0], st.uRemaining[:0]
 	clear(st.preY)
@@ -444,6 +470,10 @@ type rankCore struct {
 	sr    *sched.Rank
 	chunk int
 
+	// comm is the resolved wire-format mode of this solve (packPanel's
+	// policy input); read-only after init.
+	comm CommMode
+
 	// st is this solve's mutable state, acquired in init and handed back to
 	// the pool by releaseState once the run has quiesced.
 	st *solveState
@@ -476,6 +506,7 @@ func (c *rankCore) init(p *dist.Plan, model *machine.Model, rank int, b, x *spar
 	c.localL = rd.LocalL
 	c.localU = rd.LocalU
 	c.myDiagSns = rd.MyDiagSns
+	c.comm = opts.Comm.Resolve()
 
 	if opts.Exec.Resolve() == ExecSched {
 		s, err := sched.Of(p)
@@ -585,18 +616,33 @@ func (c *rankCore) dispatch(ctx *runtime.Ctx, m runtime.Msg, ops rankOps) {
 
 // drainDeferred re-offers buffered messages until none is acceptable;
 // processing one message can unlock others (e.g. a phase transition).
+//
+// Each round is a single in-place, order-preserving compaction pass:
+// acceptable messages are processed as the scan reaches them, the rest
+// slide down to fill the gaps, and the vacated tail is zeroed so no stale
+// Msg (whose Data holds panels) lingers in the backing array beyond len.
+// A round that processed anything may have unlocked earlier survivors, so
+// rounds repeat until one processes nothing — O(rounds·n) instead of the
+// restart-from-zero scan's O(n²) per unlocked message.
+//
+// dispatch is the only appender to st.deferred and process never calls
+// back into dispatch, so the slice does not grow mid-pass.
 func (c *rankCore) drainDeferred(ctx *runtime.Ctx, ops rankOps) {
 	for {
-		progressed := false
-		for i := 0; i < len(c.st.deferred); i++ {
-			if ops.accepts(c.st.deferred[i]) {
-				m := c.st.deferred[i]
-				c.st.deferred = append(c.st.deferred[:i], c.st.deferred[i+1:]...)
+		d := c.st.deferred
+		w := 0
+		for r := 0; r < len(d); r++ {
+			m := d[r]
+			if ops.accepts(m) {
 				ops.process(ctx, m)
-				progressed = true
-				break
+				continue
 			}
+			d[w] = m
+			w++
 		}
+		progressed := w < len(d)
+		clear(d[w:len(d)])
+		c.st.deferred = d[:w]
 		if !progressed {
 			return
 		}
@@ -920,10 +966,16 @@ func (c *rankCore) lContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
 		return
 	}
 	s := c.getLsum(k)
-	ctx.Send(runtime.Msg{
-		Dst: c.p.GlobalRank(c.z, tree.Parent(c.r2d)), Tag: tagLReduce, Cat: runtime.CatXY,
-		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
-	})
+	w, bytes := c.packSend(s)
+	parent := tree.Parent(c.r2d)
+	if st.aggOn {
+		c.aggAdd(parent, aggKindReduce, k, w)
+	} else {
+		ctx.Send(runtime.Msg{
+			Dst: c.p.GlobalRank(c.z, parent), Tag: tagLReduce, Cat: runtime.CatXY,
+			Data: &sumMsg{K: k, W: w}, Bytes: bytes,
+		})
+	}
 	delete(st.lsum, k) // ownership transferred
 }
 
@@ -938,10 +990,16 @@ func (c *rankCore) uContribution(ctx *runtime.Ctx, k int, tree *ctree.Tree) {
 		return
 	}
 	s := c.getUsum(k)
-	ctx.Send(runtime.Msg{
-		Dst: c.p.GlobalRank(c.z, tree.Parent(c.r2d)), Tag: tagUReduce, Cat: runtime.CatXY,
-		Data: &sumMsg{K: k, S: s}, Bytes: panelBytes(s),
-	})
+	w, bytes := c.packSend(s)
+	parent := tree.Parent(c.r2d)
+	if st.aggOn {
+		c.aggAdd(parent, aggKindReduce, k, w)
+	} else {
+		ctx.Send(runtime.Msg{
+			Dst: c.p.GlobalRank(c.z, parent), Tag: tagUReduce, Cat: runtime.CatXY,
+			Data: &sumMsg{K: k, W: w}, Bytes: bytes,
+		})
+	}
 	delete(st.usum, k)
 }
 

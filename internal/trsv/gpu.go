@@ -164,6 +164,7 @@ func (h *gpuSingleRank) startTasks(ctx *runtime.Ctx) {
 	for st.smFree > 0 && len(st.readyTasks) > 0 {
 		launched++
 		t := st.readyTasks[0]
+		st.readyTasks[0] = gpuTask{} // drop the panel reference: release() can't reach popped slots
 		st.readyTasks = st.readyTasks[1:]
 		st.smFree--
 		var dur float64
@@ -355,10 +356,10 @@ func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
 }
 
 // gpuPut is a one-sided delivery of a solved subvector (the ready_y / flag
-// pair of Alg. 5).
+// pair of Alg. 5), shipped in wire form like every other subvector message.
 type gpuPut struct {
 	K   int
-	V   *sparse.Panel
+	W   wirePanel
 	isU bool
 }
 
@@ -368,7 +369,7 @@ func (h *gpuMultiRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 		h.onTaskDone(ctx, m.Data.(gpuTask))
 	case tagGPUPut:
 		d := m.Data.(*gpuPut)
-		h.st.readyTasks = append(h.st.readyTasks, gpuTask{k: d.K, put: d.V, isU: d.isU})
+		h.st.readyTasks = append(h.st.readyTasks, gpuTask{k: d.K, put: h.unpackPanel(&d.W), isU: d.isU})
 		h.startTasks(ctx)
 	case tagARReduce:
 		if h.ar.onReduce(ctx, m.Data.(*vecBundle)) {
@@ -388,12 +389,13 @@ func (h *gpuMultiRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 // multi-GPU variant keeps its map dependency counters — its fmod/bmod
 // templates are local-block counts, not the schedule's row counts.
 func (h *gpuMultiRank) forwardPuts(ctx *runtime.Ctx, k int, v *sparse.Panel, isU bool, delay float64) {
+	w, bytes := h.packSend(v)
 	put := func(child int) {
 		dst := h.p.GlobalRank(h.z, child)
-		cost := h.gpu.PutCost(h.rank, dst, panelBytes(v))
+		cost := h.gpu.PutCost(h.rank, dst, bytes)
 		ctx.SendAfter(delay+cost, runtime.Msg{
 			Dst: dst, Tag: tagGPUPut, Cat: runtime.CatXY,
-			Data: &gpuPut{K: k, V: v, isU: isU},
+			Data: &gpuPut{K: k, W: w, isU: isU}, Bytes: bytes,
 		})
 	}
 	if h.sr != nil {
@@ -421,6 +423,7 @@ func (h *gpuMultiRank) startTasks(ctx *runtime.Ctx) {
 	for st.smFree > 0 && len(st.readyTasks) > 0 {
 		launched++
 		t := st.readyTasks[0]
+		st.readyTasks[0] = gpuTask{} // drop the panel reference: release() can't reach popped slots
 		st.readyTasks = st.readyTasks[1:]
 		st.smFree--
 		diag := t.put == nil

@@ -70,6 +70,19 @@ func (h *new3dRank) Init(ctx *runtime.Ctx) {
 	st.lRecvLeft = rd.LRecv
 	st.uRecvLeft = rd.URecv
 	h.ar = newARHelper(&h.rankCore)
+	if h.comm == CommAggregated {
+		st.aggOn = true
+		if len(st.aggBufs) < len(h.gp.Ranks) {
+			st.aggBufs = make([]aggBuf, len(h.gp.Ranks))
+		}
+		if h.sr != nil {
+			// The schedule's destination sets bound how many buffers one
+			// phase can open; size the flush order once instead of growing.
+			if n := max(len(h.sr.LSendDsts), len(h.sr.USendDsts)); cap(st.aggOrder) < n {
+				st.aggOrder = make([]int32, 0, n)
+			}
+		}
+	}
 
 	// Kick off: diagonal supernodes with no pending contributions.
 	for _, k := range h.myDiagSns {
@@ -79,10 +92,19 @@ func (h *new3dRank) Init(ctx *runtime.Ctx) {
 	}
 	h.drainReadyY(ctx, h)
 	h.maybeFinishL(ctx)
+	if h.st.aggOn {
+		h.flushAgg(ctx)
+	}
 }
 
 func (h *new3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
 	h.dispatch(ctx, m, h)
+	// One packed message per destination per activation: everything this
+	// activation buffered goes out now, so the handler never returns with
+	// unsent traffic.
+	if h.st.aggOn {
+		h.flushAgg(ctx)
+	}
 }
 
 // accepts reports whether the message can be processed in the current
@@ -99,6 +121,8 @@ func (h *new3dRank) accepts(m runtime.Msg) bool {
 		return h.st.phase == 1 && h.nar != nil && h.nar.accepts(m)
 	case tagXBcast, tagUReduce:
 		return h.st.phase == 2
+	case tagAgg:
+		return h.st.phase == m.Data.(*aggMsg).Phase
 	}
 	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: proposedPhase(h.st.phase),
 		Msg: fmt.Sprintf("received unexpected tag %d from rank %d", m.Tag, m.Src)})
@@ -109,16 +133,18 @@ func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 	case tagYBcast:
 		d := m.Data.(*yMsg)
 		h.st.lRecvLeft--
-		h.onY(ctx, d.K, d.Y)
+		h.onY(ctx, d.K, h.unpackPanel(&d.W))
 		h.drainReadyY(ctx, h)
 		h.maybeFinishL(ctx)
 	case tagLReduce:
 		d := m.Data.(*sumMsg)
 		h.st.lRecvLeft--
-		h.getLsum(d.K).AddFrom(d.S)
+		addWire(h.getLsum(d.K), &d.W)
 		h.lContribution(ctx, d.K, h.gp.LReduce[d.K])
 		h.drainReadyY(ctx, h)
 		h.maybeFinishL(ctx)
+	case tagAgg:
+		h.onAgg(ctx, m.Data.(*aggMsg))
 	case tagARReduce:
 		if h.ar.onReduce(ctx, m.Data.(*vecBundle)) {
 			h.finishAR(ctx)
@@ -134,14 +160,49 @@ func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 	case tagXBcast:
 		d := m.Data.(*yMsg)
 		h.st.uRecvLeft--
-		h.onX(ctx, d.K, d.Y)
+		h.onX(ctx, d.K, h.unpackPanel(&d.W))
 		h.drainReadyX(ctx, h)
 		h.maybeFinishU(ctx)
 	case tagUReduce:
 		d := m.Data.(*sumMsg)
 		h.st.uRecvLeft--
-		h.getUsum(d.K).AddFrom(d.S)
+		addWire(h.getUsum(d.K), &d.W)
 		h.uContribution(ctx, d.K, h.gp.UReduce[d.K])
+		h.drainReadyX(ctx, h)
+		h.maybeFinishU(ctx)
+	}
+}
+
+// onAgg processes a coalesced message: each entry is exactly one singleton
+// receive (broadcast hop or reduction contribution) of the message's
+// phase, applied in the sender's emission order; the ready-queue drain and
+// the phase check run once after the batch.
+func (h *new3dRank) onAgg(ctx *runtime.Ctx, d *aggMsg) {
+	uPhase := d.Phase == 2
+	for i, k := range d.Ks {
+		w := &d.Ws[i]
+		if !uPhase {
+			h.st.lRecvLeft--
+			if d.Kinds[i] == aggKindBcast {
+				h.onY(ctx, k, h.unpackPanel(w))
+			} else {
+				addWire(h.getLsum(k), w)
+				h.lContribution(ctx, k, h.gp.LReduce[k])
+			}
+		} else {
+			h.st.uRecvLeft--
+			if d.Kinds[i] == aggKindBcast {
+				h.onX(ctx, k, h.unpackPanel(w))
+			} else {
+				addWire(h.getUsum(k), w)
+				h.uContribution(ctx, k, h.gp.UReduce[k])
+			}
+		}
+	}
+	if !uPhase {
+		h.drainReadyY(ctx, h)
+		h.maybeFinishL(ctx)
+	} else {
 		h.drainReadyX(ctx, h)
 		h.maybeFinishU(ctx)
 	}
@@ -155,25 +216,53 @@ func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 // in the same order the tree walk yields, without materializing a slice
 // per call).
 func (h *new3dRank) onY(ctx *runtime.Ctx, k int, yk *sparse.Panel) {
-	if h.sr != nil {
-		for _, child := range h.sr.LBcastKids[h.slot(k)] {
-			ctx.Send(runtime.Msg{
-				Dst: h.p.GlobalRank(h.z, int(child)), Tag: tagYBcast, Cat: runtime.CatXY,
-				Data: &yMsg{K: k, Y: yk}, Bytes: panelBytes(yk),
-			})
-		}
-	} else {
-		for _, child := range h.gp.LBcast[k].Children(h.r2d) {
-			ctx.Send(runtime.Msg{
-				Dst: h.p.GlobalRank(h.z, child), Tag: tagYBcast, Cat: runtime.CatXY,
-				Data: &yMsg{K: k, Y: yk}, Bytes: panelBytes(yk),
-			})
-		}
-	}
+	h.bcast(ctx, k, yk, tagYBcast)
 	for _, blk := range h.colL[k] {
 		secs := h.applyLBlock(blk, k, yk)
 		ctx.ComputeT(TagApplyL, secs, nil)
 		h.lContribution(ctx, blk.I, h.gp.LReduce[blk.I])
+	}
+}
+
+// bcast forwards a solved subvector down the supernode's broadcast tree,
+// packing it once and reusing the wire form for every child. On the
+// scheduled path the children come precomputed from the schedule (the same
+// ranks in the same order the tree walk yields); under CommAggregated the
+// hops are buffered per destination instead of sent individually.
+func (h *new3dRank) bcast(ctx *runtime.Ctx, k int, v *sparse.Panel, tag int) {
+	var w wirePanel
+	var bytes int
+	packed := false
+	send := func(child int) {
+		if !packed {
+			w, bytes = h.packSend(v)
+			packed = true
+		}
+		if h.st.aggOn {
+			h.aggAdd(child, aggKindBcast, k, w)
+			return
+		}
+		ctx.Send(runtime.Msg{
+			Dst: h.p.GlobalRank(h.z, child), Tag: tag, Cat: runtime.CatXY,
+			Data: &yMsg{K: k, W: w}, Bytes: bytes,
+		})
+	}
+	if h.sr != nil {
+		kids := h.sr.LBcastKids
+		if tag == tagXBcast {
+			kids = h.sr.UBcastKids
+		}
+		for _, child := range kids[h.slot(k)] {
+			send(int(child))
+		}
+	} else {
+		tree := h.gp.LBcast[k]
+		if tag == tagXBcast {
+			tree = h.gp.UBcast[k]
+		}
+		for _, child := range tree.Children(h.r2d) {
+			send(child)
+		}
 	}
 }
 
@@ -225,21 +314,7 @@ func (h *new3dRank) finishAR(ctx *runtime.Ctx) {
 // ---- U phase ----
 
 func (h *new3dRank) onX(ctx *runtime.Ctx, k int, xk *sparse.Panel) {
-	if h.sr != nil {
-		for _, child := range h.sr.UBcastKids[h.slot(k)] {
-			ctx.Send(runtime.Msg{
-				Dst: h.p.GlobalRank(h.z, int(child)), Tag: tagXBcast, Cat: runtime.CatXY,
-				Data: &yMsg{K: k, Y: xk}, Bytes: panelBytes(xk),
-			})
-		}
-	} else {
-		for _, child := range h.gp.UBcast[k].Children(h.r2d) {
-			ctx.Send(runtime.Msg{
-				Dst: h.p.GlobalRank(h.z, child), Tag: tagXBcast, Cat: runtime.CatXY,
-				Data: &yMsg{K: k, Y: xk}, Bytes: panelBytes(xk),
-			})
-		}
-	}
+	h.bcast(ctx, k, xk, tagXBcast)
 	for _, ref := range h.colU[k] {
 		secs := h.applyUBlock(ref, k, xk)
 		ctx.ComputeT(TagApplyU, secs, nil)

@@ -105,6 +105,9 @@ type SolveOpts struct {
 	// sweeps (tasks claimed per steal); 0 means the built-in default.
 	// Sweeps narrower than two chunks run serially.
 	LevelChunk int
+	// Comm selects the wire format of inter-rank subvector traffic; the
+	// zero value resolves to the packed sparse format.
+	Comm CommMode
 }
 
 // stateReleaser is implemented by every handler embedding rankCore; Solve
@@ -145,6 +148,9 @@ func SolveIntoOpts(p *dist.Plan, model *machine.Model, algo Algorithm, back Back
 	}
 	if !opts.Exec.Valid() {
 		return nil, fmt.Errorf("trsv: unknown execution mode %v", opts.Exec)
+	}
+	if !opts.Comm.Valid() {
+		return nil, fmt.Errorf("trsv: unknown communication mode %v", opts.Comm)
 	}
 	if opts.Exec.Resolve() == ExecSched {
 		// Derive (or fetch the cached) level/DAG schedule up front so a

@@ -1,0 +1,333 @@
+package trsv
+
+import (
+	"fmt"
+	"math"
+
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+)
+
+// The sparse wire format. Every inter-rank solution/partial-sum message
+// ships its panels as wirePanel entries instead of raw dense panels, so
+// the modeled byte counts (and the simulated network charges derived from
+// them) reflect what a packed MPI exchange would actually move — the
+// SpComm3D direction of ROADMAP item 3.
+//
+// The byte model is explicit and uniform:
+//
+//	message  = wireEnvBytes                      (dst/tag/count envelope)
+//	         + Σ per entry: wireHdrBytes         (k, rows, cols, effcols)
+//	                      + 4·len(RowIdx)        (packed row indices)
+//	                      + 8·len(Vals)          (float64 payload)
+//
+// A bundle of N panels therefore never models fewer bytes than N singleton
+// messages minus the real aggregation savings ((N−1) envelopes): the
+// per-entry header is charged per panel, not per message — the accounting
+// bug this layer replaced charged one flat header per bundle.
+
+const (
+	// wireEnvBytes is the fixed per-message envelope (source, tag, entry
+	// count — the MPI envelope analog).
+	wireEnvBytes = 16
+	// wireHdrBytes is the per-entry header: supernode index plus the
+	// (rows, cols, effcols, nz) dimensions needed to unpack it.
+	wireHdrBytes = 16
+	// wireIdxBytes is the cost of one packed row index.
+	wireIdxBytes = 4
+)
+
+// wirePanel is one supernode subvector in wire form. Three representations
+// share the struct:
+//
+//   - dense:     RowIdx == nil, Vals holds Rows×EffCols values column-major
+//     (EffCols < Cols drops trailing all-zero RHS columns — the
+//     zero-run suppression);
+//   - indexed:   RowIdx lists the nonzero rows ascending and Vals holds
+//     len(RowIdx)×EffCols values column-major (Vals[j·nz+i] is
+//     row RowIdx[i] of column j);
+//   - empty:     EffCols == 0, no indices, no values.
+//
+// "Nonzero" means the IEEE-754 bit pattern is nonzero: −0.0 ships as a
+// value, +0.0 is suppressed, so unpacking reconstructs every shipped row
+// bit-for-bit. In the full-density dense case Vals aliases the source
+// panel's storage — sending a wirePanel transfers read access exactly like
+// sending the panel itself did.
+type wirePanel struct {
+	Rows, Cols int
+	EffCols    int
+	RowIdx     []int32
+	Vals       []float64
+}
+
+// wireBytes is the modeled wire size of the entry, header included.
+func (w *wirePanel) wireBytes() int {
+	return wireHdrBytes + wireIdxBytes*len(w.RowIdx) + 8*len(w.Vals)
+}
+
+// singleBytes is the modeled size of a message carrying exactly one entry
+// (identical to a one-entry bundle, keeping singletons and bundles on one
+// scale).
+func singleBytes(w *wirePanel) int { return wireEnvBytes + w.wireBytes() }
+
+// packPanel converts a panel to wire form. Dense mode reproduces the
+// pre-packing wire model (full dense shipment); packed mode suppresses
+// trailing all-zero columns, then chooses between the dense and the
+// indexed representation by modeled size. The input panel must not be
+// written while the wire form is in flight (Vals may alias it).
+func packPanel(p *sparse.Panel, mode CommMode) wirePanel {
+	if mode.Resolve() == CommDense {
+		return wirePanel{Rows: p.Rows, Cols: p.Cols, EffCols: p.Cols, Vals: p.Data}
+	}
+	eff := p.Cols
+	for eff > 0 && allZero(p.Col(eff-1)) {
+		eff--
+	}
+	if eff == 0 {
+		return wirePanel{Rows: p.Rows, Cols: p.Cols}
+	}
+	// Rows that are zero across every effective column can be indexed away
+	// when the index overhead beats the dense payload.
+	nz := 0
+	for r := 0; r < p.Rows; r++ {
+		if rowNonZero(p, r, eff) {
+			nz++
+		}
+	}
+	denseSize := 8 * p.Rows * eff
+	idxSize := wireIdxBytes*nz + 8*nz*eff
+	if nz == p.Rows || idxSize >= denseSize {
+		if eff == p.Cols {
+			return wirePanel{Rows: p.Rows, Cols: p.Cols, EffCols: eff, Vals: p.Data}
+		}
+		return wirePanel{Rows: p.Rows, Cols: p.Cols, EffCols: eff, Vals: p.Data[:p.Rows*eff]}
+	}
+	idx := make([]int32, 0, nz)
+	for r := 0; r < p.Rows; r++ {
+		if rowNonZero(p, r, eff) {
+			idx = append(idx, int32(r))
+		}
+	}
+	vals := make([]float64, nz*eff)
+	for j := 0; j < eff; j++ {
+		col := p.Col(j)
+		out := vals[j*nz : (j+1)*nz]
+		for i, r := range idx {
+			out[i] = col[r]
+		}
+	}
+	return wirePanel{Rows: p.Rows, Cols: p.Cols, EffCols: eff, RowIdx: idx, Vals: vals}
+}
+
+// allZero reports whether every element of v has a zero bit pattern.
+func allZero(v []float64) bool {
+	for _, x := range v {
+		if math.Float64bits(x) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rowNonZero reports whether row r has a nonzero bit pattern in any of the
+// first eff columns.
+func rowNonZero(p *sparse.Panel, r, eff int) bool {
+	for j := 0; j < eff; j++ {
+		if math.Float64bits(p.Data[j*p.Rows+r]) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// unpackPanel reconstructs the full Rows×Cols panel from wire form. The
+// full-density dense case aliases Vals (zero copy — the receiver gets read
+// access to the sender's panel, exactly the pre-packing semantics); every
+// other representation scatters into a fresh zeroed panel (arena-backed on
+// the scheduled path). Reconstruction is bit-exact: suppressed entries
+// were +0.0 by bit pattern, and a zeroed panel holds +0.0.
+func (c *rankCore) unpackPanel(w *wirePanel) *sparse.Panel {
+	if w.RowIdx == nil && w.EffCols == w.Cols {
+		return &sparse.Panel{Rows: w.Rows, Cols: w.Cols, Data: w.Vals}
+	}
+	p := c.newPanelCols(w.Rows, w.Cols)
+	scatterWire(p, w)
+	return p
+}
+
+// scatterWire writes the wire entries into p (which must be zeroed at the
+// target positions).
+func scatterWire(p *sparse.Panel, w *wirePanel) {
+	if w.RowIdx == nil {
+		copy(p.Data, w.Vals)
+		return
+	}
+	nz := len(w.RowIdx)
+	for j := 0; j < w.EffCols; j++ {
+		col := p.Col(j)
+		vals := w.Vals[j*nz : (j+1)*nz]
+		for i, r := range w.RowIdx {
+			col[r] = vals[i]
+		}
+	}
+}
+
+// addWire accumulates the wire entries into dst (dst.Rows×dst.Cols must
+// match the entry's logical shape). Suppressed entries are +0.0 and are
+// skipped — see DESIGN.md §13 for the one IEEE corner (a −0.0 accumulator
+// kept where a dense add would have produced +0.0) this can differ in.
+func addWire(dst *sparse.Panel, w *wirePanel) {
+	if dst.Rows != w.Rows || dst.Cols != w.Cols {
+		panic(fmt.Sprintf("trsv: addWire shape mismatch: dst %dx%d, wire %dx%d",
+			dst.Rows, dst.Cols, w.Rows, w.Cols))
+	}
+	if w.RowIdx == nil {
+		for i, v := range w.Vals {
+			dst.Data[i] += v
+		}
+		return
+	}
+	nz := len(w.RowIdx)
+	for j := 0; j < w.EffCols; j++ {
+		col := dst.Col(j)
+		vals := w.Vals[j*nz : (j+1)*nz]
+		for i, r := range w.RowIdx {
+			col[r] += vals[i]
+		}
+	}
+}
+
+// newPanelCols is newPanel with an explicit column count (unpacking may
+// run before st.nrhs panels of the solve's width exist; the shapes always
+// agree in practice, but the wire header is authoritative).
+func (c *rankCore) newPanelCols(rows, cols int) *sparse.Panel {
+	if c.st.sched {
+		return c.st.arena.alloc(rows, cols)
+	}
+	return sparse.NewPanel(rows, cols)
+}
+
+// ---- communication modes ----
+
+// CommMode selects the wire format and message shaping of a solve's
+// inter-rank traffic.
+type CommMode int
+
+const (
+	// CommAuto picks the default mode (currently CommPacked).
+	CommAuto CommMode = iota
+	// CommPacked ships index+value packed panels with trailing-zero-column
+	// suppression: bit-exact reconstruction, fewer modeled bytes, identical
+	// message counts.
+	CommPacked
+	// CommDense ships every panel fully dense — the pre-packing wire model,
+	// kept selectable as the byte-accounting reference.
+	CommDense
+	// CommAggregated is CommPacked plus per-destination coalescing in the
+	// proposed algorithm's 2D phases: all broadcast fan-outs and reduction
+	// contributions one rank emits to the same destination within one
+	// handler activation ride a single packed message. Fewer, larger
+	// messages; solutions agree with CommPacked up to floating-point
+	// summation order. Algorithms without the proposed 2D phases (baseline,
+	// GPU) run it as CommPacked.
+	CommAggregated
+)
+
+func (m CommMode) String() string {
+	switch m {
+	case CommAuto:
+		return "auto"
+	case CommPacked:
+		return "packed"
+	case CommDense:
+		return "dense"
+	case CommAggregated:
+		return "aggregated"
+	}
+	return fmt.Sprintf("CommMode(%d)", int(m))
+}
+
+// Resolve maps CommAuto to the concrete default mode.
+func (m CommMode) Resolve() CommMode {
+	if m == CommAuto {
+		return CommPacked
+	}
+	return m
+}
+
+// Valid reports whether m is a known mode.
+func (m CommMode) Valid() bool {
+	switch m {
+	case CommAuto, CommPacked, CommDense, CommAggregated:
+		return true
+	}
+	return false
+}
+
+// ---- per-destination aggregation ----
+
+// Entry kinds of an aggregated message, in the vocabulary of the proposed
+// algorithm's 2D phases.
+const (
+	aggKindBcast  = byte(0) // a y/x broadcast hop (the yMsg analog)
+	aggKindReduce = byte(1) // a partial-sum reduction hop (the sumMsg analog)
+)
+
+// aggMsg coalesces one sender's same-phase traffic to one destination:
+// broadcast hops and reduction contributions interleaved in send order.
+// Phase gates admission exactly like the singleton tags it replaces.
+type aggMsg struct {
+	Phase int
+	Ks    []int
+	Kinds []byte
+	Ws    []wirePanel
+}
+
+func (b *aggMsg) bytes() int {
+	n := wireEnvBytes
+	for i := range b.Ws {
+		n += b.Ws[i].wireBytes()
+	}
+	return n
+}
+
+// aggBuf accumulates one destination's pending entries between flushes.
+type aggBuf struct {
+	phase int
+	ks    []int
+	kinds []byte
+	ws    []wirePanel
+}
+
+// aggAdd buffers one entry for 2D-local destination dst2d, stamping the
+// buffer with the phase of its first entry (a flush can run after the
+// phase advanced).
+func (c *rankCore) aggAdd(dst2d int, kind byte, k int, w wirePanel) {
+	st := c.st
+	b := &st.aggBufs[dst2d]
+	if len(b.ks) == 0 {
+		b.phase = st.phase
+		st.aggOrder = append(st.aggOrder, int32(dst2d))
+	}
+	b.ks = append(b.ks, k)
+	b.kinds = append(b.kinds, kind)
+	b.ws = append(b.ws, w)
+}
+
+// flushAgg emits every pending aggregation buffer, one packed message per
+// destination in first-touch order, and resets the buffers for the next
+// activation. The buffered slices are handed to the message; the buffer
+// starts fresh so in-flight messages are never mutated.
+func (c *rankCore) flushAgg(ctx *runtime.Ctx) {
+	st := c.st
+	for _, dst2d := range st.aggOrder {
+		b := &st.aggBufs[dst2d]
+		m := &aggMsg{Phase: b.phase, Ks: b.ks, Kinds: b.kinds, Ws: b.ws}
+		b.ks, b.kinds, b.ws = nil, nil, nil
+		ctx.Send(runtime.Msg{
+			Dst: c.p.GlobalRank(c.z, int(dst2d)), Tag: tagAgg, Cat: runtime.CatXY,
+			Data: m, Bytes: m.bytes(),
+		})
+	}
+	st.aggOrder = st.aggOrder[:0]
+}

@@ -41,6 +41,10 @@ echo "== go test -race -count=3 (scheduled-execution work-stealing stress) =="
 go test -race -count=3 -run 'TestSchedConcurrentSolves|TestSchedPoolBitExact|TestSchedMatchesHandlerBitExact' \
     ./internal/trsv ./internal/sched
 
+echo "== go test -race -count=2 (packed wire format + deferred-queue stress) =="
+go test -race -count=2 -run 'Wire|Pack|Comm|ByteAccount|Aggregated|Deferred|SendDsts' \
+    ./internal/trsv ./internal/sched
+
 echo "== go test -race -count=2 (solve service stress: clients x scrapes x cache churn) =="
 go test -race -count=2 -run 'TestServerStressRace|TestCoalesce|TestQueueFull' \
     ./internal/server ./internal/server/loadgen

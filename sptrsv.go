@@ -216,6 +216,23 @@ const (
 	ExecHandler = trsv.ExecHandler
 )
 
+// CommMode selects the wire format of inter-rank subvector traffic via
+// Config.Comm.
+type CommMode = trsv.CommMode
+
+// Communication modes. CommPacked (the CommAuto default) ships index+value
+// packed supernode segments with trailing-zero-column suppression — fewer
+// modeled bytes, identical message counts, bit-exact solutions. CommDense
+// is the full-dense reference wire model; CommAggregated adds
+// per-destination coalescing of same-phase messages in the proposed
+// algorithm's 2D phases (see DESIGN.md §13).
+const (
+	CommAuto       = trsv.CommAuto
+	CommPacked     = trsv.CommPacked
+	CommDense      = trsv.CommDense
+	CommAggregated = trsv.CommAggregated
+)
+
 // Machine models of the paper's three systems.
 var (
 	CoriHaswell   = machine.CoriHaswell
