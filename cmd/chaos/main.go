@@ -11,6 +11,7 @@
 // Fault flags (all optional; with none set every run is healthy):
 //
 //	-straggler rank:factor[,rank:factor...]  slow ranks down by factor
+//	-net-delay rank:seconds[,...]            delay every message a rank sends
 //	-jitter seconds                          uniform extra latency in [0, s)
 //	-drop src:dst:tag:count[,...]            discard messages (-1 wildcards,
 //	                                         count 0 = every match)
@@ -53,8 +54,13 @@ func main() {
 	backendName := flag.String("backend", "sim", "backend: sim (virtual time) or pool (goroutines, wall clock)")
 	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
 	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
+	modeName := flag.String("mode", "auto", "solve mode: auto, strict, elastic (bounded staleness + iterative refinement)")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	seeds := flag.Int("seeds", 3, "number of seeds to sweep (1..n)")
 	stragglerSpec := flag.String("straggler", "", "rank:factor[,...] — slow ranks down")
+	netDelaySpec := flag.String("net-delay", "", "rank:seconds[,...] — delay every message a rank sends (network straggler)")
 	jitter := flag.Float64("jitter", 0, "uniform extra message latency in [0, jitter) seconds")
 	dropSpec := flag.String("drop", "", "src:dst:tag:count[,...] — message drop rules (-1 wildcards)")
 	crashSpec := flag.String("crash", "", "rank:seconds[,...] — kill ranks at a time")
@@ -73,6 +79,10 @@ func main() {
 		fail(err)
 	}
 	exec, err := cliutil.ParseExec(*execName)
+	if err != nil {
+		fail(err)
+	}
+	mode, err := cliutil.ElasticFlags(*modeName, *staleness, *refineTol, *refineMax)
 	if err != nil {
 		fail(err)
 	}
@@ -95,6 +105,10 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("-straggler: %w", err))
 	}
+	netDelay, err := parsePairs(*netDelaySpec)
+	if err != nil {
+		fail(fmt.Errorf("-net-delay: %w", err))
+	}
 	crash, err := parsePairs(*crashSpec)
 	if err != nil {
 		fail(fmt.Errorf("-crash: %w", err))
@@ -109,12 +123,12 @@ func main() {
 		b.Data[i] = 1 + float64(i%7)/7
 	}
 
-	fmt.Printf("plan: straggler=%v jitter=%g drops=%v crash=%v, %d seed(s), %s backend, %s exec\n",
-		straggler, *jitter, drops, crash, *seeds, *backendName, exec.Resolve())
+	fmt.Printf("plan: straggler=%v net-delay=%v jitter=%g drops=%v crash=%v, %d seed(s), %s backend, %s exec, %s mode\n",
+		straggler, netDelay, *jitter, drops, crash, *seeds, *backendName, exec.Resolve(), mode.Resolve())
 	bad := 0
 	for seed := int64(1); seed <= int64(*seeds); seed++ {
 		plan := &fault.Plan{
-			Seed: seed, Straggler: straggler, Jitter: *jitter, Drops: drops, Crash: crash,
+			Seed: seed, Straggler: straggler, NetDelay: netDelay, Jitter: *jitter, Drops: drops, Crash: crash,
 		}
 		cfg := core.Config{
 			Layout:     grid.Layout{Px: *px, Py: *py, Pz: *pz},
@@ -123,6 +137,10 @@ func main() {
 			Machine:    machine.ByName(*machineName),
 			Exec:       exec,
 			LevelChunk: *levelChunk,
+			Mode:       mode,
+			Staleness:  *staleness,
+			RefineTol:  *refineTol,
+			RefineMax:  *refineMax,
 		}
 		switch *backendName {
 		case "sim":
@@ -150,8 +168,12 @@ func main() {
 				status = "BAD-RESIDUAL"
 				bad++
 			}
-			fmt.Printf("seed %d: %s  solve=%.4gms residual=%.3g  (%v)\n",
-				seed, status, rep.Time*1e3, r, elapsed)
+			extra := ""
+			if mode.Resolve() == trsv.ModeElastic {
+				extra = fmt.Sprintf(" stale=%d refine=%d", rep.StaleSupernodes, rep.RefinePasses)
+			}
+			fmt.Printf("seed %d: %s  solve=%.4gms residual=%.3g%s  (%v)\n",
+				seed, status, rep.Time*1e3, r, extra, elapsed)
 		case fault.IsFault(err):
 			fmt.Printf("seed %d: FAULT  %v  (%v)\n", seed, err, elapsed)
 		default:

@@ -38,14 +38,23 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "matrix scale: small, medium, large")
-	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,comm,autotune,breakdown,faults,slo,bench,regress")
+	only := flag.String("only", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11,ablation,sched,comm,autotune,breakdown,faults,elastic,slo,bench,regress")
 	quick := flag.Bool("quick", false, "shrink sweeps to smoke-test size")
 	outdir := flag.String("outdir", "", "also write one text file per experiment into this directory")
 	baseline := flag.String("baseline", "BENCH_SPTRSV.json", "benchmark summary file: written by -only bench, compared by -only regress")
 	latencyTol := flag.Float64("latency-tol", 0.05, "fractional per-record latency slowdown -only regress tolerates")
 	bytesTol := flag.Float64("bytes-tol", 0, "fractional per-record byte growth -only regress tolerates (0 = any increase is fatal)")
+	modeName := flag.String("mode", "auto", "solve mode for every experiment point: auto, strict, elastic (the elastic sweep sets its own modes)")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
+
+	solveMode, err := cliutil.ElasticFlags(*modeName, *staleness, *refineTol, *refineMax)
+	if err != nil {
+		cliutil.Fail("figures", err)
+	}
 
 	want := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
@@ -56,6 +65,7 @@ func main() {
 		want["ablation"] = true
 		want["autotune"] = true
 		want["faults"] = true
+		want["elastic"] = true
 		want["sched"] = true
 		want["comm"] = true
 	}
@@ -78,10 +88,14 @@ func main() {
 			w = io.MultiWriter(os.Stdout, file)
 		}
 		cfg := bench.Config{
-			Scale:   gen.ParseScale(*scale),
-			Quick:   *quick,
-			Verbose: *verbose,
-			Out:     w,
+			Scale:     gen.ParseScale(*scale),
+			Quick:     *quick,
+			Verbose:   *verbose,
+			Out:       w,
+			Mode:      solveMode,
+			Staleness: *staleness,
+			RefineTol: *refineTol,
+			RefineMax: *refineMax,
 		}
 		t0 := time.Now()
 		fmt.Printf("== %s (scale=%s quick=%v) ==\n", name, *scale, *quick)
@@ -107,6 +121,7 @@ func main() {
 	run("autotune", func(cfg bench.Config) { bench.Autotune(cfg) })
 	run("breakdown", func(cfg bench.Config) { bench.BreakdownDetail(cfg) })
 	run("faults", func(cfg bench.Config) { bench.FaultSweep(cfg) })
+	run("elastic", func(cfg bench.Config) { bench.ElasticSweep(cfg) })
 
 	// slo is explicit-only: it measures wall-clock serving latency through
 	// the solve service, so its numbers are machine-dependent and do not

@@ -16,24 +16,48 @@ import (
 
 	"sptrsv/internal/cliutil"
 	"sptrsv/internal/core"
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/dist"
 	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/sched"
+	"sptrsv/internal/trsv"
 )
 
 func main() {
 	scale := flag.String("scale", "small", "matrix scale: small, medium, large")
 	matrix := flag.String("matrix", "all", "one analog name or 'all'")
 	factored := flag.Bool("factor", true, "run ordering+factorization and report fill")
+	modeName := flag.String("mode", "auto", "solve mode: auto, strict, elastic (elastic adds the L/U dependency-depth columns that calibrate -staleness)")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	flag.Parse()
+
+	mode, err := cliutil.ElasticFlags(*modeName, *staleness, *refineTol, *refineMax)
+	if err != nil {
+		cliutil.Fail("matgen", err)
+	}
+	// Elastic mode is about dependency levels, so report the structural
+	// quantity the staleness bound S is measured against: the L- and
+	// U-sweep dependency depths (from a 1x1x1 plan — depths are a property
+	// of the factors, not of any particular process grid).
+	elastic := mode.Resolve() == trsv.ModeElastic && *factored
 
 	names := gen.SuiteNames()
 	if *matrix != "all" {
 		names = []string{*matrix}
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "analog\tstands for\tn\tnnz(A)\tnnz(LU)\tdensity\tsupernodes\tdomain")
+	header := "analog\tstands for\tn\tnnz(A)\tnnz(LU)\tdensity\tsupernodes\tdomain"
+	if elastic {
+		header = "analog\tstands for\tn\tnnz(A)\tnnz(LU)\tdensity\tsupernodes\tL-depth\tU-depth\tdomain"
+	}
+	fmt.Fprintln(tw, header)
 	for _, name := range names {
 		m := gen.Named(name, gen.ParseScale(*scale))
 		nnzLU, snCount := -1, -1
+		lDepth, uDepth := "-", "-"
 		if *factored {
 			sys, err := core.Factorize(m.A, core.FactorOptions{})
 			if err != nil {
@@ -41,6 +65,18 @@ func main() {
 			}
 			nnzLU = sys.NNZFactors()
 			snCount = sys.SN.SnCount
+			if elastic {
+				plan, err := dist.New(sys.SN, sys.Tree, grid.Layout{Px: 1, Py: 1, Pz: 1}, ctree.Auto)
+				if err != nil {
+					cliutil.Fail("matgen", err)
+				}
+				sc, err := sched.Of(plan)
+				if err != nil {
+					cliutil.Fail("matgen", err)
+				}
+				lDepth = fmt.Sprint(sc.Grids[0].LDepth)
+				uDepth = fmt.Sprint(sc.Grids[0].UDepth)
+			}
 		}
 		density := "-"
 		lu := "-"
@@ -50,8 +86,17 @@ func main() {
 			lu = fmt.Sprint(nnzLU)
 			sn = fmt.Sprint(snCount)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
-			m.Name, m.PaperName, m.A.N, m.A.NNZ(), lu, density, sn, m.Description)
+		if elastic {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				m.Name, m.PaperName, m.A.N, m.A.NNZ(), lu, density, sn, lDepth, uDepth, m.Description)
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
+				m.Name, m.PaperName, m.A.N, m.A.NNZ(), lu, density, sn, m.Description)
+		}
 	}
 	tw.Flush()
+	if elastic {
+		fmt.Printf("\nelastic deadlines: a rank forces progress once it falls S=%d levels behind; "+
+			"a sweep's forcing horizon is depth+S levels\n", *staleness)
+	}
 }

@@ -84,6 +84,10 @@ func main() {
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
 	backendName := flag.String("backend", "sim", "backend: sim (modeled time) or pool (wall clock)")
 	execName := flag.String("exec", "auto", "execution engine: auto, sched, handler")
+	solveModeName := flag.String("solve-mode", "auto", "default solve mode: auto, strict, elastic (per-request override via config.mode; -mode is taken by serve/loop)")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	levelChunk := flag.Int("level-chunk", 0, "loop mode: scheduled-execution cache-blocking chunk size (0 = default)")
 	nrhs := flag.Int("nrhs", 1, "loop mode: number of right-hand sides per solve")
 	interval := flag.Duration("interval", 100*time.Millisecond, "loop mode: pause between solves (0 = back to back)")
@@ -98,6 +102,10 @@ func main() {
 		fail(err)
 	}
 	exec, err := cliutil.ParseExec(*execName)
+	if err != nil {
+		fail(err)
+	}
+	solveMode, err := cliutil.ElasticFlags(*solveModeName, *staleness, *refineTol, *refineMax)
 	if err != nil {
 		fail(err)
 	}
@@ -117,6 +125,10 @@ func main() {
 			Ranks:        *ranks,
 			Backend:      backend,
 			Exec:         exec,
+			Mode:         solveMode,
+			Staleness:    *staleness,
+			RefineTol:    *refineTol,
+			RefineMax:    *refineMax,
 			MaxQueue:     *maxQueue,
 			MaxBatch:     *maxBatch,
 			MaxWait:      *maxWait,
@@ -136,6 +148,8 @@ func main() {
 			px: *px, py: *py, pz: *pz,
 			algoName: *algoName, treeName: *treeName,
 			model: model, backend: backend, exec: exec,
+			solveMode: solveMode, staleness: *staleness,
+			refineTol: *refineTol, refineMax: *refineMax,
 			levelChunk: *levelChunk, nrhs: *nrhs,
 			addr: *addr, interval: *interval, count: *count, check: *check,
 		}, fail)
@@ -211,6 +225,9 @@ type loopConfig struct {
 	model                  *machine.Model
 	backend                trsv.Backend
 	exec                   trsv.ExecMode
+	solveMode              trsv.SolveMode
+	staleness, refineMax   int
+	refineTol              float64
 	levelChunk, nrhs       int
 	addr                   string
 	interval               time.Duration
@@ -250,6 +267,10 @@ func runLoop(lc loopConfig, fail func(error)) {
 		Backend:    lc.backend,
 		Exec:       lc.exec,
 		LevelChunk: lc.levelChunk,
+		Mode:       lc.solveMode,
+		Staleness:  lc.staleness,
+		RefineTol:  lc.refineTol,
+		RefineMax:  lc.refineMax,
 	})
 	if err != nil {
 		fail(err)

@@ -42,6 +42,10 @@ func main() {
 	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
 	commName := flag.String("comm", "auto", "wire format: auto, packed (sparse index+value), dense (full panels), aggregated (packed + per-destination coalescing)")
 	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
+	modeName := flag.String("mode", "auto", "solve mode: auto, strict (block on every dependency), elastic (bounded staleness + iterative refinement)")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this path (see also cmd/trace)")
 	flag.Parse()
@@ -80,6 +84,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	mode, err := cliutil.ElasticFlags(*modeName, *staleness, *refineTol, *refineMax)
+	if err != nil {
+		fail(err)
+	}
 	tracing := *tracePath != ""
 	var backend trsv.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: tracing}}
 	if *backendName == "pool" {
@@ -95,6 +103,10 @@ func main() {
 		Exec:       exec,
 		LevelChunk: *levelChunk,
 		Comm:       comm,
+		Mode:       mode,
+		Staleness:  *staleness,
+		RefineTol:  *refineTol,
+		RefineMax:  *refineMax,
 	}
 	if err := core.ValidateConfig(sys, cfg); err != nil {
 		fail(fmt.Errorf("configuration %dx%dx%d %s on %s is not runnable: %w\n"+
@@ -121,6 +133,10 @@ func main() {
 	fmt.Printf("solve time: %.6g s (%s)\n", rep.Time, *backendName)
 	fmt.Printf("breakdown (mean/rank): FP %.3g s, XY-comm %.3g s, Z-comm %.3g s\n",
 		rep.MeanFP, rep.MeanXY, rep.MeanZ)
+	if mode.Resolve() == trsv.ModeElastic {
+		fmt.Printf("elastic: S=%d, %d stale supernodes, %d refinement passes, verified residual %.3g\n",
+			*staleness, rep.StaleSupernodes, rep.RefinePasses, rep.Residual)
+	}
 	fmt.Printf("residual ‖Ax−b‖∞ = %.3g\n", solver.Residual(x, b))
 
 	if tracing {

@@ -42,6 +42,10 @@ func main() {
 	machineName := flag.String("machine", "cori-haswell", "machine model (see internal/machine)")
 	execName := flag.String("exec", "auto", "execution engine: auto, sched (level-scheduled sweeps), handler (per-message oracle)")
 	levelChunk := flag.Int("level-chunk", 0, "scheduled-execution cache-blocking chunk size (0 = default)")
+	modeName := flag.String("mode", "auto", "solve mode: auto, strict, elastic (bounded staleness + iterative refinement)")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
 	out := flag.String("o", "trace.json", "output path for the Chrome trace_event JSON")
 	top := flag.Int("top", 5, "how many top-slack and top-wait message edges to print")
@@ -75,6 +79,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	mode, err := cliutil.ElasticFlags(*modeName, *staleness, *refineTol, *refineMax)
+	if err != nil {
+		fail(err)
+	}
 
 	solver, err := core.NewSolver(sys, core.Config{
 		Layout:     grid.Layout{Px: *px, Py: *py, Pz: *pz},
@@ -84,6 +92,10 @@ func main() {
 		Trace:      true,
 		Exec:       exec,
 		LevelChunk: *levelChunk,
+		Mode:       mode,
+		Staleness:  *staleness,
+		RefineTol:  *refineTol,
+		RefineMax:  *refineMax,
 	})
 	if err != nil {
 		fail(err)
@@ -99,6 +111,10 @@ func main() {
 	}
 	fmt.Printf("layout %dx%dx%d, %s, %s model: solve time %.6g s, residual %.3g\n",
 		*px, *py, *pz, *algoName, *machineName, rep.Time, solver.Residual(x, b))
+	if mode.Resolve() == trsv.ModeElastic {
+		fmt.Printf("elastic: S=%d, %d stale supernodes, %d refinement passes, verified residual %.3g\n",
+			*staleness, rep.StaleSupernodes, rep.RefinePasses, rep.Residual)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"sptrsv/internal/gen"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
 	"sptrsv/internal/tune"
 )
 
@@ -34,6 +35,10 @@ func main() {
 	topk := flag.Int("topk", 0, "candidates probed after the analytic pre-score (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent probe solves (0 = default)")
 	cacheDir := flag.String("cache", "", "directory of the persistent tuned-config cache (empty = no cache)")
+	modeName := flag.String("mode", "auto", "solve mode to stamp on the tuned config: auto, strict, elastic")
+	staleness := flag.Int("staleness", 16, "elastic mode's staleness bound S, in dependency levels")
+	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
+	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	verbose := flag.Bool("v", false, "also list every probed candidate")
 	flag.Parse()
 
@@ -53,7 +58,15 @@ func main() {
 		fail(err)
 	}
 
-	opt := tune.Options{NRHS: *nrhs, TopK: *topk, Workers: *workers}
+	mode, err := cliutil.ElasticFlags(*modeName, *staleness, *refineTol, *refineMax)
+	if err != nil {
+		fail(err)
+	}
+
+	opt := tune.Options{
+		NRHS: *nrhs, TopK: *topk, Workers: *workers,
+		Mode: mode, Staleness: *staleness, RefineTol: *refineTol, RefineMax: *refineMax,
+	}
 	if *cacheDir != "" {
 		if opt.Cache, err = tune.OpenCache(*cacheDir); err != nil {
 			fail(err)
@@ -70,6 +83,10 @@ func main() {
 		source = "served from cache, zero probe solves"
 	}
 	fmt.Printf("tuned for p=%d on %s, nrhs=%d (%s)\n", *p, model.Name, *nrhs, source)
+	if mode.Resolve() == trsv.ModeElastic {
+		fmt.Printf("solve mode: elastic (S=%d, refine-tol %g, refine-max %d) stamped on both configs\n",
+			*staleness, *refineTol, *refineMax)
+	}
 	fmt.Printf("chosen:  %-12s %dx%dx%d trees=%-6s exec=%-7s  predicted makespan %.6g s\n",
 		res.Config.Algorithm, res.Config.Layout.Px, res.Config.Layout.Py, res.Config.Layout.Pz,
 		res.Config.Trees, res.Config.Exec.Resolve(), res.Makespan)

@@ -34,6 +34,16 @@ type Config struct {
 	// Verbose echoes progress lines to Out while sweeping.
 	Verbose bool
 	Out     io.Writer
+	// Mode, Staleness, RefineTol, and RefineMax select the solve mode every
+	// experiment point runs in (strict when zero). Fault-free sweeps are
+	// bit-identical across modes, so regenerating a figure under
+	// Mode=elastic is a cheap end-to-end check that elasticity is overhead-
+	// free when healthy. Points that set their own mode (the elasticity
+	// sweep) ignore these.
+	Mode      trsv.SolveMode
+	Staleness int
+	RefineTol float64
+	RefineMax int
 }
 
 func (c Config) logf(format string, args ...any) {
@@ -111,6 +121,11 @@ type runCfg struct {
 	// comm selects the wire format; the zero value (auto) resolves to the
 	// packed sparse format, matching core.Config.
 	comm trsv.CommMode
+	// mode (with staleness/refineTol/refineMax) selects strict or elastic
+	// execution; auto inherits the lab Config's mode group.
+	mode                 trsv.SolveMode
+	staleness, refineMax int
+	refineTol            float64
 }
 
 // run solves once and returns the report, verifying the residual: every
@@ -122,9 +137,14 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 	if rc.backend == nil {
 		rc.backend = trsv.SimBackend{}
 	}
+	if rc.mode == trsv.ModeAuto {
+		rc.mode, rc.staleness = l.cfg.Mode, l.cfg.Staleness
+		rc.refineTol, rc.refineMax = l.cfg.RefineTol, l.cfg.RefineMax
+	}
 	// The backend is part of the key: a traced and an untraced solver for
 	// the same configuration must not share a cache slot.
-	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v/%v/%v", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend, rc.exec, rc.comm)
+	key := fmt.Sprintf("%s/%+v/%v/%v/%s/%d/%+v/%v/%v/%v-%d-%g-%d", name, rc.layout, rc.algo, rc.trees, rc.model.Name, rc.nrhs, rc.backend, rc.exec, rc.comm,
+		rc.mode, rc.staleness, rc.refineTol, rc.refineMax)
 	solver := l.solvers[key]
 	if solver == nil {
 		var err error
@@ -136,6 +156,10 @@ func (l *lab) run(name string, rc runCfg) *core.Report {
 			Backend:   rc.backend,
 			Exec:      rc.exec,
 			Comm:      rc.comm,
+			Mode:      rc.mode,
+			Staleness: rc.staleness,
+			RefineTol: rc.refineTol,
+			RefineMax: rc.refineMax,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("bench: solver %s %+v: %v", name, rc.layout, err))

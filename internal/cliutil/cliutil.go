@@ -109,6 +109,44 @@ func ParseComm(name string) (trsv.CommMode, error) {
 	return 0, fmt.Errorf("unknown communication mode %q (want auto, packed, dense, aggregated)", name)
 }
 
+// ParseSolveMode maps the shared -mode flag vocabulary to a solve mode.
+func ParseSolveMode(name string) (trsv.SolveMode, error) {
+	switch name {
+	case "auto":
+		return trsv.ModeAuto, nil
+	case "strict":
+		return trsv.ModeStrict, nil
+	case "elastic":
+		return trsv.ModeElastic, nil
+	}
+	return 0, fmt.Errorf("unknown solve mode %q (want auto, strict, elastic)", name)
+}
+
+// ElasticFlags validates the shared elastic-mode flag group (-mode,
+// -staleness, -refine-tol, -refine-max) as one unit: the mode name must
+// parse, the numeric bounds must be non-negative, and elastic mode must
+// come with a positive staleness bound (S ≤ 0 elastic silently degrades to
+// strict, which is never what the flag user meant).
+func ElasticFlags(mode string, staleness int, refineTol float64, refineMax int) (trsv.SolveMode, error) {
+	m, err := ParseSolveMode(mode)
+	if err != nil {
+		return 0, err
+	}
+	if staleness < 0 {
+		return 0, fmt.Errorf("-staleness must be non-negative, got %d", staleness)
+	}
+	if refineTol < 0 {
+		return 0, fmt.Errorf("-refine-tol must be non-negative, got %g", refineTol)
+	}
+	if refineMax < 0 {
+		return 0, fmt.Errorf("-refine-max must be non-negative, got %d", refineMax)
+	}
+	if m == trsv.ModeElastic && staleness == 0 {
+		return 0, fmt.Errorf("-mode elastic requires -staleness > 0")
+	}
+	return m, nil
+}
+
 // ParseMachine maps the shared -machine flag vocabulary to a machine
 // model, with the error listing the valid names (machine.ByName, the older
 // form, panics instead — fine for harnesses, not for request paths).

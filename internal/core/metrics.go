@@ -22,6 +22,12 @@ var (
 		"SolveBatch panels by outcome.", "status")
 	mBufPool = metrics.Default().Counter("sptrsv_core_solve_buffers",
 		"Per-solve permutation-buffer pool traffic: hit (recycled, right shape), resize (recycled, reallocated), miss (newly allocated).", "outcome")
+	mRefinePasses = metrics.Default().Counter("sptrsv_refine_passes",
+		"Iterative-refinement passes run after elastic solves; zero-pass elastic solves (already within tolerance) add nothing.",
+		"algorithm", "machine", "matrix")
+	mRefinedResidual = metrics.Default().Gauge("sptrsv_core_refined_residual",
+		"Verified ‖b − A·x‖∞ of the most recent elastic solve after refinement.",
+		"algorithm", "machine", "matrix")
 )
 
 // Fingerprint identifies the factored matrix for metric labels and bench

@@ -39,6 +39,12 @@ type StallError struct {
 	// State is the handler's self-description of what it was waiting for
 	// (see runtime.WaitStater), "" when the handler offers none.
 	State string
+	// Done and Total are the stuck rank's solve progress — supernode
+	// diagonal solves completed across both sweeps versus the rank's total
+	// (see runtime.Progresser) — distinguishing a true deadlock (progress
+	// frozen near zero) from slow-but-live progress. Both are zero when
+	// the handler reports none.
+	Done, Total int
 	// Virtual distinguishes a DES quiescence deadlock from a Pool
 	// watchdog abort.
 	Virtual bool
@@ -55,12 +61,16 @@ func (e *StallError) Error() string {
 	if e.State != "" {
 		state = "; state: " + e.State
 	}
-	if e.Virtual {
-		return fmt.Sprintf("fault: deadlock — rank %d expects more messages at quiescence%s%s",
-			e.Rank, expect, state)
+	prog := ""
+	if e.Total > 0 {
+		prog = fmt.Sprintf("; progress %d/%d supernode solves", e.Done, e.Total)
 	}
-	return fmt.Sprintf("fault: stall — rank %d made no progress for %v (watchdog deadline %v)%s%s",
-		e.Rank, e.Waited.Round(time.Millisecond), e.Deadline, expect, state)
+	if e.Virtual {
+		return fmt.Sprintf("fault: deadlock — rank %d expects more messages at quiescence%s%s%s",
+			e.Rank, expect, state, prog)
+	}
+	return fmt.Sprintf("fault: stall — rank %d made no progress for %v (watchdog deadline %v)%s%s%s",
+		e.Rank, e.Waited.Round(time.Millisecond), e.Deadline, expect, state, prog)
 }
 
 // CrashError reports that an injected rank crash prevented the solve from
@@ -117,11 +127,13 @@ func (e *ProtocolError) Error() string {
 	return s
 }
 
-// NumericalError reports a non-finite value detected by the solver's
-// numerical guards: in the right-hand side before the solve (Stage "rhs")
-// or in the solution on exit (Stage "solution").
+// NumericalError reports a failure of the solver's numerical guards: a
+// non-finite value in the right-hand side before the solve (Stage "rhs")
+// or in the solution on exit (Stage "solution"), or an elastic-mode solve
+// whose iterative refinement could not pull the residual below the
+// configured tolerance within the pass budget (Stage "refinement").
 type NumericalError struct {
-	Stage    string  // "rhs" or "solution"
+	Stage    string  // "rhs", "solution", or "refinement"
 	Row, Col int     // first offending entry (row in the caller's ordering)
 	Value    float64 // the offending value (NaN or ±Inf)
 	// Sn is the supernode whose diagonal solve produced the row and Rank
@@ -129,11 +141,19 @@ type NumericalError struct {
 	// stage, where the bad value came from the caller.
 	Sn   int
 	Rank int
+	// Refinement-stage diagnostics: the final residual inf-norm after
+	// Passes refinement passes against tolerance Tol.
+	Residual, Tol float64
+	Passes        int
 }
 
 func (e *NumericalError) faultError() {}
 
 func (e *NumericalError) Error() string {
+	if e.Stage == "refinement" {
+		return fmt.Sprintf("fault: refinement did not converge — residual %.3g > tol %.3g after %d passes",
+			e.Residual, e.Tol, e.Passes)
+	}
 	s := fmt.Sprintf("fault: non-finite value %v in %s at row %d, column %d",
 		e.Value, e.Stage, e.Row, e.Col)
 	if e.Sn >= 0 {

@@ -47,6 +47,14 @@ type Plan struct {
 	// modeled overheads take factor× as long, the extra time charged to
 	// runtime.CatFault. Factors ≤ 1 are ignored.
 	Straggler map[int]float64
+	// NetDelay maps rank → extra seconds (virtual under the Engine, wall
+	// under the Pool) added to the delivery of every message the rank
+	// sends: a network straggler — degraded NIC, congested switch port,
+	// flaky link — whose compute keeps pace but whose messages arrive
+	// late. Unlike Straggler, the rank's own clock is untouched, so
+	// strict solves serialize on the late arrivals level after level
+	// while elastic solves can proceed past them. Values ≤ 0 are ignored.
+	NetDelay map[int]float64
 	// Jitter adds a uniform extra latency in [0, Jitter) seconds to every
 	// message, drawn from Seed. Messages on one link can overtake each
 	// other — the reordering the deferral protocol must absorb.
@@ -104,6 +112,18 @@ func (in *Injector) StragglerFactor(rank int) float64 {
 		return f
 	}
 	return 1
+}
+
+// NetDelay returns the injected per-message delivery delay for messages
+// sent by src (0 when src is not a network straggler).
+func (in *Injector) NetDelay(src int) float64 {
+	if in == nil {
+		return 0
+	}
+	if d, ok := in.plan.NetDelay[src]; ok && d > 0 {
+		return d
+	}
+	return 0
 }
 
 // Delay returns the next jitter draw in seconds (0 when jitter is off).

@@ -167,7 +167,25 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 			e.noteCrash(r, t)
 			continue
 		}
-		if wait := ev.time - e.clocks[r]; wait > 0 {
+		dead := false
+		if tg := e.Opts.ElasticTag; tg != 0 {
+			if ev.msg.Tag == tg {
+				// Elastic deadline ticks are timer pops, not dependencies: one
+				// that outlived its purpose (the rank already closed that phase,
+				// or finished outright) is discarded undelivered, so a trailing
+				// tick can never bump a finished rank's clock toward the deadline
+				// and inflate the makespan.
+				if el, ok := e.handlers[r].(ElasticTicker); !ok || !el.TickLive(ev.msg.Data) {
+					continue
+				}
+			} else if dl, ok := e.handlers[r].(DeadLetterer); ok {
+				// A payload for a phase the rank forcibly closed is delivered
+				// (the deferral bookkeeping stays uniform) but charged no wait:
+				// the rank polls past it rather than blocking on it.
+				dead = dl.DeadOnArrival(ev.msg)
+			}
+		}
+		if wait := ev.time - e.clocks[r]; !dead && wait > 0 {
 			e.timers[r].ByCat[ev.msg.Cat] += wait
 			e.timers[r].Waits++
 			e.timers[r].WaitSeconds += wait
@@ -187,7 +205,7 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 				Start: e.clocks[r], Dur: ev.recvOver, Arrive: ev.time,
 			})
 		}
-		if ev.recvOver > 0 {
+		if ev.recvOver > 0 && !dead {
 			e.timers[r].ByCat[ev.msg.Cat] += ev.recvOver
 			e.clocks[r] += ev.recvOver
 		}
@@ -204,9 +222,11 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		if !ok {
 			peer, tag = -1, -1
 		}
+		done, total := progressOf(e.handlers[stuck])
 		return nil, &fault.StallError{
 			Rank: stuck, Peer: peer, Tag: tag,
 			State: waitState(e.handlers[stuck]), Virtual: true,
+			Done: done, Total: total,
 		}
 	}
 	failed = false
@@ -267,7 +287,7 @@ func (e *Engine) send(src int, m Msg) {
 		}
 		return
 	}
-	if d := e.inj.Delay(); d > 0 {
+	if d := e.inj.Delay() + e.inj.NetDelay(src); d > 0 {
 		e.faults.delays++
 		lat += d
 		if e.tr != nil {
@@ -316,7 +336,7 @@ func (e *Engine) sendAfter(src int, delay float64, m Msg) {
 		return
 	}
 	if m.Dst != src {
-		if d := e.inj.Delay(); d > 0 {
+		if d := e.inj.Delay() + e.inj.NetDelay(src); d > 0 {
 			e.faults.delays++
 			delay += d
 			if e.tr != nil {
@@ -335,8 +355,10 @@ func (e *Engine) after(src int, delay float64, tag int, data any) {
 		panic(&fault.ProtocolError{Rank: src, Tag: tag, Msg: "negative After delay"})
 	}
 	// A straggling rank's self-scheduled work (the GPU model's task
-	// completions) finishes late too.
-	if f := e.inj.StragglerFactor(src); f > 1 {
+	// completions) finishes late too. Elastic deadline ticks are exempt:
+	// they model an absolute timeout, and inflating the straggler's own
+	// deadlines would hand the slowest rank the loosest staleness bound.
+	if f := e.inj.StragglerFactor(src); f > 1 && (e.Opts.ElasticTag == 0 || tag != e.Opts.ElasticTag) {
 		delay *= f
 	}
 	m := Msg{Src: src, Dst: src, Tag: tag, Cat: CatFP, Data: data}

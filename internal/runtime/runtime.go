@@ -91,6 +91,49 @@ func waitState(h Handler) string {
 	return ""
 }
 
+// Progresser is optionally implemented by handlers to report solve
+// progress: units of work completed versus the rank's total (the trsv
+// handlers count diagonal panel solves across both sweeps). Stall and
+// deadlock diagnostics embed it so an operator can tell a true deadlock
+// (progress frozen near zero) from slow-but-live progress.
+type Progresser interface {
+	Progress() (done, total int)
+}
+
+// progressOf returns h's progress, or zeros when it offers none.
+func progressOf(h Handler) (int, int) {
+	if p, ok := h.(Progresser); ok {
+		return p.Progress()
+	}
+	return 0, 0
+}
+
+// ElasticTicker is implemented by handlers running an elastic-mode solve
+// (Options.ElasticTag nonzero). Before delivering a message carrying the
+// elastic tag — a staleness-deadline timer pop — the DES Engine asks the
+// destination whether the tick is still live; stale ticks (the rank
+// already moved past the tick's phase, or finished) are discarded without
+// charging wait time or bumping the rank's clock.
+type ElasticTicker interface {
+	TickLive(data any) bool
+}
+
+// DeadLetterer is optionally implemented by elastic handlers: DeadOnArrival
+// reports that a delivered payload can no longer influence the numerics —
+// it belongs to a phase (or reduction step) the rank has already moved
+// past, typically after a forced closure, and the deferral protocol will
+// park it forever. The DES Engine still delivers such a message, keeping
+// the handler bookkeeping uniform, but skips the wait charge that would
+// drag the rank's clock to the arrival time: a real rank polls past dead
+// traffic instead of blocking on it, so packets that straggle in after a
+// phase was forcibly closed must not inflate the modeled makespan. Only
+// consulted on elastic runs (Options.ElasticTag nonzero); admission gates
+// are monotone (phases, stages, and reduction steps only advance), so a
+// true answer is permanent and the classification is deterministic.
+type DeadLetterer interface {
+	DeadOnArrival(m Msg) bool
+}
+
 // Ctx is the per-rank facade handlers use to interact with the backend.
 type Ctx struct {
 	rank int

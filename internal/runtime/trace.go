@@ -34,6 +34,16 @@ type Options struct {
 	// Engine ignores it — virtual-time deadlocks are detected exactly at
 	// quiescence.
 	StallTimeout time.Duration
+	// ElasticTag marks the run as an elastic-mode solve and names the
+	// message tag of its staleness-deadline timer pops. Nonzero it changes
+	// three behaviors: the Engine discards elastic-tagged events whose
+	// destination reports them stale (ElasticTicker) and exempts the tag
+	// from straggler inflation; the Pool implements Ctx.After for the tag
+	// (a wall-clock timer) and skips the finished-rank stray-message check,
+	// because a forced phase closure legitimately strands late traffic in
+	// the inboxes of ranks that no longer need it. 0 — the default — keeps
+	// the strict exactly-once-then-block contract.
+	ElasticTag int
 }
 
 // DefaultTraceCap is the per-rank event capacity used when

@@ -50,8 +50,58 @@ type Grid struct {
 	// in the forward (L) and backward (U) sweep.
 	Fmod, Bmod []int32
 
+	// LDepth and UDepth are the grid-global dependency depths of the two
+	// sweeps: the length of the longest supernode chain over the grid's
+	// on-path structure, counting diagonal solves. Unlike the per-rank
+	// LLevels/ULevels (which layer only intra-rank edges), these span
+	// cross-rank dependencies too, so they are the level budget elastic
+	// mode's staleness deadlines are measured against.
+	LDepth, UDepth int
+
 	// Ranks holds each 2D-local rank's schedule, indexed by row·Py+col.
 	Ranks []*Rank
+}
+
+// StaleSet is a dense per-slot bitmap recording which supernodes consumed
+// stale (forced, possibly zero) inputs during one elastic sweep. The
+// elastic executor marks a slot when it closes the slot's dependencies
+// before they were all satisfied; the refinement driver only needs the
+// count, but the set keeps the marking idempotent per supernode.
+type StaleSet struct {
+	bits  []uint64
+	count int
+}
+
+// NewStaleSet returns an empty set over n slots.
+func NewStaleSet(n int) *StaleSet {
+	return &StaleSet{bits: make([]uint64, (n+63)/64)}
+}
+
+// Set marks slot, reporting whether it was newly marked.
+func (s *StaleSet) Set(slot int) bool {
+	w, b := slot>>6, uint64(1)<<uint(slot&63)
+	if s.bits[w]&b != 0 {
+		return false
+	}
+	s.bits[w] |= b
+	s.count++
+	return true
+}
+
+// Has reports whether slot is marked.
+func (s *StaleSet) Has(slot int) bool {
+	return s.bits[slot>>6]&(uint64(1)<<uint(slot&63)) != 0
+}
+
+// Count returns the number of marked slots.
+func (s *StaleSet) Count() int { return s.count }
+
+// Reset clears the set for reuse.
+func (s *StaleSet) Reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.count = 0
 }
 
 // Rank is one rank's precomputed schedule.
@@ -188,6 +238,7 @@ func buildGrid(p *dist.Plan, gp *dist.GridPlan) *Grid {
 		g.Fmod[s] = int32(len(gp.RowSns[k]))
 		g.Bmod[s] = int32(len(gp.URowSns[k]))
 	}
+	g.LDepth, g.UDepth = gridDepths(gp, g)
 	g.Ranks = make([]*Rank, len(gp.Ranks))
 	for r2d := range gp.Ranks {
 		g.Ranks[r2d] = buildRank(p, gp, g, r2d)
@@ -263,6 +314,45 @@ func buildRank(p *dist.Plan, gp *dist.GridPlan, g *Grid, r2d int) *Rank {
 	levelSweep(p, gp, g, r2d, r, true)
 	r.ArenaPerRHS, r.Panels = arenaSize(p, gp, g, r)
 	return r
+}
+
+// gridDepths computes the grid-global longest dependency chains of the L
+// and U sweeps in supernode steps. Supernode order is a topological order
+// of both structures (RowSns[K] lists only J < K, URowSns[K] only J > K),
+// so a single ascending (resp. descending) pass suffices.
+func gridDepths(gp *dist.GridPlan, g *Grid) (lDepth, uDepth int) {
+	n := len(gp.Sns)
+	if n == 0 {
+		return 0, 0
+	}
+	lev := make([]int32, n)
+	var maxL int32
+	for s, k := range gp.Sns {
+		for _, j := range gp.RowSns[k] {
+			if t := g.SlotOf[j]; t >= 0 && lev[t]+1 > lev[s] {
+				lev[s] = lev[t] + 1
+			}
+		}
+		if lev[s] > maxL {
+			maxL = lev[s]
+		}
+	}
+	for i := range lev {
+		lev[i] = 0
+	}
+	var maxU int32
+	for s := n - 1; s >= 0; s-- {
+		k := gp.Sns[s]
+		for _, j := range gp.URowSns[k] {
+			if t := g.SlotOf[j]; t >= 0 && lev[t]+1 > lev[s] {
+				lev[s] = lev[t] + 1
+			}
+		}
+		if lev[s] > maxU {
+			maxU = lev[s]
+		}
+	}
+	return int(maxL) + 1, int(maxU) + 1
 }
 
 // sendDsts collects the ascending, deduplicated union of every broadcast

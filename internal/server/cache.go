@@ -12,6 +12,7 @@ import (
 
 	"sptrsv/internal/core"
 	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
 )
 
 // handleShards is the shard count of the handle cache. Shards cut lock
@@ -300,9 +301,16 @@ func (c *handleCache) len() int {
 
 // configKey names one solver configuration the way the cache is keyed:
 // matrix fingerprint is the handle; this adds machine × grid × algorithm
-// (plus the execution knobs that change the built plan's schedule).
+// (plus the execution knobs that change the built plan's schedule). The
+// solve-mode segment keeps strict and elastic requests on separate slots —
+// and therefore separate coalescers, so an elastic opt-in can never be
+// batched into (or force staleness onto) a strict tenant's panel.
 func configKey(cfg core.Config) string {
-	return fmt.Sprintf("%s|%dx%dx%d|%s|%s|%s",
+	mode := cfg.Mode.Resolve().String()
+	if cfg.Mode.Resolve() == trsv.ModeElastic {
+		mode = fmt.Sprintf("elastic:S=%d:tol=%g:max=%d", cfg.Staleness, cfg.RefineTol, cfg.RefineMax)
+	}
+	return fmt.Sprintf("%s|%dx%dx%d|%s|%s|%s|%s",
 		cfg.Algorithm, cfg.Layout.Px, cfg.Layout.Py, cfg.Layout.Pz,
-		cfg.Trees, cfg.Machine.Name, cfg.Exec.Resolve())
+		cfg.Trees, cfg.Machine.Name, cfg.Exec.Resolve(), mode)
 }

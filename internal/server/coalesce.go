@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"time"
 
@@ -31,6 +32,11 @@ type result struct {
 	makespanS  float64 // modeled/wall makespan of this request's panel solve
 	totalTime  float64 // seconds from admission to result ready
 	panelWidth int     // columns of the panel this request was merged into
+
+	// Elastic-mode outcome (zero under strict solves).
+	refinePasses int
+	staleSn      int
+	residual     float64 // verified ‖b−Ax‖∞ when refinement ran
 }
 
 // coalescer batches concurrent single-RHS requests against one
@@ -196,6 +202,14 @@ func (c *coalescer) run(batch []*request) {
 				}
 				if reps[p] != nil {
 					res.makespanS = reps[p].Time
+					res.refinePasses = reps[p].RefinePasses
+					res.staleSn = reps[p].StaleSupernodes
+					// Strict reports carry NaN (unverified) — which
+					// encoding/json cannot marshal — so only elastic solves'
+					// verified residuals reach the wire.
+					if !math.IsNaN(reps[p].Residual) {
+						res.residual = reps[p].Residual
+					}
 				}
 				s.metrics.requests.With("ok").Inc()
 			}

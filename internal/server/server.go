@@ -67,6 +67,18 @@ type Options struct {
 	Backend trsv.Backend
 	// Exec selects the execution engine for default configs.
 	Exec trsv.ExecMode
+	// Mode selects the default solve mode (strict when zero); requests can
+	// override it per solve via config.mode. Elastic mode serves
+	// degraded-but-refined answers under stragglers instead of stalling.
+	Mode trsv.SolveMode
+	// Staleness is elastic mode's default staleness bound S in dependency
+	// levels; required > 0 when Mode is elastic.
+	Staleness int
+	// RefineTol is elastic mode's default acceptance threshold on the
+	// refined residual (0 = core default).
+	RefineTol float64
+	// RefineMax caps elastic refinement passes (0 = core default).
+	RefineMax int
 	// Factor controls preprocessing of uploaded matrices.
 	Factor core.FactorOptions
 
@@ -257,6 +269,12 @@ type wireConfig struct {
 	Trees     string `json:"trees"`
 	Exec      string `json:"exec"`
 	Machine   string `json:"machine"`
+	// Per-request elastic opt-in. Pointers distinguish "absent — use the
+	// server default" from an explicit zero.
+	Mode      string   `json:"mode"`
+	Staleness *int     `json:"staleness"`
+	RefineTol *float64 `json:"refine_tol"`
+	RefineMax *int     `json:"refine_max"`
 }
 
 type wireFault struct {
@@ -284,6 +302,10 @@ type solveResponse struct {
 	QueueWaitS float64   `json:"queue_wait_s"`
 	SolveS     float64   `json:"solve_s"`
 	MakespanS  float64   `json:"makespan_s"`
+	// Elastic-mode outcome, omitted for strict solves.
+	RefinePasses    int     `json:"refine_passes,omitempty"`
+	StaleSupernodes int     `json:"stale_supernodes,omitempty"`
+	Residual        float64 `json:"residual,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -523,6 +545,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			X: res.x.Col(0), Handle: h.ID, Config: key, Tenant: tenant,
 			BatchWidth: res.width, PanelWidth: res.panelWidth,
 			QueueWaitS: res.queueWait, SolveS: res.solveTime, MakespanS: res.makespanS,
+			RefinePasses: res.refinePasses, StaleSupernodes: res.staleSn, Residual: res.residual,
 		})
 	case <-r.Context().Done():
 		// Client gone; the flush still completes and the coalescer settles
@@ -553,7 +576,11 @@ func (s *Server) resolveConfig(h *Handle, wc *wireConfig) (core.Config, error) {
 	if wc == nil {
 		return s.defaultConfig(h)
 	}
-	cfg := core.Config{Machine: s.opts.Machine, Exec: s.opts.Exec}
+	cfg := core.Config{
+		Machine: s.opts.Machine, Exec: s.opts.Exec,
+		Mode: s.opts.Mode, Staleness: s.opts.Staleness,
+		RefineTol: s.opts.RefineTol, RefineMax: s.opts.RefineMax,
+	}
 	var err error
 	if wc.Algorithm != "" {
 		if cfg.Algorithm, err = cliutil.ParseAlgorithm(wc.Algorithm); err != nil {
@@ -574,6 +601,23 @@ func (s *Server) resolveConfig(h *Handle, wc *wireConfig) (core.Config, error) {
 		if cfg.Machine, err = cliutil.ParseMachine(wc.Machine); err != nil {
 			return core.Config{}, err
 		}
+	}
+	if wc.Mode != "" {
+		if cfg.Mode, err = cliutil.ParseSolveMode(wc.Mode); err != nil {
+			return core.Config{}, err
+		}
+	}
+	if wc.Staleness != nil {
+		cfg.Staleness = *wc.Staleness
+	}
+	if wc.RefineTol != nil {
+		cfg.RefineTol = *wc.RefineTol
+	}
+	if wc.RefineMax != nil {
+		cfg.RefineMax = *wc.RefineMax
+	}
+	if cfg.Mode.Resolve() == trsv.ModeElastic && cfg.Staleness <= 0 {
+		return core.Config{}, fmt.Errorf("elastic mode requires staleness > 0, got %d", cfg.Staleness)
 	}
 	cfg.Layout = grid.Layout{Px: wc.Px, Py: wc.Py, Pz: wc.Pz}
 	if cfg.Layout.Px == 0 && cfg.Layout.Py == 0 && cfg.Layout.Pz == 0 {
@@ -609,6 +653,10 @@ func (s *Server) defaultConfig(h *Handle) (core.Config, error) {
 			if err == nil {
 				slot.cfg = res.Config
 				slot.cfg.Exec = s.opts.Exec
+				slot.cfg.Mode = s.opts.Mode
+				slot.cfg.Staleness = s.opts.Staleness
+				slot.cfg.RefineTol = s.opts.RefineTol
+				slot.cfg.RefineMax = s.opts.RefineMax
 				return
 			}
 			slot.err = err
@@ -620,6 +668,10 @@ func (s *Server) defaultConfig(h *Handle) (core.Config, error) {
 			Algorithm: trsv.Proposed3D,
 			Machine:   s.opts.Machine,
 			Exec:      s.opts.Exec,
+			Mode:      s.opts.Mode,
+			Staleness: s.opts.Staleness,
+			RefineTol: s.opts.RefineTol,
+			RefineMax: s.opts.RefineMax,
 		}
 		slot.err = core.ValidateConfig(h.sys, slot.cfg)
 	})

@@ -121,6 +121,31 @@ func VecNormInf(v []float64) float64 {
 	return m
 }
 
+// ResidualInto computes the residual r = b − A·x into r (which must match
+// b's shape and not alias x or b) and returns ‖r‖∞. Iterative refinement
+// uses it: the returned norm decides convergence and r itself becomes the
+// next correction's right-hand side. Like ResidualInf, a NaN anywhere makes
+// the returned norm NaN so a corrupted solution cannot pass a threshold
+// check; r is still fully written.
+func ResidualInto(a *CSR, x, b, r *Panel) float64 {
+	if r.Rows != b.Rows || r.Cols != b.Cols {
+		panic("sparse: ResidualInto shape mismatch")
+	}
+	a.MatPanel(x, r)
+	worst := 0.0
+	for i := range r.Data {
+		d := b.Data[i] - r.Data[i]
+		r.Data[i] = d
+		ad := math.Abs(d)
+		if math.IsNaN(ad) {
+			worst = math.NaN()
+		} else if ad > worst {
+			worst = ad
+		}
+	}
+	return worst
+}
+
 // ResidualInf computes ‖A·x − b‖∞ column-wise and returns the largest value,
 // the standard acceptance check in the integration tests. A NaN anywhere in
 // the difference makes the result NaN (rather than being silently skipped by

@@ -61,6 +61,14 @@ func (a *arHelper) acceptsBcast() bool {
 	return !a.done && a.step >= min(a.trailing, a.levels)
 }
 
+// deadReduce reports that a reduce bundle can never be accepted anymore:
+// the allreduce finished (possibly forced), or the bundle's step already
+// passed — steps only advance. Elastic dead-letter classification.
+func (a *arHelper) deadReduce(step int) bool { return a.done || step < a.step }
+
+// deadBcast mirrors deadReduce for broadcast bundles.
+func (a *arHelper) deadBcast() bool { return a.done }
+
 // onReduce accumulates a partner's partial subvectors; returns true when
 // the whole allreduce has finished for this rank.
 func (a *arHelper) onReduce(ctx *runtime.Ctx, b *vecBundle) bool {
@@ -136,6 +144,31 @@ func (a *arHelper) bundle(step, maxLevel int, clone bool) *vecBundle {
 		}
 	}
 	return b
+}
+
+// force closes the allreduce at a staleness deadline with whatever partial
+// sums have arrived. Outstanding reduce steps are skipped (their partner
+// contributions read as zero); a rank that had not yet forwarded its
+// reduce buffer upward still does so (the partner may still be inside the
+// phase and can use the partial bundle), and the downward broadcasts are
+// emitted from the current — possibly incomplete — values so the wire
+// protocol stays uniform. Receivers that already self-closed defer the
+// late bundles harmlessly.
+func (a *arHelper) force(ctx *runtime.Ctx) {
+	if a.done {
+		return
+	}
+	s := min(a.trailing, a.levels)
+	if a.step < s {
+		a.step = s
+		a.advance(ctx) // z≠0: send the partial up-bundle; z=0: broadcast + done
+	}
+	if !a.done {
+		// Awaiting (or never getting) the downward broadcast: proceed with
+		// the local partials and feed our own broadcast subtree.
+		a.sendBcasts(ctx, a.trailing-1)
+		a.done = true
+	}
 }
 
 // sendBcasts emits the broadcast-phase bundles for steps from..0.
@@ -256,4 +289,25 @@ func (a *naiveAR) onMsg(ctx *runtime.Ctx, m runtime.Msg) bool {
 	}
 	a.sendStep(ctx)
 	return false
+}
+
+// force skips every remaining exchange of the strawman reduction at a
+// staleness deadline: each skipped step treats the partner's bundle as
+// zero but still emits this rank's half of the next exchange, so partners
+// that are still inside the phase receive everything the protocol owes
+// them.
+func (a *naiveAR) force(ctx *runtime.Ctx) {
+	r := a.r
+	for !a.done {
+		a.step++
+		if a.step >= a.steps(a.node) {
+			a.node++
+			a.step = 0
+			if a.node >= len(r.gp.Path) {
+				a.done = true
+				return
+			}
+		}
+		a.sendStep(ctx)
+	}
 }

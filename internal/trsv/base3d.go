@@ -79,10 +79,12 @@ func (h *base3dRank) Init(ctx *runtime.Ctx) {
 	h.drainReadyY(ctx, h)
 	h.advanceL(ctx)
 	h.drainDeferred(ctx, h)
+	h.armElastic(ctx)
 }
 
 func (h *base3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
 	h.dispatch(ctx, m, h)
+	h.armElastic(ctx)
 }
 
 func (h *base3dRank) accepts(m runtime.Msg) bool {
@@ -101,6 +103,29 @@ func (h *base3dRank) accepts(m runtime.Msg) bool {
 	}
 	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: baselinePhase(h.st.phase),
 		Msg: fmt.Sprintf("baseline received unexpected tag %d from rank %d", m.Tag, m.Src)})
+}
+
+// DeadOnArrival implements runtime.DeadLetterer: the phase and the L-stage
+// cursor only advance, so traffic for an earlier phase or a completed
+// L-stage parks forever and must not charge wait time.
+func (h *base3dRank) DeadOnArrival(m runtime.Msg) bool {
+	st := h.st
+	if st == nil {
+		return true
+	}
+	switch m.Tag {
+	case tagYBcast:
+		return st.phase > 0 || (st.phase == 0 && h.gp.NodeOf[m.Data.(*groupMsg).K] < st.lStage)
+	case tagLReduce:
+		return st.phase > 0 || (st.phase == 0 && h.gp.NodeOf[m.Data.(*sumMsg).K] < st.lStage)
+	case tagZGatherL:
+		return st.phase > 0 || (st.phase == 0 && m.Data.(*vecBundle).Step < st.lStage)
+	case tagZBcastU:
+		return st.phase > 1
+	case tagXBcast, tagUReduce:
+		return st.phase > 2
+	}
+	return false
 }
 
 func (h *base3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
@@ -384,6 +409,107 @@ func (h *base3dRank) advanceU(ctx *runtime.Ctx) {
 		st.phase = 3
 		return
 	}
+}
+
+// ---- elastic forcing ----
+
+// forceStale implements elasticForcer for the baseline's staged protocol.
+// The baseline maps its phases onto the same three deadlines as the
+// proposed algorithm: phase 0 covers every L node stage including the
+// pairwise merges between them, phase 1 the inter-grid x bundle wait, and
+// phase 2 the staged U sweep.
+func (h *base3dRank) forceStale(ctx *runtime.Ctx, phase int) {
+	if h.st.phase == 0 {
+		h.forceL(ctx)
+	}
+	// Consume messages a closure just made admissible before declaring the
+	// next phase's inputs missing.
+	h.drainDeferred(ctx, h)
+	if phase >= 1 && h.st.phase == 1 {
+		// The partner grid's x bundle never came: every x value from the
+		// unprocessed ancestor nodes reads as missing, so all of this
+		// rank's U solves may be stale.
+		for _, k := range h.myDiagSns {
+			if h.gp.NodeOf[k] <= h.s {
+				h.markStaleU(k)
+			}
+		}
+		st := h.st
+		st.phase = 2
+		st.uStage = h.s
+		h.startU(ctx)
+		h.drainDeferred(ctx, h)
+	}
+	if phase >= 2 && h.st.phase == 2 {
+		h.forceU(ctx)
+	}
+}
+
+// forceL drives the staged L sweep to completion: each open stage's
+// unsolved diagonal rows are solved with their current partial sums, each
+// pending inter-grid merge is synthesized as an empty bundle (the
+// partner's leftover sums read as zero — every row at or above the merge
+// stage is conservatively marked stale), and the stage-advance machinery
+// runs as usual so the protocol's own gathers and finishing bundle still
+// go out.
+func (h *base3dRank) forceL(ctx *runtime.Ctx) {
+	st := h.st
+	for st.phase == 0 {
+		// A stage advance can make early-arrived (deferred) messages for
+		// the new stage admissible — real data beats synthesized zeros.
+		h.drainDeferred(ctx, h)
+		if st.phase != 0 {
+			return
+		}
+		if st.lAwaitMerge {
+			st.lAwaitMerge = false
+			st.lStage++
+			for _, k := range h.myDiagSns {
+				if h.gp.NodeOf[k] >= st.lStage {
+					h.markStaleL(k)
+				}
+			}
+			h.sendGathers(ctx)
+			for _, k := range h.myDiagSns {
+				if h.gp.NodeOf[k] == st.lStage && st.pendingL[k] == 0 {
+					st.enqueueY(k)
+				}
+			}
+			h.drainReadyY(ctx, h)
+			h.advanceL(ctx)
+			continue
+		}
+		for _, k := range h.myDiagSns {
+			if h.gp.NodeOf[k] == st.lStage && st.y[k] == nil {
+				h.markStaleL(k)
+				st.pendingL[k] = 0
+				st.enqueueY(k)
+			}
+		}
+		st.lRemaining[st.lStage] = 0
+		h.drainReadyY(ctx, h)
+		h.advanceL(ctx)
+	}
+}
+
+// forceU closes the staged U sweep: unsolved diagonal rows of this grid's
+// nodes solve with their current partial sums and every stage budget is
+// dropped, so advanceU runs the stages down — still emitting the pairwise
+// x bundles partner grids may be waiting for.
+func (h *base3dRank) forceU(ctx *runtime.Ctx) {
+	st := h.st
+	for _, k := range h.myDiagSns {
+		if h.gp.NodeOf[k] <= h.s && st.xl[k] == nil {
+			h.markStaleU(k)
+			st.pendingU[k] = 0
+			st.enqueueX(k)
+		}
+	}
+	for i := range st.uRemaining {
+		st.uRemaining[i] = 0
+	}
+	h.drainReadyX(ctx, h)
+	h.advanceU(ctx)
 }
 
 func sortedKeys(m map[int]*sparse.Panel) []int {

@@ -54,6 +54,7 @@ const (
 	tagNaiveARUp              // naive allreduce ablation: partial y to the owner grid
 	tagNaiveARDown            // naive allreduce ablation: complete y back to a replica
 	tagAgg                    // CommAggregated: coalesced per-destination 2D traffic
+	tagElastic                // elastic mode: self-addressed staleness-deadline tick
 )
 
 // Compute span tags: labels for Ctx.ComputeT spans in the event trace (see
@@ -103,6 +104,8 @@ func TagName(tag int) string {
 		return "naive-ar-down"
 	case tagAgg:
 		return "agg"
+	case tagElastic:
+		return "elastic-tick"
 	case TagDiagSolveL:
 		return "diag-solve-L"
 	case TagApplyL:
@@ -263,6 +266,19 @@ type solveState struct {
 	// scheduled states (their arena capacity is plan-specific).
 	owner *sync.Pool
 
+	// Elastic-mode per-solve state (zero / nil on strict solves).
+	// elArmed marks phases whose staleness-deadline tick has been armed;
+	// staleL/staleU record (by schedule slot) the supernode rows whose L-
+	// and U-solves consumed stale or missing inputs after a forced phase
+	// closure. putSeen/putForced track multi-GPU one-sided puts: puts
+	// already received versus puts synthesized as zero panels at a forcing
+	// deadline (a late real put superseded by a synthesized one is
+	// dropped, keeping the task count exact).
+	elArmed                [3]bool
+	staleL, staleU         *sched.StaleSet
+	putSeenL, putSeenU     map[int]bool
+	putForcedL, putForcedU map[int]bool
+
 	// scratch backs the short-lived block products of scratchPanel.
 	scratch sparse.Panel
 
@@ -337,6 +353,14 @@ func (st *solveState) release() {
 	st.lRecvLeft, st.uRecvLeft = 0, 0
 	st.lStage, st.uStage, st.lAwaitMerge = 0, 0, false
 	st.smFree, st.tasksLeft = 0, 0
+	st.elArmed = [3]bool{}
+	st.staleL, st.staleU = nil, nil
+	if st.putSeenL != nil {
+		clear(st.putSeenL)
+		clear(st.putSeenU)
+		clear(st.putForcedL)
+		clear(st.putForcedU)
+	}
 	st.counts = solveCounts{}
 	st.owner.Put(st)
 }
@@ -474,6 +498,12 @@ type rankCore struct {
 	// policy input); read-only after init.
 	comm CommMode
 
+	// el is the elastic-mode configuration (nil on strict solves): the
+	// staleness bound, the grid schedule the forcing deadlines and stale
+	// bookkeeping are derived from, and the lazily computed per-phase
+	// deadlines. See elastic.go.
+	el *elastic
+
 	// st is this solve's mutable state, acquired in init and handed back to
 	// the pool by releaseState once the run has quiesced.
 	st *solveState
@@ -522,6 +552,17 @@ func (c *rankCore) init(p *dist.Plan, model *machine.Model, rank int, b, x *spar
 		if c.chunk <= 0 {
 			c.chunk = defaultLevelChunk
 		}
+	}
+
+	if opts.Mode.Resolve() == ModeElastic && opts.Staleness > 0 {
+		s, err := sched.Of(p)
+		if err != nil {
+			// Unreachable from SolveIntoOpts, which derives the schedule
+			// before constructing the factories in elastic mode.
+			panic(&fault.ProtocolError{Rank: rank, Phase: "plan",
+				Msg: fmt.Sprintf("schedule build failed: %v", err)})
+		}
+		c.el = &elastic{staleness: opts.Staleness, sg: s.Grids[c.z]}
 	}
 
 	if c.sr != nil {
@@ -605,7 +646,25 @@ func (c *rankCore) WaitState() string {
 // dispatch implements the deferral protocol shared by every handler:
 // process the message if the current phase admits it, otherwise buffer it;
 // then drain whatever buffered messages the processing unlocked.
+//
+// Elastic-mode deadline ticks are intercepted before the admission check:
+// a live tick (its phase not yet closed) forces the phase with whatever
+// inputs are on hand, then re-offers the deferred messages the phase
+// transitions unlocked. Stale ticks are dropped (the DES engine already
+// filters them via TickLive; the pool delivers all timers).
 func (c *rankCore) dispatch(ctx *runtime.Ctx, m runtime.Msg, ops rankOps) {
+	if m.Tag == tagElastic {
+		ph, _ := m.Data.(int)
+		st := c.st
+		if c.el != nil && st.phase < 3 && st.phase <= ph {
+			st.counts.forcedTicks++
+			if f, ok := ops.(elasticForcer); ok {
+				f.forceStale(ctx, ph)
+				c.drainDeferred(ctx, ops)
+			}
+		}
+		return
+	}
 	if !ops.accepts(m) {
 		c.st.deferred = append(c.st.deferred, m)
 		return

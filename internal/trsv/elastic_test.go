@@ -1,0 +1,132 @@
+package trsv
+
+import (
+	"math/rand"
+	"testing"
+
+	"sptrsv/internal/ctree"
+	"sptrsv/internal/fault"
+	"sptrsv/internal/gen"
+	"sptrsv/internal/grid"
+	"sptrsv/internal/machine"
+	"sptrsv/internal/runtime"
+	"sptrsv/internal/sparse"
+)
+
+// elasticCase is one algorithm × layout point of the elastic test sweep —
+// the same four algorithm families the chaos harness covers.
+type elasticCase struct {
+	name  string
+	algo  Algorithm
+	l     grid.Layout
+	kind  ctree.Kind
+	model *machine.Model
+}
+
+func elasticCases() []elasticCase {
+	return []elasticCase{
+		{"proposed-3d", Proposed3D, grid.Layout{Px: 2, Py: 2, Pz: 2}, ctree.Binary, machine.CoriHaswell()},
+		{"baseline-3d", Baseline3D, grid.Layout{Px: 2, Py: 2, Pz: 2}, ctree.Binary, machine.CoriHaswell()},
+		{"gpu-single", GPUSingle, grid.Layout{Px: 1, Py: 1, Pz: 4}, ctree.Auto, machine.PerlmutterGPU()},
+		{"gpu-multi", GPUMulti, grid.Layout{Px: 2, Py: 1, Pz: 2}, ctree.Auto, machine.PerlmutterGPU()},
+	}
+}
+
+// elasticSolve runs one DES solve in the given mode and returns the solution
+// panel and the per-rank clocks.
+func elasticSolve(t *testing.T, pl *pipeline, ec elasticCase, b *sparse.Panel, opts SolveOpts, plan *fault.Plan) (*sparse.Panel, []float64) {
+	t.Helper()
+	p := pl.plan(t, ec.l, ec.kind)
+	x := sparse.NewPanel(b.Rows, b.Cols)
+	back := SimBackend{Opts: runtime.Options{Faults: plan}}
+	res, err := SolveIntoOpts(p, ec.model, ec.algo, back, b, x, opts)
+	if err != nil {
+		t.Fatalf("%s mode=%v S=%d: %v", ec.name, opts.Mode, opts.Staleness, err)
+	}
+	return x, res.Clocks
+}
+
+// TestElasticS0BitIdenticalToStrict pins the degenerate end of the staleness
+// axis: an elastic solve with S=0 takes the strict code path by construction
+// (no ticks are ever armed), so its solution bytes and per-rank clocks must
+// equal the strict run's exactly — not approximately.
+func TestElasticS0BitIdenticalToStrict(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(16, 16, 15), 3, 8)
+	rng := rand.New(rand.NewSource(11))
+	b := randPanel(rng, pl.m.N, 1)
+	for _, ec := range elasticCases() {
+		xs, cs := elasticSolve(t, pl, ec, b, SolveOpts{Mode: ModeStrict}, nil)
+		xe, ce := elasticSolve(t, pl, ec, b, SolveOpts{Mode: ModeElastic, Staleness: 0}, nil)
+		for i, v := range xs.Data {
+			if xe.Data[i] != v {
+				t.Fatalf("%s: x[%d] strict %g vs elastic S=0 %g", ec.name, i, v, xe.Data[i])
+			}
+		}
+		for i, v := range cs {
+			if ce[i] != v {
+				t.Fatalf("%s: rank %d clock strict %g vs elastic S=0 %g", ec.name, i, v, ce[i])
+			}
+		}
+	}
+}
+
+// TestElasticHealthyMatchesStrict pins the stronger fault-free property: a
+// genuinely armed elastic run (S>0, ticks flying) on a healthy system never
+// reaches a deadline before the dependency arrives, so it forces nothing and
+// its solution and clocks still match strict bit-for-bit. Elasticity is
+// free when nothing is wrong.
+func TestElasticHealthyMatchesStrict(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(16, 16, 15), 3, 8)
+	rng := rand.New(rand.NewSource(12))
+	b := randPanel(rng, pl.m.N, 1)
+	for _, ec := range elasticCases() {
+		xs, cs := elasticSolve(t, pl, ec, b, SolveOpts{Mode: ModeStrict}, nil)
+		for _, s := range []int{4, 16} {
+			var stats ElasticStats
+			xe, ce := elasticSolve(t, pl, ec, b, SolveOpts{Mode: ModeElastic, Staleness: s, Elastic: &stats}, nil)
+			if stats.StaleSupernodes != 0 || stats.ForcedTicks != 0 {
+				t.Fatalf("%s S=%d: healthy run forced (stale=%d ticks=%d)",
+					ec.name, s, stats.StaleSupernodes, stats.ForcedTicks)
+			}
+			for i, v := range xs.Data {
+				if xe.Data[i] != v {
+					t.Fatalf("%s S=%d: x[%d] strict %g vs elastic %g", ec.name, s, i, v, xe.Data[i])
+				}
+			}
+			for i, v := range cs {
+				if ce[i] != v {
+					t.Fatalf("%s S=%d: rank %d clock strict %g vs elastic %g", ec.name, s, i, v, ce[i])
+				}
+			}
+		}
+	}
+}
+
+// TestElasticDESDeterministic pins the DES guarantee under forcing: two
+// same-seed elastic runs under a network straggler severe enough to trigger
+// stale reads produce bit-identical solutions, clocks, and stale tallies.
+func TestElasticDESDeterministic(t *testing.T) {
+	pl := buildPipeline(t, gen.S2D9pt(16, 16, 15), 3, 8)
+	rng := rand.New(rand.NewSource(13))
+	b := randPanel(rng, pl.m.N, 1)
+	for _, ec := range elasticCases() {
+		plan := &fault.Plan{Seed: 9, NetDelay: map[int]float64{0: 5e-3}, Jitter: 1e-5}
+		var sa, sb ElasticStats
+		xa, ca := elasticSolve(t, pl, ec, b, SolveOpts{Mode: ModeElastic, Staleness: 4, Elastic: &sa}, plan)
+		xb, cb := elasticSolve(t, pl, ec, b, SolveOpts{Mode: ModeElastic, Staleness: 4, Elastic: &sb}, plan)
+		if sa != sb {
+			t.Fatalf("%s: stale stats differ across same-seed runs: %+v vs %+v", ec.name, sa, sb)
+		}
+		for i, v := range xa.Data {
+			if xb.Data[i] != v {
+				t.Fatalf("%s: x[%d] %g vs %g across same-seed elastic runs", ec.name, i, v, xb.Data[i])
+			}
+		}
+		for i, v := range ca {
+			if cb[i] != v {
+				t.Fatalf("%s: rank %d clock %g vs %g across same-seed elastic runs", ec.name, i, v, cb[i])
+			}
+		}
+		t.Logf("%s: stale=%d forced-ticks=%d", ec.name, sa.StaleSupernodes, sa.ForcedTicks)
+	}
+}

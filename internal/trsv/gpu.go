@@ -119,10 +119,25 @@ func (h *gpuSingleRank) Init(ctx *runtime.Ctx) {
 	}
 	h.startTasks(ctx)
 	h.maybeFinishPhase(ctx)
+	h.armElastic(ctx)
 }
 
 func (h *gpuSingleRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
 	h.dispatch(ctx, m, h)
+	h.armElastic(ctx)
+}
+
+// forceStale implements elasticForcer. The single-GPU variant's L and U
+// phases are purely local task DAGs — they cannot stall on a peer, so
+// their deadline ticks are no-ops. Only the inter-grid allreduce can be
+// left behind by a straggler grid, and its forced closure proceeds with
+// the partial sums on hand.
+func (h *gpuSingleRank) forceStale(ctx *runtime.Ctx, phase int) {
+	if phase >= 1 && h.st.phase == 1 {
+		h.markStaleAR()
+		h.ar.force(ctx)
+		h.finishAR(ctx)
+	}
 }
 
 func (h *gpuSingleRank) accepts(m runtime.Msg) bool {
@@ -136,6 +151,23 @@ func (h *gpuSingleRank) accepts(m runtime.Msg) bool {
 	}
 	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: proposedPhase(h.st.phase),
 		Msg: fmt.Sprintf("gpu handler received unexpected tag %d from rank %d", m.Tag, m.Src)})
+}
+
+// DeadOnArrival implements runtime.DeadLetterer (see new3dRank): allreduce
+// bundles below the monotone phase/step gate park forever. GPU self-events
+// are always live.
+func (h *gpuSingleRank) DeadOnArrival(m runtime.Msg) bool {
+	st := h.st
+	if st == nil {
+		return true
+	}
+	switch m.Tag {
+	case tagARReduce:
+		return st.phase > 1 || (st.phase == 1 && h.ar.deadReduce(m.Data.(*vecBundle).Step))
+	case tagARBcast:
+		return st.phase > 1 || (st.phase == 1 && h.ar.deadBcast())
+	}
+	return false
 }
 
 func (h *gpuSingleRank) process(ctx *runtime.Ctx, m runtime.Msg) {
@@ -333,10 +365,85 @@ func (h *gpuMultiRank) Init(ctx *runtime.Ctx) {
 	}
 	h.startTasks(ctx)
 	h.maybeFinishPhase(ctx)
+	if h.el != nil && st.putSeenL == nil {
+		st.putSeenL = map[int]bool{}
+		st.putSeenU = map[int]bool{}
+		st.putForcedL = map[int]bool{}
+		st.putForcedU = map[int]bool{}
+	}
+	h.armElastic(ctx)
 }
 
 func (h *gpuMultiRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
 	h.dispatch(ctx, m, h)
+	h.armElastic(ctx)
+}
+
+// forceStale implements elasticForcer. The multi-GPU variant's only
+// cross-rank dependencies are the one-sided puts and the allreduce: a
+// forcing deadline synthesizes a zero-valued put task for every expected
+// put that has not arrived (marking the owned rows it feeds stale), after
+// which the local task DAG drains the phase through the normal completion
+// events; the allreduce closes like the other variants.
+func (h *gpuMultiRank) forceStale(ctx *runtime.Ctx, phase int) {
+	if h.st.phase == 0 {
+		h.forcePuts(ctx, false)
+	}
+	if phase >= 1 && h.st.phase == 1 {
+		h.markStaleAR()
+		h.ar.force(ctx)
+		h.finishAR(ctx)
+	}
+	if phase >= 2 && h.st.phase == 2 {
+		h.forcePuts(ctx, true)
+	}
+}
+
+// forcePuts queues a zero-valued put task for every broadcast-tree
+// membership of this rank whose put has not been received or synthesized
+// yet. A late real put superseded by a synthesized one is dropped in
+// process, keeping the phase task count exact. gp.Sns ascends, so the
+// synthesis order is deterministic.
+func (h *gpuMultiRank) forcePuts(ctx *runtime.Ctx, isU bool) {
+	st := h.st
+	seen, forced := st.putSeenL, st.putForcedL
+	if isU {
+		seen, forced = st.putSeenU, st.putForcedU
+	}
+	added := false
+	for _, k := range h.gp.Sns {
+		if h.p.DiagRank2D(k) == h.r2d {
+			continue
+		}
+		tree := h.gp.LBcast[k]
+		if isU {
+			tree = h.gp.UBcast[k]
+		}
+		if !tree.Contains(h.r2d) || seen[k] || forced[k] {
+			continue
+		}
+		forced[k] = true
+		// The zero subvector feeds this rank's blocks of column k: every
+		// owned diagonal row those blocks contribute to is now stale.
+		if !isU {
+			for _, blk := range h.colL[k] {
+				if h.p.DiagRank2D(blk.I) == h.r2d {
+					h.markStaleL(blk.I)
+				}
+			}
+		} else {
+			for _, ref := range h.colU[k] {
+				if h.p.DiagRank2D(ref.I) == h.r2d {
+					h.markStaleU(ref.I)
+				}
+			}
+		}
+		st.readyTasks = append(st.readyTasks, gpuTask{k: k, put: h.newPanel(h.snWidth(k)), isU: isU})
+		added = true
+	}
+	if added {
+		h.startTasks(ctx)
+	}
 }
 
 func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
@@ -355,6 +462,28 @@ func (h *gpuMultiRank) accepts(m runtime.Msg) bool {
 		Msg: fmt.Sprintf("gpu handler received unexpected tag %d from rank %d", m.Tag, m.Src)})
 }
 
+// DeadOnArrival implements runtime.DeadLetterer (see new3dRank): one-sided
+// puts for a forcibly closed sweep and allreduce bundles below the monotone
+// phase/step gate park forever. GPU self-events are always live.
+func (h *gpuMultiRank) DeadOnArrival(m runtime.Msg) bool {
+	st := h.st
+	if st == nil {
+		return true
+	}
+	switch m.Tag {
+	case tagGPUPut:
+		if m.Data.(*gpuPut).isU {
+			return st.phase > 2
+		}
+		return st.phase > 0
+	case tagARReduce:
+		return st.phase > 1 || (st.phase == 1 && h.ar.deadReduce(m.Data.(*vecBundle).Step))
+	case tagARBcast:
+		return st.phase > 1 || (st.phase == 1 && h.ar.deadBcast())
+	}
+	return false
+}
+
 // gpuPut is a one-sided delivery of a solved subvector (the ready_y / flag
 // pair of Alg. 5), shipped in wire form like every other subvector message.
 type gpuPut struct {
@@ -369,6 +498,19 @@ func (h *gpuMultiRank) process(ctx *runtime.Ctx, m runtime.Msg) {
 		h.onTaskDone(ctx, m.Data.(gpuTask))
 	case tagGPUPut:
 		d := m.Data.(*gpuPut)
+		if h.el != nil {
+			seen, forced := h.st.putSeenL, h.st.putForcedL
+			if d.isU {
+				seen, forced = h.st.putSeenU, h.st.putForcedU
+			}
+			if forced[d.K] {
+				// A staleness deadline already synthesized this put as a
+				// zero panel and the task count charged it; drop the late
+				// real delivery.
+				return
+			}
+			seen[d.K] = true
+		}
 		h.st.readyTasks = append(h.st.readyTasks, gpuTask{k: d.K, put: h.unpackPanel(&d.W), isU: d.isU})
 		h.startTasks(ctx)
 	case tagARReduce:

@@ -18,6 +18,12 @@ var (
 	mSweeps = metrics.Default().Counter("sptrsv_trsv_level_sweeps",
 		"Scheduled-execution level sweeps summed over ranks (kind=sweeps) and the tasks they covered (kind=tasks); zero on the handler path.",
 		"algorithm", "kind")
+	mStale = metrics.Default().Counter("sptrsv_trsv_stale_supernodes",
+		"Elastic-mode supernode solves that consumed stale or missing inputs after a staleness-deadline forced their phase closed, summed over ranks; zero on strict solves.",
+		"algorithm")
+	mForcedTicks = metrics.Default().Counter("sptrsv_trsv_forced_ticks",
+		"Elastic-mode staleness-deadline ticks that fired with their phase still open and forced it, summed over ranks.",
+		"algorithm")
 )
 
 // solveCounts tallies one rank's kernel and exchange activity during a
@@ -31,6 +37,8 @@ type solveCounts struct {
 	naiveRounds      int // strawman butterfly exchanges merged
 	sweeps           int // scheduled-execution level sweeps run
 	sweepTasks       int // tasks covered by those sweeps
+	staleRows        int // elastic: supernode solves that consumed stale inputs
+	forcedTicks      int // elastic: deadline ticks that forced an open phase
 }
 
 func (a *solveCounts) accumulate(b solveCounts) {
@@ -43,6 +51,8 @@ func (a *solveCounts) accumulate(b solveCounts) {
 	a.naiveRounds += b.naiveRounds
 	a.sweeps += b.sweeps
 	a.sweepTasks += b.sweepTasks
+	a.staleRows += b.staleRows
+	a.forcedTicks += b.forcedTicks
 }
 
 // countsReporter exposes a handler's per-solve tallies; rankCore implements
@@ -92,5 +102,11 @@ func publishSolve(algo Algorithm, total solveCounts, failed bool) {
 		if p.n > 0 {
 			mSweeps.With(a, p.phase).Add(float64(p.n))
 		}
+	}
+	if total.staleRows > 0 {
+		mStale.With(a).Add(float64(total.staleRows))
+	}
+	if total.forcedTicks > 0 {
+		mForcedTicks.With(a).Add(float64(total.forcedTicks))
 	}
 }

@@ -95,6 +95,7 @@ func (h *new3dRank) Init(ctx *runtime.Ctx) {
 	if h.st.aggOn {
 		h.flushAgg(ctx)
 	}
+	h.armElastic(ctx)
 }
 
 func (h *new3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
@@ -105,6 +106,7 @@ func (h *new3dRank) OnMessage(ctx *runtime.Ctx, m runtime.Msg) {
 	if h.st.aggOn {
 		h.flushAgg(ctx)
 	}
+	h.armElastic(ctx)
 }
 
 // accepts reports whether the message can be processed in the current
@@ -126,6 +128,30 @@ func (h *new3dRank) accepts(m runtime.Msg) bool {
 	}
 	panic(&fault.ProtocolError{Rank: h.rank, Tag: m.Tag, Phase: proposedPhase(h.st.phase),
 		Msg: fmt.Sprintf("received unexpected tag %d from rank %d", m.Tag, m.Src)})
+}
+
+// DeadOnArrival implements runtime.DeadLetterer: accepts' gates are
+// monotone (the phase and the allreduce step only advance), so a message
+// that arrives below the current gate parks forever and must not charge
+// wait time. Naive-allreduce traffic is conservatively never dead.
+func (h *new3dRank) DeadOnArrival(m runtime.Msg) bool {
+	st := h.st
+	if st == nil {
+		return true
+	}
+	switch m.Tag {
+	case tagYBcast, tagLReduce:
+		return st.phase > 0
+	case tagARReduce:
+		return st.phase > 1 || (st.phase == 1 && h.ar.deadReduce(m.Data.(*vecBundle).Step))
+	case tagARBcast:
+		return st.phase > 1 || (st.phase == 1 && h.ar.deadBcast())
+	case tagXBcast, tagUReduce:
+		return st.phase > 2
+	case tagAgg:
+		return st.phase > m.Data.(*aggMsg).Phase
+	}
+	return false
 }
 
 func (h *new3dRank) process(ctx *runtime.Ctx, m runtime.Msg) {
@@ -340,4 +366,70 @@ func (h *new3dRank) maybeFinishU(ctx *runtime.Ctx) {
 	}
 	ctx.Mark(MarkUDone)
 	st.phase = 3
+}
+
+// ---- elastic forcing ----
+
+// forceStale implements elasticForcer: close every phase up to and
+// including the tick's phase that is still open, proceeding with whatever
+// inputs are on hand. Each closure runs the normal phase-transition
+// machinery (so forced diagonal solves still broadcast, the allreduce
+// still sends its bundles, and the phase markers still fire), and every
+// row solved without all its contributions is recorded stale.
+func (h *new3dRank) forceStale(ctx *runtime.Ctx, phase int) {
+	if h.st.phase == 0 {
+		h.forceL(ctx)
+	}
+	// Each closure can admit messages that arrived ahead of their phase;
+	// consume them before declaring the next phase's inputs missing.
+	h.drainDeferred(ctx, h)
+	if phase >= 1 && h.st.phase == 1 {
+		h.markStaleAR()
+		if h.naive {
+			h.nar.force(ctx)
+		} else {
+			h.ar.force(ctx)
+		}
+		h.finishAR(ctx)
+		h.drainDeferred(ctx, h)
+	}
+	if phase >= 2 && h.st.phase == 2 {
+		h.forceU(ctx)
+	}
+	if h.st.aggOn {
+		h.flushAgg(ctx)
+	}
+}
+
+// forceL closes the L phase: every unsolved diagonal row of this rank is
+// solved with its current (incomplete) partial sums — missing
+// contributions read as zero — and the outstanding receive budget is
+// dropped. myDiagSns ascends, so the forced solve order is deterministic.
+func (h *new3dRank) forceL(ctx *runtime.Ctx) {
+	st := h.st
+	for _, k := range h.myDiagSns {
+		if st.y[k] == nil {
+			h.markStaleL(k)
+			h.zeroPendingL(k)
+			st.enqueueY(k)
+		}
+	}
+	st.lRecvLeft = 0
+	h.drainReadyY(ctx, h)
+	h.maybeFinishL(ctx)
+}
+
+// forceU mirrors forceL for the U phase.
+func (h *new3dRank) forceU(ctx *runtime.Ctx) {
+	st := h.st
+	for _, k := range h.myDiagSns {
+		if st.xl[k] == nil {
+			h.markStaleU(k)
+			h.zeroPendingU(k)
+			st.enqueueX(k)
+		}
+	}
+	st.uRecvLeft = 0
+	h.drainReadyX(ctx, h)
+	h.maybeFinishU(ctx)
 }

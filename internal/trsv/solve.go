@@ -96,6 +96,67 @@ func (e ExecMode) Valid() bool {
 	return e == ExecAuto || e == ExecSched || e == ExecHandler
 }
 
+// SolveMode selects the blocking discipline of cross-rank dependencies.
+// Strict mode is the historical contract: every rank blocks until each
+// dependency arrives, so a single straggler stretches the whole critical
+// path. Elastic mode bounds that wait: a rank whose phase is more than the
+// staleness bound S dependency levels behind schedule proceeds with its
+// last-received (possibly stale, initially zero) inputs instead of
+// blocking, and records which supernodes consumed stale data so the
+// caller can run iterative refinement (core.Solver does; see
+// SolveOpts.Staleness and ElasticStats).
+type SolveMode int
+
+const (
+	// ModeAuto picks the default mode (strict).
+	ModeAuto SolveMode = iota
+	// ModeStrict blocks on every cross-rank dependency (exactly-once-
+	// then-block — the PR 4 contract's original execution discipline).
+	ModeStrict
+	// ModeElastic bounds dependency waits by the staleness deadline and
+	// proceeds with stale inputs past it.
+	ModeElastic
+)
+
+func (m SolveMode) String() string {
+	switch m {
+	case ModeAuto:
+		return "auto"
+	case ModeStrict:
+		return "strict"
+	case ModeElastic:
+		return "elastic"
+	}
+	return fmt.Sprintf("SolveMode(%d)", int(m))
+}
+
+// Resolve maps ModeAuto to the concrete default mode.
+func (m SolveMode) Resolve() SolveMode {
+	if m == ModeAuto {
+		return ModeStrict
+	}
+	return m
+}
+
+// Valid reports whether m is a known mode.
+func (m SolveMode) Valid() bool {
+	return m == ModeAuto || m == ModeStrict || m == ModeElastic
+}
+
+// ElasticStats reports what an elastic solve actually skipped; SolveOpts
+// callers pass a pointer to receive them after the run.
+type ElasticStats struct {
+	// StaleSupernodes counts supernode rows (across ranks and both
+	// sweeps) whose solve consumed at least one stale or missing input
+	// because a staleness deadline forced their dependencies closed.
+	// Zero means the elastic run never forced anything — its result is
+	// bit-identical to the strict run's.
+	StaleSupernodes int
+	// ForcedTicks counts the staleness-deadline timer pops that found
+	// their phase still open and forced it.
+	ForcedTicks int
+}
+
 // SolveOpts tunes solve execution without touching the plan.
 type SolveOpts struct {
 	// Exec selects the execution mode; the zero value resolves to the
@@ -108,6 +169,32 @@ type SolveOpts struct {
 	// Comm selects the wire format of inter-rank subvector traffic; the
 	// zero value resolves to the packed sparse format.
 	Comm CommMode
+	// Mode selects strict or elastic execution; the zero value resolves
+	// to strict.
+	Mode SolveMode
+	// Staleness is elastic mode's staleness bound S in dependency levels:
+	// each phase's forcing deadline is (phase depth + S) level quanta
+	// after the previous phase's. S ≤ 0 disables forcing entirely, so an
+	// elastic solve with S=0 is bit-identical to the strict solve.
+	Staleness int
+	// Elastic, when non-nil, receives the run's stale-consumption stats.
+	Elastic *ElasticStats
+}
+
+// elasticBackend is implemented by the built-in backends: withElastic
+// returns a copy configured for an elastic run (runtime.Options.ElasticTag
+// set, which arms tick delivery filtering on the Engine and wall-clock
+// timers plus the stray-message exemption on the Pool).
+type elasticBackend interface{ withElastic(tag int) Backend }
+
+func (s SimBackend) withElastic(tag int) Backend {
+	s.Opts.ElasticTag = tag
+	return s
+}
+
+func (p PoolBackend) withElastic(tag int) Backend {
+	p.Pool.Opts.ElasticTag = tag
+	return p
 }
 
 // stateReleaser is implemented by every handler embedding rankCore; Solve
@@ -152,12 +239,26 @@ func SolveIntoOpts(p *dist.Plan, model *machine.Model, algo Algorithm, back Back
 	if !opts.Comm.Valid() {
 		return nil, fmt.Errorf("trsv: unknown communication mode %v", opts.Comm)
 	}
-	if opts.Exec.Resolve() == ExecSched {
+	if !opts.Mode.Valid() {
+		return nil, fmt.Errorf("trsv: unknown solve mode %v", opts.Mode)
+	}
+	elastic := opts.Mode.Resolve() == ModeElastic && opts.Staleness > 0
+	if opts.Exec.Resolve() == ExecSched || elastic {
 		// Derive (or fetch the cached) level/DAG schedule up front so a
-		// build failure surfaces as an error, not a handler panic.
+		// build failure surfaces as an error, not a handler panic. Elastic
+		// mode needs the schedule even on the handler path: its forcing
+		// deadlines come from the grid dependency depths and its stale
+		// bookkeeping from the slot mapping.
 		if _, err := sched.Of(p); err != nil {
 			return nil, err
 		}
+	}
+	if elastic {
+		eb, ok := back.(elasticBackend)
+		if !ok {
+			return nil, fmt.Errorf("trsv: elastic mode requires a built-in backend (SimBackend or PoolBackend), got %T", back)
+		}
+		back = eb.withElastic(tagElastic)
 	}
 	x.Zero()
 	var factory func(int) runtime.Handler
@@ -213,6 +314,10 @@ func SolveIntoOpts(p *dist.Plan, model *machine.Model, algo Algorithm, back Back
 		}
 	}
 	publishSolve(algo, total, err != nil)
+	if opts.Elastic != nil {
+		opts.Elastic.StaleSupernodes = total.staleRows
+		opts.Elastic.ForcedTicks = total.forcedTicks
+	}
 	if err != nil {
 		return nil, err
 	}

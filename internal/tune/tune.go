@@ -33,6 +33,7 @@ import (
 	"sptrsv/internal/core"
 	"sptrsv/internal/machine"
 	"sptrsv/internal/sparse"
+	"sptrsv/internal/trsv"
 )
 
 // Options controls one tuning run. The zero value asks for the defaults.
@@ -48,6 +49,15 @@ type Options struct {
 	// Cache, when non-nil, is consulted before searching and updated
 	// after. A warm hit returns immediately with zero probe solves.
 	Cache *Cache
+	// Mode, Staleness, RefineTol, and RefineMax are stamped onto the
+	// returned configurations (chosen and default) so the caller deploys
+	// the tuned choice in the solve mode it will actually run. Probes stay
+	// strict: they run fault-free, where elastic execution is identical by
+	// construction, so the mode cannot change the ranking.
+	Mode      trsv.SolveMode
+	Staleness int
+	RefineTol float64
+	RefineMax int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +101,15 @@ type Result struct {
 	Probed []Scored
 }
 
+// stamp applies the caller's solve-mode knobs to a tuned configuration.
+func (o Options) stamp(cfg core.Config) core.Config {
+	cfg.Mode = o.Mode
+	cfg.Staleness = o.Staleness
+	cfg.RefineTol = o.RefineTol
+	cfg.RefineMax = o.RefineMax
+	return cfg
+}
+
 // Run tunes sys for machine m and rank budget p.
 //
 // Run is deterministic: two runs on the same inputs (cold cache) probe
@@ -110,8 +129,8 @@ func Run(sys *core.System, m *machine.Model, p int, opt Options) (*Result, error
 				mTuneRuns.With(m.Name, "hit").Inc()
 				def := DefaultConfig(m, p)
 				return &Result{
-					Config: cfg, Makespan: e.Makespan,
-					Default: def, DefaultMakespan: e.Default,
+					Config: opt.stamp(cfg), Makespan: e.Makespan,
+					Default: opt.stamp(def), DefaultMakespan: e.Default,
 					FromCache: true,
 				}, nil
 			}
@@ -194,8 +213,8 @@ func Run(sys *core.System, m *machine.Model, p int, opt Options) (*Result, error
 	mTuneRuns.With(m.Name, "miss").Inc()
 	mTuneProbes.With(m.Name).Add(float64(len(scored)))
 	res := &Result{
-		Config: scored[best].Config, Makespan: scored[best].Makespan,
-		Default: def, DefaultMakespan: scored[defIdx].Makespan,
+		Config: opt.stamp(scored[best].Config), Makespan: scored[best].Makespan,
+		Default: opt.stamp(def), DefaultMakespan: scored[defIdx].Makespan,
 		Probes: len(scored), SpaceSize: len(space),
 	}
 	res.Probed = append(res.Probed, scored...)

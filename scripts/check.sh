@@ -33,6 +33,10 @@ echo "== go test -race -count=2 (chaos / fault-injection stress) =="
 go test -race -count=2 -run 'Chaos|Fault|Stall|Watchdog|Crash|Robust|NonFinite' \
     ./internal/fault ./internal/runtime ./internal/core ./internal/sparse
 
+echo "== go test -race -count=2 (elastic-chaos stress: staleness x straggler severity) =="
+go test -race -count=2 -run 'Elastic' \
+    ./internal/trsv ./internal/fault ./internal/core ./internal/server
+
 echo "== go test -race -count=2 (concurrent solves scraping /metrics) =="
 go test -race -count=2 -run 'Metrics|OpenMetrics|Histogram' \
     ./internal/metrics ./internal/core
@@ -60,6 +64,9 @@ scripts/bench_regress
 
 echo "== scheduled vs handler engine comparison =="
 go run ./cmd/figures -only sched -scale small
+
+echo "== elasticity sweep smoke (strict vs elastic under stragglers) =="
+go run ./cmd/figures -only elastic -scale small -quick
 
 echo "== quick solve benchmarks =="
 go test -run xxx -bench 'Solve' -benchmem -benchtime 1x .

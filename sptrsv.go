@@ -233,6 +233,24 @@ const (
 	CommAggregated = trsv.CommAggregated
 )
 
+// SolveMode selects strict or elastic stale-synchronous execution via
+// Config.Mode.
+type SolveMode = trsv.SolveMode
+
+// Solve modes. ModeStrict (the ModeAuto default) waits for every dependency
+// — the classical SpTRSV contract. ModeElastic bounds how long: a rank that
+// falls more than Config.Staleness dependency levels behind the modeled
+// schedule forces progress with the contributions received so far, and the
+// solver repairs the stale reads with iterative refinement until the true
+// residual meets Config.RefineTol (default 1e-8) or returns a typed
+// NumericalError — a verified solution either way. Fault-free elastic runs
+// force nothing and are bit-identical to strict (see DESIGN.md §14).
+const (
+	ModeAuto    = trsv.ModeAuto
+	ModeStrict  = trsv.ModeStrict
+	ModeElastic = trsv.ModeElastic
+)
+
 // Machine models of the paper's three systems.
 var (
 	CoriHaswell   = machine.CoriHaswell
@@ -278,7 +296,9 @@ type (
 	PanicError = fault.PanicError
 	// ProtocolError: a violated runtime or algorithm invariant.
 	ProtocolError = fault.ProtocolError
-	// NumericalError: a non-finite value in the RHS or the solution.
+	// NumericalError: a non-finite value in the RHS or the solution, or
+	// an elastic solve whose iterative refinement could not reach
+	// Config.RefineTol within Config.RefineMax passes.
 	NumericalError = fault.NumericalError
 	// BatchError maps each SolveBatch panel to its error (nil = success).
 	BatchError = core.BatchError
