@@ -70,6 +70,10 @@ func main() {
 	tuneFlag := flag.Bool("tune", false, "autotune the default config per uploaded matrix")
 	tuneCacheDir := flag.String("tune-cache", "", "persistent tuned-config cache directory (with -tune)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight requests at shutdown")
+	traceCap := flag.Int("trace-cap", 0, "per-rank event capacity of armed solve traces (0 = default 65536); overflow drops oldest events")
+	exemplars := flag.Bool("exemplars", false, "attach request-ID exemplars to /metrics histogram buckets (OpenMetrics syntax)")
+	flightCap := flag.Int("flight-cap", 0, "flight recorder capacity: retained slow/faulted solve captures (0 = default 64, negative disables)")
+	slowFactor := flag.Float64("slow-factor", 0, "capture a flight when a solve exceeds this multiple of the rolling median latency (0 = default 8, negative disables)")
 
 	// Shared flags (loop mode uses all of them; serve mode uses machine,
 	// backend, and exec for its default configuration).
@@ -137,6 +141,10 @@ func main() {
 			MaxHandles:   *maxHandles,
 			Tune:         *tuneFlag,
 			TuneCacheDir: *tuneCacheDir,
+			TraceCap:     *traceCap,
+			Exemplars:    *exemplars,
+			FlightCap:    *flightCap,
+			SlowFactor:   *slowFactor,
 		})
 		if err != nil {
 			fail(err)
@@ -214,6 +222,12 @@ func runService(svc *server.Server, addr string, drainTimeout time.Duration, fai
 			st.QueueWaitP50*1e3, st.QueueWaitP99*1e3,
 			st.SolveP50*1e3, st.SolveP99*1e3,
 			st.RequestP50*1e3, st.RequestP99*1e3)
+	}
+	if st.Flights > 0 {
+		fmt.Printf("flight recorder: %.0f captures (GET /debug/flights before the process exits to keep them)\n", st.Flights)
+	}
+	if st.TraceDropped > 0 {
+		fmt.Printf("tracing: %.0f trace events dropped, raise -trace-cap\n", st.TraceDropped)
 	}
 }
 

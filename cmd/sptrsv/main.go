@@ -48,6 +48,7 @@ func main() {
 	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the solve to this path (see also cmd/trace)")
+	traceCap := flag.Int("trace-cap", 0, "per-rank trace event capacity when -trace is set (0 = default 65536); overflow drops oldest events")
 	flag.Parse()
 
 	fail := func(err error) { cliutil.Fail("sptrsv", err) }
@@ -89,9 +90,10 @@ func main() {
 		fail(err)
 	}
 	tracing := *tracePath != ""
-	var backend trsv.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: tracing}}
+	ropts := runtime.Options{Trace: tracing, TraceCap: *traceCap}
+	var backend trsv.Backend = trsv.SimBackend{Opts: ropts}
 	if *backendName == "pool" {
-		backend = trsv.PoolBackend{Pool: runtime.Pool{Opts: runtime.Options{Trace: tracing}}}
+		backend = trsv.PoolBackend{Pool: runtime.Pool{Opts: ropts}}
 	}
 
 	cfg := core.Config{
@@ -151,7 +153,7 @@ func main() {
 				f.Close()
 				fail(err)
 			}
-			fmt.Fprintln(os.Stderr, "sptrsv: warning:", err)
+			fmt.Fprintf(os.Stderr, "sptrsv: warning: %d trace events dropped, raise -trace-cap\n", dropped.Dropped)
 		}
 		if err := f.Close(); err != nil {
 			fail(err)

@@ -47,6 +47,7 @@ func main() {
 	refineTol := flag.Float64("refine-tol", 0, "elastic mode's acceptance threshold on ‖b−Ax‖∞ (0 = default 1e-8)")
 	refineMax := flag.Int("refine-max", 0, "cap on elastic iterative-refinement passes (0 = default 48)")
 	nrhs := flag.Int("nrhs", 1, "number of right-hand sides")
+	traceCap := flag.Int("trace-cap", 0, "per-rank trace event capacity (0 = default 65536); overflow drops oldest events")
 	out := flag.String("o", "trace.json", "output path for the Chrome trace_event JSON")
 	top := flag.Int("top", 5, "how many top-slack and top-wait message edges to print")
 	flag.Parse()
@@ -90,6 +91,7 @@ func main() {
 		Trees:      trees,
 		Machine:    machine.ByName(*machineName),
 		Trace:      true,
+		TraceCap:   *traceCap,
 		Exec:       exec,
 		LevelChunk: *levelChunk,
 		Mode:       mode,
@@ -127,7 +129,7 @@ func main() {
 		if !errors.As(err, &dropped) {
 			fail(err)
 		}
-		fmt.Fprintln(os.Stderr, "trace: warning:", err)
+		fmt.Fprintf(os.Stderr, "trace: warning: %d trace events dropped, raise -trace-cap\n", dropped.Dropped)
 	}
 	if err := w.Flush(); err != nil {
 		fail(err)
@@ -152,6 +154,13 @@ func main() {
 	if ss, err := rep.Raw.LevelSweeps(); err == nil && ss.Sweeps > 0 {
 		fmt.Printf("\nlevel sweeps (%s exec): %d sweeps covering %d tasks, mean %.1f tasks/sweep, widest %d\n",
 			exec.Resolve(), ss.Sweeps, ss.Tasks, ss.MeanTasks(), ss.MaxTasks)
+	}
+
+	if !rep.Raw.Trace.Complete() {
+		// Critical-path and edge analyses need every event; the written
+		// (truncated) trace file is still usable in a viewer.
+		fmt.Println("\nskipping critical-path and edge analyses: trace is truncated, raise -trace-cap for them")
+		return
 	}
 
 	cp, err := rep.Raw.CriticalPath()

@@ -26,6 +26,13 @@ type SLOPoint struct {
 	LatencyP50S   float64
 	LatencyP99S   float64
 
+	// LatencyP50ID / LatencyP99ID are the X-Request-IDs of the requests
+	// sitting at those quantiles — latency exemplars. While the server is
+	// still up, GET /debug/requests/{id} shows exactly where that request's
+	// time went (queue wait vs batch assembly vs solve vs encode).
+	LatencyP50ID string
+	LatencyP99ID string
+
 	// MeanBatchWidth is the achieved coalescing width: requests per panel
 	// solve, averaged over flushes. > 1 means single-RHS requests really
 	// merged into multi-RHS solves.
@@ -81,10 +88,11 @@ func SLO(cfg Config) []SLOPoint {
 				fmt.Sprintf("%.3g", pt.QueueWaitP99S*1e3),
 				fmt.Sprintf("%.3g", pt.SolveP99S*1e3),
 				fmt.Sprintf("%.1f%%", pt.ShedRate*100),
+				pt.LatencyP99ID,
 			})
 		}
 		table(cfg.Out, []string{"clients", "sent", "ok", "shed", "req/s",
-			"p50 [ms]", "p99 [ms]", "batch width", "queue p99 [ms]", "solve p99 [ms]", "shed rate"}, cells)
+			"p50 [ms]", "p99 [ms]", "batch width", "queue p99 [ms]", "solve p99 [ms]", "shed rate", "p99 exemplar"}, cells)
 	}
 	return pts
 }
@@ -126,6 +134,7 @@ func sloLevel(cfg Config, matrix string, clients, requests int) (SLOPoint, error
 	res, err := loadgen.Run(loadgen.Options{
 		BaseURL: ts.URL, Handle: info.Handle, N: info.N,
 		Clients: clients, Requests: requests,
+		RequestIDs: true,
 	})
 	if err != nil {
 		return SLOPoint{}, err
@@ -136,6 +145,8 @@ func sloLevel(cfg Config, matrix string, clients, requests int) (SLOPoint, error
 		ThroughputRPS:  res.Throughput,
 		LatencyP50S:    res.LatencyP50S,
 		LatencyP99S:    res.LatencyP99S,
+		LatencyP50ID:   res.LatencyP50ID,
+		LatencyP99ID:   res.LatencyP99ID,
 		MeanBatchWidth: st.MeanBatchWidth,
 		QueueWaitP99S:  st.QueueWaitP99,
 		SolveP99S:      st.SolveP99,

@@ -89,6 +89,10 @@ type Config struct {
 	// backend (Report.Raw.Trace, runtime.Result.WriteTrace). Ignored when
 	// Backend is non-nil — set the backend's own Options instead.
 	Trace bool
+	// TraceCap bounds the retained events per rank when Trace is set
+	// (0 means runtime.DefaultTraceCap). Like Trace it applies to the
+	// default simulation backend only.
+	TraceCap int
 	// Faults injects deterministic faults (stragglers, jitter, drops,
 	// crashes — see fault.Plan) into solves on the default simulation
 	// backend. Like Trace, it is ignored when Backend is non-nil: set the
@@ -226,6 +230,9 @@ func ValidateConfig(sys *System, cfg Config) error {
 	if cfg.LevelChunk < 0 {
 		return fmt.Errorf("core: Config.LevelChunk must be non-negative, got %d", cfg.LevelChunk)
 	}
+	if cfg.TraceCap < 0 {
+		return fmt.Errorf("core: Config.TraceCap must be non-negative, got %d", cfg.TraceCap)
+	}
 	if !cfg.Mode.Valid() {
 		return fmt.Errorf("core: unknown solve mode %v", cfg.Mode)
 	}
@@ -256,7 +263,9 @@ func NewSolver(sys *System, cfg Config) (*Solver, error) {
 		return nil, err
 	}
 	if cfg.Backend == nil {
-		cfg.Backend = trsv.SimBackend{Opts: runtime.Options{Trace: cfg.Trace, Faults: cfg.Faults}}
+		cfg.Backend = trsv.SimBackend{Opts: runtime.Options{
+			Trace: cfg.Trace, TraceCap: cfg.TraceCap, Faults: cfg.Faults,
+		}}
 	}
 	plan, err := dist.New(sys.SN, sys.Tree, cfg.Layout, cfg.Trees)
 	if err != nil {
@@ -302,6 +311,9 @@ type Report struct {
 	// elastic solve ran after the initial solve; 0 under strict mode or
 	// when the elastic solution already met RefineTol.
 	RefinePasses int
+	// RefineTime is the modeled/wall seconds the refinement passes alone
+	// took (already included in Time); 0 when no pass ran.
+	RefineTime float64
 	// StaleSupernodes counts supernode solves (across ranks, sweeps, and
 	// refinement passes) that consumed stale or missing inputs because a
 	// staleness deadline forced their dependencies closed; 0 under
@@ -337,28 +349,72 @@ func (s *Solver) Solve(b *sparse.Panel) (*sparse.Panel, *Report, error) {
 	return s.solveOn(b, s.cfg.Backend)
 }
 
-// SolveFaulted is Solve with a per-call fault plan layered onto the
-// configured backend: this one solve runs with plan injected (see
-// fault.Plan) while the Solver itself stays clean, so a chaos harness or a
-// serving path can poison exactly one request against a shared Solver. A
-// nil plan is plain Solve. The override composes with SimBackend and
-// PoolBackend (replacing any plan the backend already carries); other
-// custom backends are rejected because core cannot know how to thread the
-// plan into them.
-func (s *Solver) SolveFaulted(b *sparse.Panel, plan *fault.Plan) (*sparse.Panel, *Report, error) {
-	if plan == nil {
-		return s.Solve(b)
-	}
-	back, err := s.faultedBackend(plan)
+// SolveSpec bundles the per-call overrides of one solve against a shared
+// Solver: an optional fault plan and optional per-solve event tracing. The
+// zero value is a plain Solve — SolveWith then uses the configured backend
+// as-is, copying nothing, so serving traffic pays no overhead when neither
+// override is in play (the alloc-neutrality benchmark pins this).
+type SolveSpec struct {
+	// Faults layers a per-call fault plan onto the configured backend
+	// (see SolveFaulted).
+	Faults *fault.Plan
+	// Trace arms per-rank event tracing for this solve only:
+	// Report.Raw.Trace is populated as if Config.Trace were set while the
+	// Solver's own backend stays untraced. The runtime allocates message
+	// IDs independently of the DES event order, so arming a trace does not
+	// perturb virtual time — a traced and an untraced solve of the same
+	// system return bit-identical clocks.
+	Trace bool
+	// TraceCap bounds retained events per rank when Trace is set
+	// (0 means runtime.DefaultTraceCap).
+	TraceCap int
+}
+
+// SolveWith is Solve with per-call overrides (see SolveSpec). Both
+// overrides require the built-in sim or pool backend; custom backends are
+// rejected because core cannot know how to thread options into them.
+func (s *Solver) SolveWith(b *sparse.Panel, spec SolveSpec) (*sparse.Panel, *Report, error) {
+	back, err := s.specBackend(spec)
 	if err != nil {
 		return nil, nil, err
 	}
 	return s.solveOn(b, back)
 }
 
-// faultedBackend derives a copy of the configured backend carrying plan.
-func (s *Solver) faultedBackend(plan *fault.Plan) (trsv.Backend, error) {
-	switch back := s.cfg.Backend.(type) {
+// SolveFaulted is Solve with a per-call fault plan layered onto the
+// configured backend: this one solve runs with plan injected (see
+// fault.Plan) while the Solver itself stays clean, so a chaos harness or a
+// serving path can poison exactly one request against a shared Solver. A
+// nil plan is plain Solve.
+func (s *Solver) SolveFaulted(b *sparse.Panel, plan *fault.Plan) (*sparse.Panel, *Report, error) {
+	return s.SolveWith(b, SolveSpec{Faults: plan})
+}
+
+// specBackend derives the backend one SolveWith call runs on: the
+// configured backend itself for a zero spec, a value copy carrying the
+// overrides otherwise.
+func (s *Solver) specBackend(spec SolveSpec) (trsv.Backend, error) {
+	back := s.cfg.Backend
+	if spec.Faults != nil {
+		var err error
+		if back, err = faultedBackend(back, spec.Faults); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Trace {
+		ta, ok := back.(trsv.TraceArmer)
+		if !ok {
+			return nil, fmt.Errorf("core: per-solve tracing requires the sim or pool backend, not %T", back)
+		}
+		back = ta.WithTrace(spec.TraceCap)
+	}
+	return back, nil
+}
+
+// faultedBackend derives a copy of b carrying plan (replacing any plan the
+// backend already carries).
+func faultedBackend(b trsv.Backend, plan *fault.Plan) (trsv.Backend, error) {
+	switch back := b.(type) {
 	case trsv.SimBackend:
 		back.Opts.Faults = plan
 		return back, nil
@@ -366,7 +422,7 @@ func (s *Solver) faultedBackend(plan *fault.Plan) (trsv.Backend, error) {
 		back.Pool.Opts.Faults = plan
 		return back, nil
 	}
-	return nil, fmt.Errorf("core: per-solve fault plans require the sim or pool backend, not %T", s.cfg.Backend)
+	return nil, fmt.Errorf("core: per-solve fault plans require the sim or pool backend, not %T", b)
 }
 
 func (s *Solver) solveOn(b *sparse.Panel, back trsv.Backend) (*sparse.Panel, *Report, error) {
@@ -404,6 +460,14 @@ func (s *Solver) solveOn(b *sparse.Panel, back trsv.Backend) (*sparse.Panel, *Re
 	res, err := trsv.SolveIntoOpts(s.plan, s.cfg.Machine, s.cfg.Algorithm, back, sb.bp, sb.xp, opts)
 	if err != nil {
 		s.bufs.Put(sb)
+		// A traced solve that died with a typed fault still yields its
+		// partial runtime result; hand it back as a Raw-only Report so a
+		// flight recorder can keep the events leading up to the failure.
+		// Callers keep the err-first convention — every other Report field
+		// is unset.
+		if res != nil {
+			return nil, &Report{Residual: math.NaN(), Raw: res}, err
+		}
 		return nil, nil, err
 	}
 	if nerr := s.checkFinite(sb.xp); nerr != nil {
@@ -481,6 +545,7 @@ func (s *Solver) refine(b, x *sparse.Panel, sb *solveBuffers, back trsv.Backend,
 			return nerr
 		}
 		rep.Time += res.MaxClock()
+		rep.RefineTime += res.MaxClock()
 		rep.StaleSupernodes += stats.StaleSupernodes
 		rep.ForcedTicks += stats.ForcedTicks
 		d := sb.xp.PermuteRows(s.inv)
@@ -566,8 +631,10 @@ func (e *BatchError) Unwrap() []error {
 // solves concurrently (each on its own backend run), and returns the
 // solutions and reports in matching order.
 //
-// Failures are isolated per panel: a panel whose solve fails gets nil
-// xs[i]/reps[i] entries while the other panels complete normally. When any
+// Failures are isolated per panel: a panel whose solve fails gets a nil
+// xs[i] (and a nil reps[i] — unless the solve was traced and died with a
+// typed fault, which leaves a Raw-only report carrying the salvaged
+// partial trace) while the other panels complete normally. When any
 // panel failed, the returned error is a *BatchError whose Errs slice maps
 // each panel to its error (nil for successes), so callers can retry or
 // report exactly the failed panels.
@@ -582,8 +649,27 @@ func (s *Solver) SolveBatch(bs []*sparse.Panel) ([]*sparse.Panel, []*Report, err
 // the chaos tests rely on. plans may be nil (no injection anywhere) or
 // must match bs in length.
 func (s *Solver) SolveBatchFaulted(bs []*sparse.Panel, plans []*fault.Plan) ([]*sparse.Panel, []*Report, error) {
-	if plans != nil && len(plans) != len(bs) {
+	if plans == nil {
+		return s.SolveBatchWith(bs, nil)
+	}
+	if len(plans) != len(bs) {
 		return nil, nil, fmt.Errorf("core: %d fault plans for %d panels", len(plans), len(bs))
+	}
+	specs := make([]SolveSpec, len(bs))
+	for i, p := range plans {
+		specs[i].Faults = p
+	}
+	return s.SolveBatchWith(bs, specs)
+}
+
+// SolveBatchWith is SolveBatch with an optional per-panel SolveSpec: panel
+// i runs under specs[i] (zero entries override nothing), so one flush can
+// mix plain panels, poisoned panels, and panels traced on behalf of a
+// specific request. specs may be nil (no overrides anywhere) or must match
+// bs in length.
+func (s *Solver) SolveBatchWith(bs []*sparse.Panel, specs []SolveSpec) ([]*sparse.Panel, []*Report, error) {
+	if specs != nil && len(specs) != len(bs) {
+		return nil, nil, fmt.Errorf("core: %d solve specs for %d panels", len(specs), len(bs))
 	}
 	xs := make([]*sparse.Panel, len(bs))
 	reps := make([]*Report, len(bs))
@@ -594,11 +680,11 @@ func (s *Solver) SolveBatchFaulted(bs []*sparse.Panel, plans []*fault.Plan) ([]*
 		wg.Add(1)
 		go func(i int, b *sparse.Panel) {
 			defer wg.Done()
-			if plans != nil && plans[i] != nil {
-				xs[i], reps[i], errs[i] = s.SolveFaulted(b, plans[i])
-				return
+			var spec SolveSpec
+			if specs != nil {
+				spec = specs[i]
 			}
-			xs[i], reps[i], errs[i] = s.Solve(b)
+			xs[i], reps[i], errs[i] = s.SolveWith(b, spec)
 		}(i, b)
 	}
 	wg.Wait()

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExemplarRoundTrip pins the full path: ObserveExemplar stamps the
+// landing bucket, the flag-enabled exposition renders the OpenMetrics
+// exemplar syntax, and the strict parser accepts the line.
+func TestExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SetExemplars(true)
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.001, 0.1, 1}).With()
+	h.ObserveExemplar(0.05, Exemplar{LabelKey: "request_id", LabelValue: "req-42", Ts: 1754697600})
+	h.ObserveExemplar(50, Exemplar{LabelKey: "request_id", LabelValue: "req-inf"})
+	h.Observe(0.0005) // un-annotated samples leave their bucket's slot empty
+
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	validateOpenMetrics(t, text)
+
+	want := `test_lat_seconds_bucket{le="0.1"} 2 # {request_id="req-42"} 0.05 1754697600.000`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, text)
+	}
+	// The +Inf bucket's exemplar has no timestamp (Ts <= 0 omits it).
+	wantInf := `test_lat_seconds_bucket{le="+Inf"} 3 # {request_id="req-inf"} 50`
+	if !strings.Contains(text, wantInf) {
+		t.Fatalf("exposition missing +Inf exemplar line %q:\n%s", wantInf, text)
+	}
+
+	ex := h.Exemplars()
+	if e, ok := ex[0.1]; !ok || e.LabelValue != "req-42" || e.Value != 0.05 {
+		t.Fatalf("Exemplars()[0.1] = %+v, %v", e, ok)
+	}
+	if e, ok := ex[math.Inf(1)]; !ok || e.LabelValue != "req-inf" {
+		t.Fatalf("Exemplars()[+Inf] = %+v, %v", e, ok)
+	}
+}
+
+// TestExemplarsOffByDefault pins the compatibility contract: without
+// SetExemplars(true) the exposition is byte-identical to the pre-exemplar
+// format even when exemplars were stored.
+func TestExemplarsOffByDefault(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_lat_seconds", "latency", []float64{1}).With()
+	h.ObserveExemplar(0.5, Exemplar{LabelKey: "request_id", LabelValue: "req-1", Ts: 1})
+
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#  ") || strings.Contains(sb.String(), "} 1 # {") {
+		t.Fatalf("exemplar leaked into flag-off exposition:\n%s", sb.String())
+	}
+	for _, ln := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(ln, " # ") && !strings.HasPrefix(ln, "#") {
+			t.Fatalf("exemplar suffix on %q with exposition disabled", ln)
+		}
+	}
+	validateOpenMetrics(t, sb.String())
+}
+
+// TestExemplarClamped pins the OpenMetrics 128-char cap: an oversized label
+// value is truncated to fit rather than rendered illegally.
+func TestExemplarClamped(t *testing.T) {
+	r := NewRegistry()
+	r.SetExemplars(true)
+	h := r.Histogram("test_lat_seconds", "latency", []float64{1}).With()
+	h.ObserveExemplar(0.5, Exemplar{LabelKey: "request_id", LabelValue: strings.Repeat("x", 300)})
+	e := h.Exemplars()[1.0]
+	if got := len(e.LabelKey) + len(e.LabelValue); got > 128 {
+		t.Fatalf("clamped exemplar labelset is %d chars, want <= 128", got)
+	}
+	var sb strings.Builder
+	if err := r.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validateOpenMetrics(t, sb.String())
+}
+
+// TestExemplarConcurrent hammers ObserveExemplar from many goroutines while
+// scraping with exposition enabled — run under -race.
+func TestExemplarConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.SetExemplars(true)
+	h := r.Histogram("test_obs", "", []float64{1, 10, 100}).With()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				h.ObserveExemplar(float64(i%200), Exemplar{
+					LabelKey: "request_id", LabelValue: "w" + strconv.Itoa(w) + "-" + strconv.Itoa(i),
+					Ts: float64(i + 1),
+				})
+			}
+		}(w)
+	}
+	for s := 0; s < 20; s++ {
+		var sb strings.Builder
+		if err := r.WriteOpenMetrics(&sb); err != nil {
+			t.Fatal(err)
+		}
+		validateOpenMetrics(t, sb.String())
+	}
+	wg.Wait()
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram lost updates: %d", h.Count())
+	}
+	if len(h.Exemplars()) == 0 {
+		t.Fatal("no exemplar survived")
+	}
+}

@@ -101,13 +101,39 @@ func (g *Gauge) Value() float64 { return g.v.load() }
 // Histogram is a fixed-bucket distribution under one label set: counts of
 // observations ≤ each upper bound, plus the running sum. Buckets are set
 // at family creation and never change, so Observe is a binary search plus
-// two atomic adds.
+// two atomic adds. Each bucket additionally carries one exemplar slot (see
+// ObserveExemplar) holding the most recent sample a caller chose to
+// annotate — the OpenMetrics exemplar mechanism that links a latency
+// bucket back to a concrete request ID.
 type Histogram struct {
 	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
 	counts []atomic.Uint64
 	inf    atomic.Uint64 // observations above the last bound
 	sum    value
+	ex     []atomic.Pointer[Exemplar] // len(bounds)+1 slots; last is +Inf
 }
+
+// Exemplar annotates one histogram observation with an identifying label
+// (typically request_id) and the observation's wall-clock time. It is
+// exposed on the bucket line the observation landed in, using the
+// OpenMetrics exemplar syntax, when the registry's exemplar flag is on.
+type Exemplar struct {
+	// LabelKey and LabelValue are the single identifying label
+	// ("request_id", "abc123"). OpenMetrics caps an exemplar's combined
+	// label length at 128 characters; ObserveExemplar clamps the value to
+	// fit rather than dropping the exemplar.
+	LabelKey, LabelValue string
+	// Value is the observed sample; ObserveExemplar fills it in.
+	Value float64
+	// Ts is the observation's Unix time in seconds; <= 0 omits the
+	// timestamp from the exposition. Callers stamp it from their own clock
+	// so tests with injected clocks stay deterministic.
+	Ts float64
+}
+
+// exemplarMaxLen is the OpenMetrics cap on the combined length of an
+// exemplar's label names and values.
+const exemplarMaxLen = 128
 
 // Observe records one sample.
 func (h *Histogram) Observe(f float64) {
@@ -118,6 +144,47 @@ func (h *Histogram) Observe(f float64) {
 		h.inf.Add(1)
 	}
 	h.sum.add(f)
+}
+
+// ObserveExemplar records one sample like Observe and stamps the landing
+// bucket's exemplar slot with e (last writer wins — the freshest exemplar
+// is the most useful one for debugging a live spike). The cost over
+// Observe is one pointer store plus one heap allocation for the exemplar;
+// callers on hot paths that do not need linkage keep calling Observe.
+func (h *Histogram) ObserveExemplar(f float64, e Exemplar) {
+	i := sort.SearchFloat64s(h.bounds, f)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sum.add(f)
+	e.Value = f
+	if over := len(e.LabelKey) + len(e.LabelValue) - exemplarMaxLen; over > 0 {
+		if over < len(e.LabelValue) {
+			e.LabelValue = e.LabelValue[:len(e.LabelValue)-over]
+		} else {
+			e.LabelValue = ""
+		}
+	}
+	h.ex[i].Store(&e)
+}
+
+// Exemplars returns the current per-bucket exemplars keyed by bucket upper
+// bound (math.Inf(1) for the +Inf bucket); buckets whose slot was never
+// stamped are absent.
+func (h *Histogram) Exemplars() map[float64]Exemplar {
+	out := map[float64]Exemplar{}
+	for i := range h.ex {
+		if e := h.ex[i].Load(); e != nil {
+			bound := math.Inf(1)
+			if i < len(h.bounds) {
+				bound = h.bounds[i]
+			}
+			out[bound] = *e
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -233,7 +300,11 @@ func (f *family) child(values []string) any {
 	case KindGauge:
 		c = &Gauge{}
 	case KindHistogram:
-		c = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds))}
+		c = &Histogram{
+			bounds: f.bounds,
+			counts: make([]atomic.Uint64, len(f.bounds)),
+			ex:     make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
+		}
 	}
 	f.kids[k] = c
 	f.keyList = append(f.keyList, k)
@@ -243,9 +314,20 @@ func (f *family) child(values []string) any {
 // Registry holds metric families by name. The zero value is not usable;
 // call NewRegistry (or use Default).
 type Registry struct {
-	mu       sync.RWMutex
-	families map[string]*family
+	mu        sync.RWMutex
+	families  map[string]*family
+	exemplars atomic.Bool
 }
+
+// SetExemplars toggles OpenMetrics exemplar exposition for this registry.
+// Off by default: the plain exposition stays byte-identical to what every
+// pre-exemplar scraper and determinism test expects, and a deployment opts
+// in (cmd/serve -exemplars) when its collector understands the syntax.
+// Stored exemplars are kept either way — the flag gates rendering only.
+func (r *Registry) SetExemplars(on bool) { r.exemplars.Store(on) }
+
+// ExemplarsEnabled reports whether exemplar exposition is on.
+func (r *Registry) ExemplarsEnabled() bool { return r.exemplars.Load() }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {

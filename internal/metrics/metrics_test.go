@@ -126,8 +126,11 @@ func TestHistogramQuantileEmpty(t *testing.T) {
 
 var (
 	reComment = regexp.MustCompile(`^# (TYPE|HELP|UNIT) ([a-zA-Z_][a-zA-Z0-9_]*) (.+)$`)
-	reSample  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)(\{([^}]*)\})? (\S+)$`)
-	reLabel   = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+	// reSample accepts an optional OpenMetrics exemplar suffix
+	// (` # {labels} value [timestamp]`) after the sample value; the
+	// exemplar groups are 6 (labels), 7 (value), 9 (timestamp).
+	reSample = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)(\{([^}]*)\})? (\S+)( # \{([^}]*)\} (\S+)( (\S+))?)?$`)
+	reLabel  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
 )
 
 // validateOpenMetrics is a strict-enough OpenMetrics v1 text parser for
@@ -177,6 +180,31 @@ func validateOpenMetrics(t *testing.T, text string) map[string]float64 {
 		v, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			t.Fatalf("bad value in %q: %v", ln, err)
+		}
+		hasExemplar := m[5] != ""
+		if hasExemplar {
+			if !strings.HasSuffix(name, "_bucket") && !strings.HasSuffix(name, "_total") {
+				t.Fatalf("exemplar on non-bucket/non-counter sample %q", ln)
+			}
+			total := 0
+			for _, piece := range splitLabels(m[6]) {
+				lm := reLabel.FindStringSubmatch(piece)
+				if lm == nil {
+					t.Fatalf("bad exemplar label %q in %q", piece, ln)
+				}
+				total += len(lm[1]) + len(lm[2])
+			}
+			if total > 128 {
+				t.Fatalf("exemplar labelset exceeds 128 chars in %q", ln)
+			}
+			if _, err := strconv.ParseFloat(m[7], 64); err != nil {
+				t.Fatalf("bad exemplar value in %q: %v", ln, err)
+			}
+			if m[9] != "" {
+				if _, err := strconv.ParseFloat(m[9], 64); err != nil {
+					t.Fatalf("bad exemplar timestamp in %q: %v", ln, err)
+				}
+			}
 		}
 		famType, fam := "", ""
 		for f, ty := range types {

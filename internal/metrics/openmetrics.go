@@ -19,8 +19,9 @@ const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
 // expositions directly.
 func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	ex := r.ExemplarsEnabled()
 	for _, f := range r.snapshotFamilies() {
-		f.write(bw)
+		f.write(bw, ex)
 	}
 	bw.WriteString("# EOF\n")
 	return bw.Flush()
@@ -36,8 +37,9 @@ func Handler(r *Registry) http.Handler {
 }
 
 // write renders one family: the TYPE/HELP metadata, then every child's
-// samples in sorted label order.
-func (f *family) write(w *bufio.Writer) {
+// samples in sorted label order. exemplars additionally renders each
+// histogram bucket's exemplar suffix.
+func (f *family) write(w *bufio.Writer, exemplars bool) {
 	w.WriteString("# TYPE ")
 	w.WriteString(f.name)
 	w.WriteByte(' ')
@@ -74,10 +76,10 @@ func (f *family) write(w *bufio.Writer) {
 			cum, total := m.cumulative()
 			for bi, b := range m.bounds {
 				f.sample(w, "_bucket", values, []string{"le", formatValue(b)},
-					strconv.FormatUint(cum[bi], 10))
+					strconv.FormatUint(cum[bi], 10)+exemplarSuffix(m, bi, exemplars))
 			}
 			f.sample(w, "_bucket", values, []string{"le", "+Inf"},
-				strconv.FormatUint(total, 10))
+				strconv.FormatUint(total, 10)+exemplarSuffix(m, len(m.bounds), exemplars))
 			f.sample(w, "_count", values, nil, strconv.FormatUint(total, 10))
 			f.sample(w, "_sum", values, nil, formatValue(m.Sum()))
 		}
@@ -129,6 +131,36 @@ func (f *family) sample(w *bufio.Writer, suffix string, values, extra []string, 
 	w.WriteByte(' ')
 	w.WriteString(val)
 	w.WriteByte('\n')
+}
+
+// exemplarSuffix renders bucket bi's exemplar as the OpenMetrics
+// ` # {label="value"} value timestamp` suffix appended to the bucket's
+// sample line; empty when exposition is disabled or the slot was never
+// stamped. The suffix rides the sample's value string so the line grammar
+// stays in one place (sample).
+func exemplarSuffix(h *Histogram, bi int, on bool) string {
+	if !on {
+		return ""
+	}
+	e := h.ex[bi].Load()
+	if e == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(" # {")
+	if e.LabelKey != "" {
+		sb.WriteString(e.LabelKey)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(e.LabelValue))
+		sb.WriteByte('"')
+	}
+	sb.WriteString("} ")
+	sb.WriteString(formatValue(e.Value))
+	if e.Ts > 0 {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatFloat(e.Ts, 'f', 3, 64))
+	}
+	return sb.String()
 }
 
 // formatValue renders a float the way OpenMetrics expects: shortest

@@ -1,0 +1,129 @@
+package reqtrace
+
+import (
+	"sync"
+
+	"sptrsv/internal/runtime"
+)
+
+// Flight is one captured anomalous request: its summary record, what
+// triggered the capture, and — when the solve was traced — the runtime
+// result whose per-rank events the flight's Chrome export stitches in.
+type Flight struct {
+	Record  *Record
+	Trigger string // slow | fault | refine | request
+	// Res holds the solve's runtime result when tracing was armed for the
+	// request; nil for an untraced capture (the first incident on a slot —
+	// the recorder's re-arming makes the next incident a full trace).
+	Res *runtime.Result
+}
+
+// Events returns the runtime trace event count the flight retains.
+func (f *Flight) Events() int {
+	if f.Res == nil || f.Res.Trace == nil {
+		return 0
+	}
+	return f.Res.Trace.Events()
+}
+
+// Dropped returns how many runtime trace events the solve's rings dropped.
+func (f *Flight) Dropped() int {
+	if f.Res == nil || f.Res.Trace == nil {
+		return 0
+	}
+	n := 0
+	for _, d := range f.Res.Trace.Dropped {
+		n += d
+	}
+	return n
+}
+
+// Recorder is the flight recorder's size-bounded LRU: at most maxFlights
+// entries AND at most maxEvents total retained runtime trace events,
+// whichever bites first — a run of heavily traced incidents evicts older
+// flights faster than a run of span-only ones. Re-capturing an ID replaces
+// the entry.
+type Recorder struct {
+	mu        sync.Mutex
+	maxFly    int
+	maxEvents int
+	curEvents int
+	flights   map[string]*Flight
+	order     []string // oldest first
+}
+
+// NewRecorder bounds the recorder (maxFlights <= 0 means 1; maxEvents <= 0
+// means unlimited events, entry cap only).
+func NewRecorder(maxFlights, maxEvents int) *Recorder {
+	if maxFlights <= 0 {
+		maxFlights = 1
+	}
+	return &Recorder{maxFly: maxFlights, maxEvents: maxEvents, flights: make(map[string]*Flight)}
+}
+
+// Capture stores f, evicting the oldest flights until both bounds hold,
+// and returns how many were evicted. A flight whose own trace exceeds
+// maxEvents is still kept (alone) — refusing the very capture that blew
+// the budget would hide the worst incidents.
+func (r *Recorder) Capture(f *Flight) (evicted int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.flights[f.Record.ID]; ok {
+		r.curEvents -= old.Events()
+		r.removeOrderLocked(f.Record.ID)
+	}
+	r.flights[f.Record.ID] = f
+	r.order = append(r.order, f.Record.ID)
+	r.curEvents += f.Events()
+	for len(r.order) > 1 &&
+		(len(r.order) > r.maxFly || (r.maxEvents > 0 && r.curEvents > r.maxEvents)) {
+		oldest := r.order[0]
+		r.curEvents -= r.flights[oldest].Events()
+		delete(r.flights, oldest)
+		r.order = r.order[1:]
+		evicted++
+	}
+	return evicted
+}
+
+func (r *Recorder) removeOrderLocked(id string) {
+	for i, o := range r.order {
+		if o == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get returns the flight captured for id.
+func (r *Recorder) Get(id string) (*Flight, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.flights[id]
+	return f, ok
+}
+
+// List returns all flights, newest first.
+func (r *Recorder) List() []*Flight {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Flight, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		out = append(out, r.flights[r.order[i]])
+	}
+	return out
+}
+
+// Len returns the held flight count.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// Events returns the total retained runtime trace events.
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curEvents
+}

@@ -1,0 +1,241 @@
+package reqtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"sptrsv/internal/runtime"
+)
+
+func rec(id string) *Record { return &Record{ID: id} }
+
+func TestCtxSpansAndFinish(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	c := New("r-1", "acme", t0)
+	c.SetAttr("handle", "m-abc")
+	c.Span("queue-wait", t0, t0.Add(10*time.Millisecond), nil)
+	c.Span("solve", t0.Add(10*time.Millisecond), t0.Add(30*time.Millisecond),
+		map[string]string{"batch_width": "4"})
+	r := c.Finish("ok", "", t0.Add(31*time.Millisecond))
+	if r.ID != "r-1" || r.Tenant != "acme" || r.Outcome != "ok" {
+		t.Fatalf("record header wrong: %+v", r)
+	}
+	if len(r.Spans) != 2 || r.Spans[1].Stage != "solve" {
+		t.Fatalf("spans wrong: %+v", r.Spans)
+	}
+	if r.Spans[0].StartS != 0 || r.Spans[1].StartS != 0.01 {
+		t.Fatalf("relative span starts wrong: %+v", r.Spans)
+	}
+	if r.TotalS != 0.031 {
+		t.Fatalf("TotalS = %v", r.TotalS)
+	}
+	if r.Attrs["handle"] != "m-abc" {
+		t.Fatalf("attrs lost: %v", r.Attrs)
+	}
+	// Finishing again (flight snapshot then final record) is independent.
+	c.Span("encode", t0.Add(31*time.Millisecond), t0.Add(32*time.Millisecond), nil)
+	r2 := c.Finish("ok", "", t0.Add(32*time.Millisecond))
+	if len(r.Spans) != 2 || len(r2.Spans) != 3 {
+		t.Fatal("Finish snapshots are not independent")
+	}
+}
+
+func TestStoreBoundAndReplace(t *testing.T) {
+	s := NewStore(3)
+	for i := 0; i < 5; i++ {
+		s.Add(rec(fmt.Sprintf("r-%d", i)))
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d, cap 3", s.Len())
+	}
+	if _, ok := s.Get("r-1"); ok {
+		t.Fatal("oldest record not evicted")
+	}
+	if _, ok := s.Get("r-4"); !ok {
+		t.Fatal("newest record missing")
+	}
+	// Replacement refreshes position: r-2 re-added outlives r-3.
+	s.Add(rec("r-2"))
+	s.Add(rec("r-5"))
+	if _, ok := s.Get("r-2"); !ok {
+		t.Fatal("replaced record evicted despite refresh")
+	}
+	if _, ok := s.Get("r-3"); ok {
+		t.Fatal("r-3 should have been evicted")
+	}
+	recent := s.Recent(2)
+	if len(recent) != 2 || recent[0].ID != "r-5" || recent[1].ID != "r-2" {
+		t.Fatalf("Recent order wrong: %v, %v", recent[0].ID, recent[1].ID)
+	}
+}
+
+func TestRecorderEntryBound(t *testing.T) {
+	r := NewRecorder(2, 0)
+	for i := 0; i < 4; i++ {
+		r.Capture(&Flight{Record: rec("f-" + strconv.Itoa(i)), Trigger: "fault"})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("recorder holds %d, cap 2", r.Len())
+	}
+	if _, ok := r.Get("f-3"); !ok {
+		t.Fatal("newest flight missing")
+	}
+	if _, ok := r.Get("f-0"); ok {
+		t.Fatal("oldest flight kept past cap")
+	}
+	list := r.List()
+	if len(list) != 2 || list[0].Record.ID != "f-3" {
+		t.Fatalf("List order wrong: %v", list[0].Record.ID)
+	}
+}
+
+// fakeTraceResult fabricates a Result whose trace holds events-many events
+// on one rank — enough for byte-budget tests without running an engine.
+func fakeTraceResult(events, dropped int) *runtime.Result {
+	evs := make([]runtime.Event, events)
+	return &runtime.Result{Trace: &runtime.Trace{
+		Ranks:   [][]runtime.Event{evs},
+		Dropped: []int{dropped},
+	}}
+}
+
+func TestRecorderEventBudget(t *testing.T) {
+	r := NewRecorder(100, 1000)
+	for i := 0; i < 5; i++ {
+		r.Capture(&Flight{Record: rec("f-" + strconv.Itoa(i)), Trigger: "slow",
+			Res: fakeTraceResult(300, 0)})
+	}
+	// 5×300 = 1500 events > 1000: the two oldest must be gone.
+	if r.Len() != 3 || r.Events() != 900 {
+		t.Fatalf("recorder holds %d flights / %d events, want 3 / 900", r.Len(), r.Events())
+	}
+	// One oversized flight is still kept, alone.
+	r.Capture(&Flight{Record: rec("huge"), Trigger: "slow", Res: fakeTraceResult(5000, 0)})
+	if _, ok := r.Get("huge"); !ok {
+		t.Fatal("oversized flight rejected — worst incidents must be kept")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("oversized capture kept %d neighbors", r.Len())
+	}
+}
+
+func TestSlowTracker(t *testing.T) {
+	tr := NewSlowTracker(16, 4)
+	// Below minObs nothing is flagged, even wild outliers.
+	for i := 0; i < slowMinObs; i++ {
+		if slow, _ := tr.Observe(100); slow {
+			t.Fatal("flagged before the window warmed")
+		}
+	}
+	if slow, med := tr.Observe(401); !slow || med != 100 {
+		t.Fatalf("4x median not flagged (slow=%v median=%v)", slow, med)
+	}
+	if slow, _ := tr.Observe(150); slow {
+		t.Fatal("1.5x median flagged")
+	}
+	// Disabled factor never flags.
+	off := NewSlowTracker(16, 0)
+	for i := 0; i < 20; i++ {
+		off.Observe(1)
+	}
+	if slow, _ := off.Observe(1e9); slow {
+		t.Fatal("disabled tracker flagged")
+	}
+}
+
+func TestWriteChromeTraceStitchAndSpansOnly(t *testing.T) {
+	r := &Record{ID: "r-7", Spans: []Span{
+		{Stage: "queue-wait", StartS: 0, DurS: 0.01},
+		{Stage: "solve", StartS: 0.01, DurS: 0.02, Attrs: map[string]string{"batch_width": "2"}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var stages, meta int
+	for _, e := range out.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			stages++
+			if args, _ := e["args"].(map[string]any); args["request_id"] != "r-7" {
+				t.Fatalf("span lacks request_id arg: %v", e)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if stages != 2 || meta != 2 {
+		t.Fatalf("got %d stages / %d metadata, want 2 / 2", stages, meta)
+	}
+
+	// With a runtime result the rank rows ride along on pid 0.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, r, fakeTraceResult(3, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rankEvents int
+	for _, e := range out.TraceEvents {
+		if pid, _ := e["pid"].(float64); pid == 0 && e["ph"] == "X" {
+			rankEvents++
+		}
+	}
+	if rankEvents != 3 {
+		t.Fatalf("stitched file carries %d rank events, want 3", rankEvents)
+	}
+}
+
+// TestConcurrent hammers store, recorder, and tracker from many goroutines
+// — run under -race.
+func TestConcurrent(t *testing.T) {
+	s := NewStore(64)
+	r := NewRecorder(16, 10000)
+	tr := NewSlowTracker(32, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				c := New(id, "t", time.Unix(0, 0))
+				c.Span("solve", time.Unix(0, 0), time.Unix(0, int64(i)), nil)
+				s.Add(c.Finish("ok", "", time.Unix(1, 0)))
+				if i%7 == 0 {
+					r.Capture(&Flight{Record: rec(id), Trigger: "slow", Res: fakeTraceResult(50, 0)})
+				}
+				tr.Observe(float64(i%10 + 1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.Recent(10)
+				r.List()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if s.Len() > 64 || r.Len() > 16 || r.Events() > 10000 {
+		t.Fatalf("bounds violated: store=%d flights=%d events=%d", s.Len(), r.Len(), r.Events())
+	}
+}

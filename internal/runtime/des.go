@@ -214,7 +214,7 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		}
 	}
 	if e.firstCrash != nil {
-		return nil, e.firstCrash
+		return e.partialResult(), e.firstCrash
 	}
 	if stuck := e.stuckRank(); stuck >= 0 {
 		stalled = true
@@ -223,7 +223,7 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 			peer, tag = -1, -1
 		}
 		done, total := progressOf(e.handlers[stuck])
-		return nil, &fault.StallError{
+		return e.partialResult(), &fault.StallError{
 			Rank: stuck, Peer: peer, Tag: tag,
 			State: waitState(e.handlers[stuck]), Virtual: true,
 			Done: done, Total: total,
@@ -239,6 +239,25 @@ func (e *Engine) Run(newHandler func(rank int) Handler) (*Result, error) {
 		res.Trace = e.tr.snapshot()
 	}
 	return res, nil
+}
+
+// partialResult snapshots the clocks, timers, and armed trace at the point
+// a run failed with a typed fault (crash, stall) — the events leading up to
+// a failure are exactly what a flight recorder wants. It returns nil when
+// tracing was off, so an untraced failed run keeps the plain nil-result
+// convention; a non-nil result alongside an error is trace salvage, not a
+// completed run.
+func (e *Engine) partialResult() *Result {
+	if e.tr == nil {
+		return nil
+	}
+	res := &Result{
+		Clocks: append([]float64(nil), e.clocks...),
+		Timers: make([]Timers, len(e.timers)),
+		Trace:  e.tr.snapshot(),
+	}
+	copy(res.Timers, e.timers)
+	return res
 }
 
 // stuckRank returns a rank that is not Done at quiescence, preferring one

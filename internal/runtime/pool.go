@@ -505,23 +505,23 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 		s.abort()
 		<-done
 		if err := s.failure(); err != nil {
-			return nil, err
+			return s.partialResult(), err
 		}
 		if err := s.crashError(); err != nil {
-			return nil, err
+			return s.partialResult(), err
 		}
-		return nil, fmt.Errorf("runtime: pool run timed out after %v (deadlock?)", timeout)
+		return s.partialResult(), fmt.Errorf("runtime: pool run timed out after %v (deadlock?)", timeout)
 	}
 	if err := s.failure(); err != nil {
-		return nil, err
+		return s.partialResult(), err
 	}
 	if err := s.crashError(); err != nil {
-		return nil, err
+		return s.partialResult(), err
 	}
 	if s.stallFired.Load() {
 		stalled = true
 		deadline := p.Opts.StallTimeout
-		return nil, s.stallError(deadline)
+		return s.partialResult(), s.stallError(deadline)
 	}
 	// The stray-message invariant holds only for strict runs without fault
 	// injection: drops strand peers' messages, and an elastic forced phase
@@ -539,6 +539,24 @@ func (p *Pool) Run(n int, newHandler func(rank int) Handler) (*Result, error) {
 		res.Trace = s.tr.snapshot()
 	}
 	return res, nil
+}
+
+// partialResult snapshots the timers and armed trace of a failed run (all
+// rank goroutines have exited by the time any error return is reached) so
+// fault diagnostics can see the events leading up to the failure. Nil when
+// tracing was off: a non-nil result alongside an error is trace salvage,
+// not a completed run.
+func (s *poolShared) partialResult() *Result {
+	if s.tr == nil {
+		return nil
+	}
+	res := &Result{
+		Clocks: append([]float64(nil), s.clocks...),
+		Timers: make([]Timers, len(s.timers)),
+		Trace:  s.tr.snapshot(),
+	}
+	copy(res.Timers, s.timers)
+	return res
 }
 
 // watchdog periodically scans the per-rank blocked timestamps and aborts

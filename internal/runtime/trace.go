@@ -367,6 +367,71 @@ func (t *Trace) droppedError() error {
 	return &DroppedEventsError{Dropped: total, Ranks: ranks}
 }
 
+// TraceSpan is one caller-supplied span stitched into a Chrome trace
+// export alongside the per-rank runtime events. The serving layer uses it
+// to place request-scoped service stages (queue wait, batch assembly,
+// solve, refine, encode) on their own process row next to the solve's rank
+// rows, so one file shows the request's whole journey. Note the clocks
+// differ by construction: rank events run on the backend's clock (virtual
+// seconds under the DES engine), service spans on the caller's — the
+// stitched file juxtaposes them, it does not align them.
+type TraceSpan struct {
+	Name string
+	// Cat is the Chrome category; empty means "service".
+	Cat string
+	// Pid and Tid choose the process/thread row. The rank events occupy
+	// pid 0, so callers stitching service spans use a different pid.
+	Pid, Tid int
+	// ProcessName, when non-empty, emits a process_name metadata record
+	// once per pid; ThreadName likewise per (pid, tid).
+	ProcessName, ThreadName string
+	// StartUs and DurUs delimit the span in microseconds.
+	StartUs, DurUs float64
+	Args           map[string]any
+}
+
+// appendSpans renders caller spans (with their one-time process/thread
+// metadata) into a Chrome trace.
+func appendSpans(out *chromeTrace, spans []TraceSpan) {
+	seenPid := map[int]bool{}
+	seenTid := map[[2]int]bool{}
+	for i := range spans {
+		sp := &spans[i]
+		if sp.ProcessName != "" && !seenPid[sp.Pid] {
+			seenPid[sp.Pid] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: sp.Pid,
+				Args: map[string]any{"name": sp.ProcessName},
+			})
+		}
+		if key := [2]int{sp.Pid, sp.Tid}; sp.ThreadName != "" && !seenTid[key] {
+			seenTid[key] = true
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: sp.Pid, Tid: sp.Tid,
+				Args: map[string]any{"name": sp.ThreadName},
+			})
+		}
+		cat := sp.Cat
+		if cat == "" {
+			cat = "service"
+		}
+		dur := sp.DurUs
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: sp.Name, Cat: cat, Ph: "X", Ts: sp.StartUs, Dur: &dur,
+			Pid: sp.Pid, Tid: sp.Tid, Args: sp.Args,
+		})
+	}
+}
+
+// WriteTraceSpans writes a Chrome trace holding only the given spans — the
+// export for a request that has service-stage spans but whose solve was
+// not traced.
+func WriteTraceSpans(w io.Writer, spans []TraceSpan) error {
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	appendSpans(&out, spans)
+	return json.NewEncoder(w).Encode(out)
+}
+
 // WriteTrace emits the run's trace as Chrome trace_event JSON, one thread
 // per rank, viewable in chrome://tracing or https://ui.perfetto.dev. It
 // fails when the run was not traced. When the rings dropped events
@@ -379,6 +444,14 @@ func (r *Result) WriteTrace(w io.Writer) error { return r.WriteTraceNamed(w, nil
 // WriteTraceNamed is WriteTrace with a caller-supplied tag namer (e.g.
 // trsv.TagName) used to label spans; nil falls back to numeric tags.
 func (r *Result) WriteTraceNamed(w io.Writer, tagName func(int) string) error {
+	return r.WriteTraceStitched(w, tagName, nil)
+}
+
+// WriteTraceStitched is WriteTraceNamed with extra caller spans stitched
+// into the file (see TraceSpan). When extra is non-empty the rank rows get
+// a process_name of their own so the two processes read apart in the
+// viewer.
+func (r *Result) WriteTraceStitched(w io.Writer, tagName func(int) string, extra []TraceSpan) error {
 	if r.Trace == nil {
 		return fmt.Errorf("runtime: run was not traced (set Options.Trace)")
 	}
@@ -400,6 +473,13 @@ func (r *Result) WriteTraceNamed(w io.Writer, tagName func(int) string) error {
 		return e.Kind.String()
 	}
 	out := chromeTrace{DisplayTimeUnit: "ms"}
+	appendSpans(&out, extra)
+	if len(extra) > 0 {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: 0,
+			Args: map[string]any{"name": "ranks"},
+		})
+	}
 	for rank, evs := range r.Trace.Ranks {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,

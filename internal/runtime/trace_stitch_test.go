@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeChrome unmarshals a Chrome trace export into generic events.
+func decodeChrome(t *testing.T, raw []byte) []map[string]any {
+	t.Helper()
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("stitched trace is not valid JSON: %v", err)
+	}
+	return out.TraceEvents
+}
+
+// TestWriteTraceStitched pins the stitched export: caller spans land on
+// their own pid with process/thread metadata, rank events keep pid 0, and
+// the plain WriteTraceNamed output is unchanged (no stray metadata) when no
+// extra spans ride along.
+func TestWriteTraceStitched(t *testing.T) {
+	res := tracedPingPong(t, 0)
+	extra := []TraceSpan{
+		{Name: "queue-wait", Pid: 1, Tid: 0, ProcessName: "solve-service", ThreadName: "request r-1", StartUs: 0, DurUs: 12},
+		{Name: "solve", Pid: 1, Tid: 0, StartUs: 12, DurUs: 40, Args: map[string]any{"batch_width": 3}},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTraceStitched(&buf, nil, extra); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, buf.Bytes())
+
+	var sawProcMeta, sawThreadMeta, sawSpan, sawRanksMeta, sawRankEvent bool
+	for _, e := range evs {
+		name, _ := e["name"].(string)
+		pid := int(e["pid"].(float64))
+		switch {
+		case name == "process_name" && pid == 1:
+			sawProcMeta = true
+		case name == "thread_name" && pid == 1:
+			sawThreadMeta = true
+		case name == "process_name" && pid == 0:
+			sawRanksMeta = true
+		case name == "solve" && pid == 1:
+			sawSpan = true
+			if e["cat"] != "service" {
+				t.Fatalf("service span category = %v, want service", e["cat"])
+			}
+		case pid == 0 && e["ph"] == "X":
+			sawRankEvent = true
+		}
+	}
+	for flag, what := range map[*bool]string{
+		&sawProcMeta: "service process_name", &sawThreadMeta: "service thread_name",
+		&sawSpan: "service span", &sawRanksMeta: "ranks process_name", &sawRankEvent: "rank event",
+	} {
+		if !*flag {
+			t.Fatalf("stitched trace missing %s", what)
+		}
+	}
+
+	// Nil extra must not grow the file with metadata the old format lacked.
+	var plain bytes.Buffer
+	if err := res.WriteTraceNamed(&plain, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range decodeChrome(t, plain.Bytes()) {
+		if e["name"] == "process_name" {
+			t.Fatal("plain export gained a process_name record")
+		}
+	}
+}
+
+// TestWriteTraceSpansOnly covers the no-runtime-trace path: a file of
+// service spans alone must still be a valid Chrome trace.
+func TestWriteTraceSpansOnly(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTraceSpans(&buf, []TraceSpan{
+		{Name: "queue-wait", Pid: 1, ProcessName: "solve-service", StartUs: 0, DurUs: 5},
+		{Name: "encode", Pid: 1, StartUs: 5, DurUs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, buf.Bytes())
+	if len(evs) != 3 { // process_name + two spans
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+}

@@ -2,12 +2,17 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sptrsv/internal/core"
 	"sptrsv/internal/fault"
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/reqtrace"
+	"sptrsv/internal/runtime"
 	"sptrsv/internal/sparse"
 )
 
@@ -20,6 +25,9 @@ type request struct {
 	faults *fault.Plan   // optional per-request chaos injection
 	enq    time.Time     // admission time (Clock time)
 	done   chan result
+
+	tc        *reqtrace.Ctx // request trace context (nil in low-level tests)
+	wantTrace bool          // client armed full runtime tracing (X-Trace)
 }
 
 // result is what a request gets back from its flush.
@@ -37,6 +45,10 @@ type result struct {
 	refinePasses int
 	staleSn      int
 	residual     float64 // verified ‖b−Ax‖∞ when refinement ran
+
+	// Runtime trace summary of this request's panel (0/0 untraced).
+	traceEvents  int
+	traceDropped int
 }
 
 // coalescer batches concurrent single-RHS requests against one
@@ -52,6 +64,15 @@ type coalescer struct {
 	s      *Server
 	solver *core.Solver
 
+	// slowTrack holds this slot's rolling-median solve time; a flush
+	// blowing past factor × median triggers a flight capture.
+	slowTrack *reqtrace.SlowTracker
+	// armNext, when set, arms full runtime tracing on the slot's next
+	// flush: an incident detected on an untraced flush can't retroactively
+	// produce a trace, so the recorder re-arms and the next anomaly (or
+	// simply the next flush's capture) carries per-rank events.
+	armNext atomic.Int32
+
 	mu      sync.Mutex
 	pending []*request
 	timer   Timer
@@ -59,7 +80,12 @@ type coalescer struct {
 }
 
 func newCoalescer(s *Server, solver *core.Solver) *coalescer {
-	return &coalescer{s: s, solver: solver}
+	factor := s.opts.SlowFactor
+	if factor < 0 {
+		factor = 0 // negative disables the slow trigger
+	}
+	return &coalescer{s: s, solver: solver,
+		slowTrack: reqtrace.NewSlowTracker(s.opts.SlowWindow, factor)}
 }
 
 // add enqueues one admitted request, arming the max-wait timer on the
@@ -164,7 +190,29 @@ func (c *coalescer) run(batch []*request) {
 		owners = append(owners, clean)
 	}
 
-	xs, reps, err := c.solver.SolveBatchFaulted(panels, plans)
+	assembled := s.clock.Now()
+
+	// Per-panel solve specs: a panel runs with full runtime tracing when a
+	// rider asked for it (X-Trace) or a prior incident on this slot armed
+	// the next flush. Zero specs keep the hot path allocation-identical to
+	// the untraced batch solve.
+	armed := c.armNext.Swap(0) != 0
+	specs := make([]core.SolveSpec, len(panels))
+	for p := range specs {
+		specs[p].Faults = plans[p]
+		trace := armed
+		for _, i := range owners[p] {
+			if batch[i].wantTrace {
+				trace = true
+			}
+		}
+		if trace {
+			specs[p].Trace = true
+			specs[p].TraceCap = s.opts.TraceCap
+		}
+	}
+
+	xs, reps, err := c.solver.SolveBatchWith(panels, specs)
 	perPanel := make([]error, len(panels))
 	if err != nil {
 		var be *core.BatchError
@@ -179,17 +227,38 @@ func (c *coalescer) run(batch []*request) {
 
 	end := s.clock.Now()
 	solveDur := end.Sub(start).Seconds()
+	slowFlush, _ := c.slowTrack.Observe(solveDur)
 	for p, reqs := range owners {
+		var raw *runtime.Result
+		var tev, tdrop int
+		if reps[p] != nil && reps[p].Raw != nil && reps[p].Raw.Trace != nil {
+			raw = reps[p].Raw
+			tev = raw.Trace.Events()
+			for _, d := range raw.Trace.Dropped {
+				tdrop += d
+			}
+			if tdrop > 0 {
+				s.metrics.traceDrops.Add(float64(tdrop))
+			}
+		}
+		var refineTime float64
+		if reps[p] != nil {
+			refineTime = reps[p].RefineTime
+		}
 		for j, i := range reqs {
 			r := batch[i]
 			res := result{
-				width:      len(batch),
-				panelWidth: len(reqs),
-				queueWait:  start.Sub(r.enq).Seconds(),
-				solveTime:  solveDur,
-				totalTime:  end.Sub(r.enq).Seconds(),
+				width:        len(batch),
+				panelWidth:   len(reqs),
+				queueWait:    start.Sub(r.enq).Seconds(),
+				solveTime:    solveDur,
+				totalTime:    end.Sub(r.enq).Seconds(),
+				traceEvents:  tev,
+				traceDropped: tdrop,
 			}
+			outcome := "ok"
 			if perPanel[p] != nil {
+				outcome = "fault"
 				res.err = perPanel[p]
 				s.metrics.requests.With("fault").Inc()
 			} else {
@@ -213,11 +282,98 @@ func (c *coalescer) run(batch []*request) {
 				}
 				s.metrics.requests.With("ok").Inc()
 			}
+			c.recordSpans(r, res, start, assembled, end, refineTime)
+			s.observeOutcome(r, res, outcome, end)
+			c.maybeCapture(r, res, outcome, slowFlush, raw, end)
 			s.metrics.queueWait.Observe(res.queueWait)
 			s.metrics.solveTime.Observe(res.solveTime)
-			s.metrics.reqTime.Observe(res.totalTime)
 			r.done <- res
 			s.admit.finish()
 		}
+	}
+}
+
+// recordSpans writes the request's coalescer-side stage spans. The refine
+// span's duration is the solver's modeled refinement seconds — a different
+// clock than the wall-time stages, flagged by its clock attribute.
+func (c *coalescer) recordSpans(r *request, res result, start, assembled, end time.Time, refineTime float64) {
+	if r.tc == nil {
+		return
+	}
+	r.tc.Span("queue-wait", r.enq, start, nil)
+	r.tc.Span("batch-assembly", start, assembled, map[string]string{
+		"batch_width": fmt.Sprintf("%d", res.width),
+	})
+	r.tc.Span("solve", assembled, end, map[string]string{
+		"panel_width": fmt.Sprintf("%d", res.panelWidth),
+		"makespan_s":  fmt.Sprintf("%g", res.makespanS),
+	})
+	if res.refinePasses > 0 {
+		r.tc.Span("refine", end, end.Add(time.Duration(refineTime*float64(time.Second))),
+			map[string]string{
+				"passes": fmt.Sprintf("%d", res.refinePasses),
+				"clock":  "modeled",
+			})
+	}
+}
+
+// observeOutcome lands the request in the outcome-labeled end-to-end
+// latency histogram, carrying its request ID as an OpenMetrics exemplar.
+func (s *Server) observeOutcome(r *request, res result, outcome string, end time.Time) {
+	h := s.metrics.reqOK
+	if outcome == "fault" {
+		h = s.metrics.reqFault
+	}
+	if r.tc == nil {
+		h.Observe(res.totalTime)
+		return
+	}
+	h.ObserveExemplar(res.totalTime, metrics.Exemplar{
+		LabelKey: "request_id", LabelValue: r.tc.ID,
+		Value: res.totalTime, Ts: clockTs(end),
+	})
+}
+
+// maybeCapture decides whether this request is an incident worth a flight:
+// a solve fault beats a refinement blowup beats a slow flush beats a
+// client-requested trace. The captured record also lands in the request
+// store immediately, so a client that disconnects before its handler runs
+// still leaves an inspectable record.
+func (c *coalescer) maybeCapture(r *request, res result, outcome string, slowFlush bool, raw *runtime.Result, end time.Time) {
+	s := c.s
+	if r.tc == nil || s.opts.FlightCap < 0 {
+		return
+	}
+	trigger := ""
+	switch {
+	case outcome == "fault":
+		trigger = "fault"
+	case s.opts.RefineBlowup > 0 && res.refinePasses >= s.opts.RefineBlowup:
+		trigger = "refine"
+	case slowFlush:
+		trigger = "slow"
+	case r.wantTrace:
+		trigger = "request"
+	}
+	if trigger == "" {
+		return
+	}
+	errMsg := ""
+	if res.err != nil {
+		errMsg = res.err.Error()
+	}
+	rec := r.tc.Finish(outcome, errMsg, end)
+	rec.BatchWidth = res.width
+	rec.RefinePasses = res.refinePasses
+	rec.TraceEvents = res.traceEvents
+	rec.TraceDropped = res.traceDropped
+	s.flights.Capture(&reqtrace.Flight{Record: rec, Trigger: trigger, Res: raw})
+	s.metrics.flights.With(trigger).Inc()
+	s.store.Add(rec)
+	if raw == nil {
+		// The incident flush wasn't traced, so this flight has spans only.
+		// Arm the slot: the next flush runs fully traced, and its capture
+		// (if the anomaly repeats) carries per-rank events.
+		c.armNext.Store(1)
 	}
 }

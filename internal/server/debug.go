@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"reflect"
+	goruntime "runtime"
+	godebug "runtime/debug"
+
+	"sptrsv/internal/reqtrace"
+	simruntime "sptrsv/internal/runtime"
+	"sptrsv/internal/trsv"
+	"sptrsv/internal/tune"
+)
+
+// ---- request store ----
+
+// debugRecent bounds the listing at GET /debug/requests.
+const debugRecent = 50
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	recs := s.store.Recent(debugRecent)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests": recs, "count": len(recs), "stored": s.store.Len(),
+	})
+}
+
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no record for that request ID (evicted or never solved here)", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleDebugRequestTrace serves the request's Chrome trace: its service
+// stage spans and, when the flight recorder captured the request with a
+// runtime trace, the per-rank event rows stitched next to them. Load the
+// file at chrome://tracing or https://ui.perfetto.dev.
+func (s *Server) handleDebugRequestTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no record for that request ID (evicted or never solved here)", 0)
+		return
+	}
+	var res *simruntime.Result
+	if f, ok := s.flights.Get(id); ok {
+		res = f.Res
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "trace-"+id+".json"))
+	reqtrace.WriteChromeTrace(w, rec, res, trsv.TagName)
+}
+
+// ---- flight recorder ----
+
+// flightInfo is one row of the GET /debug/flights listing.
+type flightInfo struct {
+	ID           string  `json:"id"`
+	Trigger      string  `json:"trigger"`
+	Outcome      string  `json:"outcome"`
+	Tenant       string  `json:"tenant"`
+	TotalS       float64 `json:"total_s"`
+	TraceEvents  int     `json:"trace_events"`
+	TraceDropped int     `json:"trace_dropped"`
+}
+
+func (s *Server) handleDebugFlights(w http.ResponseWriter, r *http.Request) {
+	flights := s.flights.List()
+	infos := make([]flightInfo, len(flights))
+	for i, f := range flights {
+		infos[i] = flightInfo{
+			ID: f.Record.ID, Trigger: f.Trigger, Outcome: f.Record.Outcome,
+			Tenant: f.Record.Tenant, TotalS: f.Record.TotalS,
+			TraceEvents: f.Events(), TraceDropped: f.Dropped(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flights": infos, "count": len(infos), "retained_events": s.flights.Events(),
+	})
+}
+
+// handleDebugFlight downloads one flight as a stitched Chrome trace.
+func (s *Server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	f, ok := s.flights.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no flight captured for that request ID", 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "flight-"+id+".json"))
+	reqtrace.WriteChromeTrace(w, f.Record, f.Res, trsv.TagName)
+}
+
+// ---- statusz ----
+
+// handleStatusz is the one-stop operational snapshot: serving stats,
+// uptime, build and schema versions, and Go runtime numbers.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.admit.isDraining() {
+		status = "draining"
+	}
+	var mem goruntime.MemStats
+	goruntime.ReadMemStats(&mem)
+	build := map[string]any{"tune_cache_schema": tune.CacheSchemaVersion}
+	if bi, ok := godebug.ReadBuildInfo(); ok {
+		build["go"] = bi.GoVersion
+		build["path"] = bi.Path
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				build[kv.Key] = kv.Value
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"uptime_s":    s.clock.Now().Sub(s.start).Seconds(),
+		"queue_depth": s.admit.depth(),
+		"handles":     s.handles.len(),
+		"flights":     s.flights.Len(),
+		"requests":    s.store.Len(),
+		"stats":       sanitizeStats(s.Stats()),
+		"build":       build,
+		"runtime": map[string]any{
+			"goroutines":     goruntime.NumGoroutine(),
+			"gomaxprocs":     goruntime.GOMAXPROCS(0),
+			"heap_alloc":     mem.HeapAlloc,
+			"heap_objects":   mem.HeapObjects,
+			"gc_cycles":      mem.NumGC,
+			"gc_pause_ns":    mem.PauseTotalNs,
+			"total_alloc":    mem.TotalAlloc,
+			"stack_in_use":   mem.StackInuse,
+			"next_gc_target": mem.NextGC,
+		},
+	})
+}
+
+// sanitizeStats maps Stats to JSON-safe fields: empty histograms yield NaN
+// quantiles, which encoding/json rejects, so NaNs become nulls.
+func sanitizeStats(st Stats) map[string]any {
+	v := reflect.ValueOf(st)
+	t := v.Type()
+	out := make(map[string]any, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i).Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			out[t.Field(i).Name] = nil
+			continue
+		}
+		out[t.Field(i).Name] = f
+	}
+	return out
+}

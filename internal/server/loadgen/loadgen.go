@@ -38,6 +38,10 @@ type Options struct {
 	// Tenants spreads requests over this many X-Tenant values
 	// (tenant-0 … tenant-k); 0 or 1 sends everything as one tenant.
 	Tenants int
+	// RequestIDs tags every request with an X-Request-ID ("lg-<client>-<i>")
+	// and reports the IDs sitting at the latency quantiles, so a slow
+	// quantile can be chased straight into the server's /debug/requests.
+	RequestIDs bool
 	// Client overrides the HTTP client (http.DefaultClient when nil).
 	Client *http.Client
 }
@@ -58,6 +62,14 @@ type Result struct {
 	LatencyP95S  float64
 	LatencyP99S  float64
 	LatencyMaxS  float64
+
+	// Exemplar request IDs: the X-Request-ID of the OK request sitting at
+	// each latency quantile (empty unless Options.RequestIDs was set) —
+	// paste one into GET /debug/requests/{id} to see where its time went.
+	LatencyP50ID string
+	LatencyP95ID string
+	LatencyP99ID string
+	LatencyMaxID string
 
 	// MeanBatchWidth averages the batch_width field of the OK responses —
 	// how many requests each solve actually carried.
@@ -100,10 +112,14 @@ func Run(o Options) (Result, error) {
 		bodies[c] = raw
 	}
 
+	type sample struct {
+		lat float64
+		id  string
+	}
 	type tally struct {
 		ok, shed, rejected, failed int
 		widthSum                   int
-		lats                       []float64
+		lats                       []sample
 	}
 	tallies := make([]tally, o.Clients)
 	var next atomic.Int64
@@ -129,6 +145,11 @@ func Run(o Options) (Result, error) {
 				if o.Tenants > 1 {
 					req.Header.Set("X-Tenant", fmt.Sprintf("tenant-%d", c%o.Tenants))
 				}
+				reqID := ""
+				if o.RequestIDs {
+					reqID = fmt.Sprintf("lg-%d-%d", c, i)
+					req.Header.Set("X-Request-ID", reqID)
+				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				if err != nil {
@@ -147,7 +168,7 @@ func Run(o Options) (Result, error) {
 						ty.widthSum += sr.BatchWidth
 					}
 					ty.ok++
-					ty.lats = append(ty.lats, lat)
+					ty.lats = append(ty.lats, sample{lat: lat, id: reqID})
 				case resp.StatusCode == http.StatusTooManyRequests:
 					ty.shed++
 				default:
@@ -160,7 +181,7 @@ func Run(o Options) (Result, error) {
 	dur := time.Since(start).Seconds()
 
 	res := Result{DurationS: dur}
-	var lats []float64
+	var lats []sample
 	widthSum := 0
 	for i := range tallies {
 		t := &tallies[i]
@@ -182,25 +203,29 @@ func Run(o Options) (Result, error) {
 		res.MeanBatchWidth = float64(widthSum) / float64(res.OK)
 	}
 	if len(lats) > 0 {
-		sort.Float64s(lats)
+		sort.Slice(lats, func(i, j int) bool { return lats[i].lat < lats[j].lat })
 		sum := 0.0
 		for _, l := range lats {
-			sum += l
+			sum += l.lat
 		}
 		res.LatencyMeanS = sum / float64(len(lats))
-		res.LatencyP50S = quantile(lats, 0.50)
-		res.LatencyP95S = quantile(lats, 0.95)
-		res.LatencyP99S = quantile(lats, 0.99)
-		res.LatencyMaxS = lats[len(lats)-1]
+		p50, p95, p99 := quantile(lats, 0.50), quantile(lats, 0.95), quantile(lats, 0.99)
+		res.LatencyP50S, res.LatencyP50ID = p50.lat, p50.id
+		res.LatencyP95S, res.LatencyP95ID = p95.lat, p95.id
+		res.LatencyP99S, res.LatencyP99ID = p99.lat, p99.id
+		last := lats[len(lats)-1]
+		res.LatencyMaxS, res.LatencyMaxID = last.lat, last.id
+	} else {
+		res.LatencyP50S = math.NaN()
+		res.LatencyP95S = math.NaN()
+		res.LatencyP99S = math.NaN()
+		res.LatencyMaxS = math.NaN()
 	}
 	return res, nil
 }
 
-// quantile reads an exact quantile from a sorted sample (nearest-rank).
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return math.NaN()
-	}
+// quantile reads an exact quantile sample from a sorted run (nearest-rank).
+func quantile[T any](sorted []T, q float64) T {
 	i := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if i < 0 {
 		i = 0

@@ -79,7 +79,7 @@ func TestQuantileNearestRank(t *testing.T) {
 	if q := quantile(sorted, 0.01); q != 1 {
 		t.Fatalf("p1 = %v, want 1", q)
 	}
-	if !math.IsNaN(quantile(nil, 0.5)) {
-		t.Fatal("empty sample should be NaN")
+	if q := quantile([]float64{42}, 0.99); q != 42 {
+		t.Fatalf("single-sample p99 = %v, want 42", q)
 	}
 }

@@ -22,15 +22,23 @@ type serverMetrics struct {
 
 	queueWait *metrics.Histogram // admission → solve start, per request
 	solveTime *metrics.Histogram // solve start → solve done, per request
-	reqTime   *metrics.Histogram // admission → response ready, per request
+
+	// End-to-end latency split by outcome so SLO math can separate
+	// shed-rate from slow-rate: shed requests are fast 429s that would
+	// otherwise drag the quantiles down (or, unobserved, vanish entirely).
+	reqOK    *metrics.Histogram // admission → response ready, served solves
+	reqFault *metrics.Histogram // admission → error ready, failed solves
+	reqShed  *metrics.Histogram // arrival → 429 written, shed requests
 
 	batchWidth *metrics.Histogram // requests per coalesced flush
 
-	admission metrics.CounterVec // outcome: admitted|queue_full|quota|draining
-	requests  metrics.CounterVec // status: ok|fault|invalid|canceled
-	flushes   metrics.CounterVec // reason: full|timer|drain
-	solvers   metrics.CounterVec // outcome: hit|miss (solver/plan cache)
-	uploads   metrics.CounterVec // outcome: new|reused|evicted
+	admission  metrics.CounterVec // outcome: admitted|queue_full|quota|draining
+	requests   metrics.CounterVec // status: ok|fault|invalid|canceled
+	flushes    metrics.CounterVec // reason: full|timer|drain
+	solvers    metrics.CounterVec // outcome: hit|miss (solver/plan cache)
+	uploads    metrics.CounterVec // outcome: new|reused|evicted
+	flights    metrics.CounterVec // trigger: slow|fault|refine|request
+	traceDrops *metrics.Counter   // runtime trace ring drops across all solves
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -45,7 +53,11 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 			"Solver/plan cache lookups per solve request: hit reuses a built plan+schedule, miss pays the symbolic cost once, evicted counts LRU displacements from a handle's bounded slot map.", "outcome"),
 		uploads: r.Counter("sptrsv_server_handle_uploads",
 			"Matrix uploads: new (factored and cached), reused (identical matrix content already held), evicted (LRU handle displaced by a new upload).", "outcome"),
+		flights: r.Counter("sptrsv_server_flight_captures",
+			"Flight-recorder captures by trigger: slow (latency blew past the rolling median), fault (solve failed), refine (refinement-pass blowup), request (client armed tracing with X-Trace).", "trigger"),
 	}
+	m.traceDrops = r.Counter("sptrsv_server_trace_dropped_events",
+		"Runtime trace ring events dropped across all traced solves — a rising count means raise the trace cap (-trace-cap).").With()
 	m.queueDepth = r.Gauge("sptrsv_server_queue_depth",
 		"Requests admitted but not yet solving (the bounded queue's occupancy).").With()
 	m.inflight = r.Gauge("sptrsv_server_inflight_requests",
@@ -56,9 +68,12 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	m.solveTime = r.Histogram("sptrsv_server_solve_seconds",
 		"Per-request solve duration (the coalesced batch solve the request rode in). Shares its bucket layout with sptrsv_server_queue_wait_seconds.",
 		latencyBuckets).With()
-	m.reqTime = r.Histogram("sptrsv_server_request_seconds",
-		"Per-request end-to-end latency from admission to response.",
-		latencyBuckets).With()
+	reqTime := r.Histogram("sptrsv_server_request_seconds",
+		"Per-request end-to-end latency by outcome: ok (admission to response), fault (admission to error), shed (arrival to 429) — no request leaves the latency accounting.",
+		latencyBuckets, "outcome")
+	m.reqOK = reqTime.With("ok")
+	m.reqFault = reqTime.With("fault")
+	m.reqShed = reqTime.With("shed")
 	m.batchWidth = r.Histogram("sptrsv_server_batch_width",
 		"Coalesced requests per flush — the achieved multi-RHS width.",
 		widthBuckets).With()
@@ -76,6 +91,7 @@ type Stats struct {
 	SolveP50, SolveP99                               float64
 	RequestP50, RequestP99                           float64
 	SolverHits, SolverMisses                         float64
+	Flights, TraceDropped                            float64
 }
 
 // Stats reads the current values. Quantiles are the fixed-bucket estimates
@@ -95,10 +111,14 @@ func (s *Server) Stats() Stats {
 		QueueWaitP99:  m.queueWait.Quantile(0.99),
 		SolveP50:      m.solveTime.Quantile(0.50),
 		SolveP99:      m.solveTime.Quantile(0.99),
-		RequestP50:    m.reqTime.Quantile(0.50),
-		RequestP99:    m.reqTime.Quantile(0.99),
+		RequestP50:    m.reqOK.Quantile(0.50),
+		RequestP99:    m.reqOK.Quantile(0.99),
 		SolverHits:    m.solvers.With("hit").Value(),
 		SolverMisses:  m.solvers.With("miss").Value(),
+		TraceDropped:  m.traceDrops.Value(),
+	}
+	for _, trigger := range []string{"slow", "fault", "refine", "request"} {
+		st.Flights += m.flights.With(trigger).Value()
 	}
 	if n := m.batchWidth.Count(); n > 0 {
 		st.Flushes = float64(n)

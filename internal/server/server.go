@@ -31,6 +31,7 @@ import (
 	"mime"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sptrsv/internal/cliutil"
@@ -41,6 +42,7 @@ import (
 	"sptrsv/internal/machine"
 	"sptrsv/internal/metrics"
 	"sptrsv/internal/mtx"
+	"sptrsv/internal/reqtrace"
 	"sptrsv/internal/sparse"
 	"sptrsv/internal/trsv"
 	"sptrsv/internal/tune"
@@ -105,6 +107,32 @@ type Options struct {
 	// set ("" keeps the cache in-memory only).
 	TuneCacheDir string
 
+	// TraceCap bounds the per-rank runtime trace ring of traced solves
+	// (X-Trace requests and flight-recorder captures). 0 means the runtime
+	// default cap.
+	TraceCap int
+	// DebugRequests bounds the request-record store behind
+	// GET /debug/requests. 0 means 512.
+	DebugRequests int
+	// FlightCap bounds how many anomalous requests the flight recorder
+	// retains. 0 means 64; negative disables capture entirely.
+	FlightCap int
+	// FlightEvents additionally bounds the recorder's total retained runtime
+	// trace events across all flights. 0 means 1<<20.
+	FlightEvents int
+	// SlowFactor triggers a flight capture when a flush's solve time exceeds
+	// SlowFactor × the coalescer's rolling-median solve time. 0 means 8;
+	// negative disables the slow trigger.
+	SlowFactor float64
+	// SlowWindow is the rolling median's window size. 0 means 64.
+	SlowWindow int
+	// RefineBlowup triggers a flight capture when an elastic solve needs
+	// this many refinement passes or more. 0 means 8; negative disables.
+	RefineBlowup int
+	// Exemplars turns on OpenMetrics exemplar exposition on the registry:
+	// latency histogram buckets carry the request ID of a recent landing.
+	Exemplars bool
+
 	// Clock injects time; nil means the real wall clock.
 	Clock Clock
 	// Registry receives the server metrics; nil means metrics.Default().
@@ -139,6 +167,24 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = metrics.Default()
 	}
+	if o.DebugRequests <= 0 {
+		o.DebugRequests = 512
+	}
+	if o.FlightCap == 0 {
+		o.FlightCap = 64
+	}
+	if o.FlightEvents <= 0 {
+		o.FlightEvents = 1 << 20
+	}
+	if o.SlowFactor == 0 {
+		o.SlowFactor = 8
+	}
+	if o.SlowWindow <= 0 {
+		o.SlowWindow = 64
+	}
+	if o.RefineBlowup == 0 {
+		o.RefineBlowup = 8
+	}
 	return o
 }
 
@@ -152,6 +198,11 @@ type Server struct {
 	handles   *handleCache
 	tuneCache *tune.Cache
 	mux       *http.ServeMux
+
+	store   *reqtrace.Store    // completed-request records (/debug/requests)
+	flights *reqtrace.Recorder // anomalous-request captures (/debug/flights)
+	reqSeq  atomic.Uint64      // server-assigned request ID sequence
+	start   time.Time          // serving start (statusz uptime)
 
 	genIDs   sync.Map // generate-key → handle id (skip refactorization)
 	defaults sync.Map // handle id → *defaultSlot
@@ -167,12 +218,18 @@ type defaultSlot struct {
 // New builds a Server.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	if opts.Exemplars {
+		opts.Registry.SetExemplars(true)
+	}
 	s := &Server{
 		opts:    opts,
 		clock:   opts.Clock,
 		metrics: newServerMetrics(opts.Registry),
 		handles: newHandleCache(opts.MaxHandles),
+		store:   reqtrace.NewStore(opts.DebugRequests),
+		flights: reqtrace.NewRecorder(opts.FlightCap, opts.FlightEvents),
 	}
+	s.start = s.clock.Now()
 	s.admit = newAdmitter(opts.MaxQueue, NewQuotaSet(opts.QuotaRate, opts.QuotaBurst), s.clock, s.metrics)
 	if opts.Tune && opts.TuneCacheDir != "" {
 		c, err := tune.OpenCache(opts.TuneCacheDir)
@@ -188,6 +245,12 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/matrices/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/matrices/{id}/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statusz", s.handleStatusz)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequest)
+	s.mux.HandleFunc("GET /debug/requests/{id}/trace", s.handleDebugRequestTrace)
+	s.mux.HandleFunc("GET /debug/flights", s.handleDebugFlights)
+	s.mux.HandleFunc("GET /debug/flights/{id}", s.handleDebugFlight)
 	s.mux.Handle("GET /metrics", metrics.Handler(opts.Registry))
 	return s, nil
 }
@@ -464,8 +527,42 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // ---- solve path ----
 
+// requestID returns the client's X-Request-ID when it is well-formed
+// (1–64 chars of [A-Za-z0-9._:-]) or a server-assigned sequential ID.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
+		return id
+	}
+	return fmt.Sprintf("r-%06d", s.reqSeq.Add(1))
+}
+
+func validRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	h, ok := s.handles.get(r.PathValue("id"), s.clock.Now())
+	t0 := s.clock.Now()
+	reqID := s.requestID(r)
+	w.Header().Set("X-Request-ID", reqID)
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	tc := reqtrace.New(reqID, tenant, t0)
+
+	h, ok := s.handles.get(r.PathValue("id"), t0)
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such handle", 0)
 		return
@@ -489,26 +586,25 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("rhs entry %d is %v", row, v), 0)
 		return
 	}
+	tc.SetAttr("handle", h.ID)
+	tc.Span("decode", t0, s.clock.Now(), nil)
 
 	// Admission comes before config resolution: resolving a config can run
 	// the autotuner and solverFor builds a full distribution plan, so an
 	// over-quota or shed client must be turned away before it can force
 	// that work (and grow the per-handle slot map).
-	tenant := r.Header.Get("X-Tenant")
-	if tenant == "" {
-		tenant = "default"
-	}
 	verdict, retryAfter := s.admit.admit(tenant)
-	switch verdict {
-	case admitDraining:
-		writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
-		return
-	case admitQuota:
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("tenant %q over quota", tenant), retryAfter)
-		return
-	case admitQueueFull:
-		writeError(w, http.StatusTooManyRequests, "request queue full", s.opts.MaxWait)
+	if verdict != admitOK {
+		s.finishShed(tc, verdict)
+		switch verdict {
+		case admitDraining:
+			writeError(w, http.StatusServiceUnavailable, "server is draining", 0)
+		case admitQuota:
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("tenant %q over quota", tenant), retryAfter)
+		case admitQueueFull:
+			writeError(w, http.StatusTooManyRequests, "request queue full", s.opts.MaxWait)
+		}
 		return
 	}
 	enq := s.clock.Now()
@@ -527,8 +623,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
+	tc.SetAttr("config", key)
 
-	rq := &request{b: b, faults: faultPlan(req.Fault), enq: enq, done: make(chan result, 1)}
+	rq := &request{
+		b: b, faults: faultPlan(req.Fault), enq: enq, done: make(chan result, 1),
+		tc: tc, wantTrace: r.Header.Get("X-Trace") != "",
+	}
 	slot.coal.add(rq)
 
 	select {
@@ -539,20 +639,66 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// coalescer, so a failure here is the solve itself (injected
 			// fault or internal error): a server-side 500, never a 400.
 			writeError(w, http.StatusInternalServerError, res.err.Error(), 0)
+			s.finishRecord(tc, res, "fault", res.err.Error())
 			return
 		}
+		encStart := s.clock.Now()
 		writeJSON(w, http.StatusOK, solveResponse{
 			X: res.x.Col(0), Handle: h.ID, Config: key, Tenant: tenant,
 			BatchWidth: res.width, PanelWidth: res.panelWidth,
 			QueueWaitS: res.queueWait, SolveS: res.solveTime, MakespanS: res.makespanS,
 			RefinePasses: res.refinePasses, StaleSupernodes: res.staleSn, Residual: res.residual,
 		})
+		tc.Span("encode", encStart, s.clock.Now(), nil)
+		s.finishRecord(tc, res, "ok", "")
 	case <-r.Context().Done():
 		// Client gone; the flush still completes and the coalescer settles
 		// the admission accounting (the buffered done channel means the
-		// abandoned send cannot block it). Nothing useful can be written.
+		// abandoned send cannot block it). Nothing useful can be written —
+		// but the record notes the abandonment for /debug/requests.
 		s.metrics.requests.With("canceled").Inc()
+		s.store.Add(tc.Finish("canceled", "client disconnected before the response", s.clock.Now()))
 	}
+}
+
+// finishShed records a shed request: the latency histogram's shed outcome
+// (so load shedding stays visible in the latency accounting) and a
+// /debug/requests record naming the shed reason.
+func (s *Server) finishShed(tc *reqtrace.Ctx, verdict admitVerdict) {
+	now := s.clock.Now()
+	total := now.Sub(tc.Start).Seconds()
+	s.metrics.reqShed.ObserveExemplar(total, metrics.Exemplar{
+		LabelKey: "request_id", LabelValue: tc.ID,
+		Value: total, Ts: clockTs(now),
+	})
+	reason := map[admitVerdict]string{
+		admitDraining:  "server draining",
+		admitQuota:     "tenant over quota",
+		admitQueueFull: "request queue full",
+	}[verdict]
+	s.store.Add(tc.Finish("shed", reason, now))
+}
+
+// finishRecord stores the request's final record, replacing any snapshot
+// the coalescer's flight capture already stored for the same ID.
+func (s *Server) finishRecord(tc *reqtrace.Ctx, res result, outcome, errMsg string) {
+	rec := tc.Finish(outcome, errMsg, s.clock.Now())
+	rec.BatchWidth = res.width
+	rec.RefinePasses = res.refinePasses
+	rec.TraceEvents = res.traceEvents
+	rec.TraceDropped = res.traceDropped
+	s.store.Add(rec)
+}
+
+// clockTs renders a clock time as a unix-seconds exemplar timestamp,
+// clamping the pre-epoch instants a fake test clock can produce to 0
+// (rendered as "no timestamp" in the exposition).
+func clockTs(t time.Time) float64 {
+	ts := float64(t.UnixNano()) / 1e9
+	if ts < 0 {
+		return 0
+	}
+	return ts
 }
 
 // faultPlan converts the wire chaos spec into a fault.Plan (nil when absent).

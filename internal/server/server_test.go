@@ -661,9 +661,20 @@ func TestServerStressRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			tenant := fmt.Sprintf("tenant-%d", c%3)
+			retries := 0
 			for i := 0; i < perClient; i++ {
 				resp, data := postJSON(t, solveURL, map[string]any{"b": b},
 					map[string]string{"X-Tenant": tenant})
+				if resp.StatusCode == http.StatusNotFound && retries < 8 {
+					// The churn goroutine can evict our handle between two
+					// of our lookups (MaxHandles is 2). Real clients
+					// re-upload — content-hash identity revives the same
+					// handle — and retry the solve.
+					retries++
+					uploadGenerated(t, ts.URL, "s2d9pt", "small")
+					i--
+					continue
+				}
 				if resp.StatusCode != http.StatusOK {
 					errs <- fmt.Errorf("client %d solve %d: %d: %s", c, i, resp.StatusCode, data)
 					return

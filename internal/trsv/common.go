@@ -182,6 +182,35 @@ func (p PoolBackend) Run(n int, _ runtime.Network, f func(int) runtime.Handler) 
 	return p.Pool.Run(n, f)
 }
 
+// TraceArmer is implemented by the built-in backends: WithTrace returns a
+// copy of the backend with per-rank event tracing armed at the given ring
+// capacity (0 keeps runtime.DefaultTraceCap), the receiver's own options
+// untouched. The serving layer uses it to arm tracing for exactly one
+// request's solve against a shared solver; because the backends are
+// values, the armed copy shares no mutable state with the original, and
+// because the runtime allocates message IDs independently of the DES event
+// order, an armed solve's virtual clock is bit-identical to an untraced
+// one.
+type TraceArmer interface{ WithTrace(cap int) Backend }
+
+// WithTrace implements TraceArmer.
+func (s SimBackend) WithTrace(cap int) Backend {
+	s.Opts.Trace = true
+	if cap > 0 {
+		s.Opts.TraceCap = cap
+	}
+	return s
+}
+
+// WithTrace implements TraceArmer.
+func (p PoolBackend) WithTrace(cap int) Backend {
+	p.Pool.Opts.Trace = true
+	if cap > 0 {
+		p.Pool.Opts.TraceCap = cap
+	}
+	return p
+}
+
 // Marks used for the per-phase load-balance figures.
 const (
 	MarkLDone = "L_done"

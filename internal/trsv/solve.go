@@ -319,7 +319,10 @@ func SolveIntoOpts(p *dist.Plan, model *machine.Model, algo Algorithm, back Back
 		opts.Elastic.ForcedTicks = total.forcedTicks
 	}
 	if err != nil {
-		return nil, err
+		// A traced run that died with a typed fault salvages its partial
+		// result (clocks, timers, events up to the failure) — pass it
+		// through so fault diagnostics can stitch the death into a trace.
+		return res, err
 	}
 	return res, nil
 }

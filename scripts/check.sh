@@ -53,6 +53,15 @@ echo "== go test -race -count=2 (solve service stress: clients x scrapes x cache
 go test -race -count=2 -run 'TestServerStressRace|TestCoalesce|TestQueueFull' \
     ./internal/server ./internal/server/loadgen
 
+echo "== go test -race -count=2 (request tracing / flight recorder / exemplars) =="
+go test -race -count=2 ./internal/reqtrace
+go test -race -count=2 \
+    -run 'Flight|Statusz|Exemplar|DebugRequest|RequestID|TraceOff|ShedRequests|ConcurrentTraffic' \
+    ./internal/server ./internal/metrics
+
+echo "== traced-serve + flight-recorder smoke =="
+go run ./scripts/tracesmoke
+
 echo "== solve service + loadgen smoke =="
 go run ./cmd/figures -only slo -scale small -quick
 

@@ -1,0 +1,240 @@
+// Command tracesmoke is the end-to-end smoke test for the request-tracing
+// and flight-recorder surface, run by scripts/check.sh. It hosts the solve
+// service in-process behind a real TCP listener, then drives the full
+// observability loop a human operator would:
+//
+//  1. upload a matrix, solve it with X-Request-ID + X-Trace, and fetch the
+//     per-request record and stitched Chrome trace back by that ID;
+//  2. inject a crash fault and confirm the flight recorder captured it,
+//     trigger and runtime events included;
+//  3. scrape /metrics for the outcome-labeled latency histogram with
+//     request-ID exemplars, and /statusz for the operational snapshot.
+//
+// Any deviation exits non-zero with a message naming the failed check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sptrsv/internal/metrics"
+	"sptrsv/internal/server"
+)
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	svc, err := server.New(server.Options{
+		Ranks:     4,
+		MaxBatch:  4,
+		MaxWait:   time.Millisecond,
+		MaxQueue:  64,
+		Registry:  metrics.NewRegistry(),
+		Exemplars: true,
+	})
+	if err != nil {
+		die("server.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die("listen: %v", err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// 1. Upload a generated matrix.
+	var up struct {
+		Handle string `json:"handle"`
+		N      int    `json:"n"`
+	}
+	code := postJSON(base+"/v1/matrices", `{"generate":{"name":"s2d9pt","scale":"small"}}`, nil, &up)
+	if code/100 != 2 || up.Handle == "" {
+		die("upload: status %d, handle %q", code, up.Handle)
+	}
+	fmt.Printf("uploaded %s (n=%d)\n", up.Handle, up.N)
+
+	b := make([]float64, up.N)
+	for i := range b {
+		b[i] = 1 + float64(i%7)/7
+	}
+	solveURL := base + "/v1/matrices/" + up.Handle + "/solve"
+
+	// 2. Traced solve, named by the client.
+	var solved struct {
+		BatchWidth int `json:"batch_width"`
+	}
+	code = postJSON(solveURL, mustBody(map[string]any{"b": b}),
+		map[string]string{"X-Request-ID": "smoke-ok", "X-Trace": "1"}, &solved)
+	if code != http.StatusOK {
+		die("traced solve: status %d", code)
+	}
+
+	// 3. The record must be retrievable by the ID the client chose.
+	var rec struct {
+		Outcome     string `json:"outcome"`
+		TraceEvents int    `json:"trace_events"`
+		Spans       []struct {
+			Stage string `json:"stage"`
+		} `json:"spans"`
+	}
+	code = getJSON(base+"/debug/requests/smoke-ok", &rec)
+	if code != http.StatusOK || rec.Outcome != "ok" {
+		die("/debug/requests/smoke-ok: status %d, outcome %q", code, rec.Outcome)
+	}
+	if rec.TraceEvents == 0 {
+		die("traced solve recorded no runtime trace events")
+	}
+	names := map[string]bool{}
+	for _, sp := range rec.Spans {
+		names[sp.Stage] = true
+	}
+	for _, want := range []string{"decode", "queue-wait", "solve", "encode"} {
+		if !names[want] {
+			die("record is missing the %q span (got %v)", want, rec.Spans)
+		}
+	}
+	trace := getRaw(base + "/debug/requests/smoke-ok/trace")
+	if !strings.Contains(trace, `"traceEvents"`) || !strings.Contains(trace, `"queue-wait"`) {
+		die("/debug/requests/smoke-ok/trace is not a stitched Chrome trace")
+	}
+	fmt.Printf("request smoke-ok: %d spans, %d runtime events, stitched trace %d bytes\n",
+		len(rec.Spans), rec.TraceEvents, len(trace))
+
+	// 4. Crash fault: the flight recorder must capture it automatically.
+	code = postJSON(solveURL, mustBody(map[string]any{
+		"b": b, "fault": map[string]any{"crash_rank": 1, "crash_at": 0.0},
+	}), map[string]string{"X-Request-ID": "smoke-fault", "X-Trace": "1"}, nil)
+	if code != http.StatusInternalServerError {
+		die("faulted solve: status %d, want 500", code)
+	}
+	var fl struct {
+		Flights []struct {
+			ID          string `json:"id"`
+			Trigger     string `json:"trigger"`
+			TraceEvents int    `json:"trace_events"`
+		} `json:"flights"`
+	}
+	code = getJSON(base+"/debug/flights", &fl)
+	if code != http.StatusOK {
+		die("/debug/flights: status %d", code)
+	}
+	found := false
+	for _, f := range fl.Flights {
+		if f.ID == "smoke-fault" {
+			found = true
+			if f.Trigger != "fault" {
+				die("flight smoke-fault trigger %q, want fault", f.Trigger)
+			}
+			if f.TraceEvents == 0 {
+				die("flight smoke-fault carries no runtime events (partial-trace salvage broken)")
+			}
+		}
+	}
+	if !found {
+		die("faulted request produced no flight (have %+v)", fl.Flights)
+	}
+	flight := getRaw(base + "/debug/flights/smoke-fault")
+	if !strings.Contains(flight, `"traceEvents"`) {
+		die("/debug/flights/smoke-fault is not a Chrome trace")
+	}
+	fmt.Printf("flight smoke-fault: trigger=fault, download %d bytes\n", len(flight))
+
+	// 5. Metrics: outcome-labeled latency histogram with exemplars.
+	exposition := getRaw(base + "/metrics")
+	for _, want := range []string{
+		`sptrsv_server_request_seconds_bucket`,
+		`outcome="ok"`,
+		`outcome="fault"`,
+		`# {request_id="smoke-`,
+	} {
+		if !strings.Contains(exposition, want) {
+			die("/metrics is missing %q", want)
+		}
+	}
+
+	// 6. Statusz.
+	var st struct {
+		Status  string `json:"status"`
+		Flights int    `json:"flights"`
+	}
+	code = getJSON(base+"/statusz", &st)
+	if code != http.StatusOK || st.Status != "ok" || st.Flights < 1 {
+		die("/statusz: status %d, %+v", code, st)
+	}
+
+	fmt.Println("tracesmoke OK")
+}
+
+func mustBody(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		die("marshal: %v", err)
+	}
+	return string(raw)
+}
+
+func postJSON(url, body string, headers map[string]string, out any) int {
+	req, err := http.NewRequest("POST", url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		die("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		die("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			die("decode %s: %v", url, err)
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func getJSON(url string, out any) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		die("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			die("decode %s: %v", url, err)
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func getRaw(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		die("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		die("GET %s: status %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		die("read %s: %v", url, err)
+	}
+	return string(data)
+}
